@@ -1,0 +1,24 @@
+"""Section 4 bench: the early-access ladder and the Spock scaling study."""
+
+from repro.experiments.earlyaccess import (
+    prediction_improves_with_generation,
+    run_ladder,
+    spock_scaling_study,
+)
+
+
+def test_bench_early_access_ladder(benchmark):
+    reports = benchmark(run_ladder)
+    print("\nEarly-access ladder (kernel-bundle time, Frontier prediction error):")
+    for r in reports:
+        print(f"  {r.machine:9s} gen{r.generation}  conv={r.convergence:.1f}  "
+              f"{r.bundle_time*1e3:7.2f} ms  err={r.frontier_prediction_error:.1%}")
+    assert prediction_improves_with_generation()
+
+
+def test_bench_spock_scaling(benchmark):
+    points = benchmark(spock_scaling_study)
+    print("\nSpock modest scaling study (weak):")
+    for p in points:
+        print(f"  {p.nodes:3d} nodes: efficiency {p.efficiency:.4f}")
+    assert all(p.efficiency > 0.9 for p in points)

@@ -1,0 +1,30 @@
+"""Figure 1 bench: regenerate the SHOC HIP-vs-CUDA comparison.
+
+Run with ``pytest benchmarks/ --benchmark-only``; add ``-s`` to see the
+rendered figure.
+"""
+
+import pytest
+
+from repro.experiments.figure1 import run_figure1
+
+
+def test_bench_figure1(benchmark):
+    result = benchmark(run_figure1)
+    print("\n" + result.render())
+    assert result.mean_with_transfers == pytest.approx(0.998, abs=0.004)
+    assert result.mean_kernel_only == pytest.approx(0.999, abs=0.004)
+    assert len(result.rows) == 13
+
+
+def test_bench_hipify_translation(benchmark):
+    """The translation step alone: 13 programs through hipify."""
+    from repro.benchsuite.shoc import SHOC_SUITE
+    from repro.progmodel.hipify import hipify
+
+    def translate_all():
+        return [hipify(b.cuda_source) for b in SHOC_SUITE]
+
+    results = benchmark(translate_all)
+    assert all(r.clean for r in results)
+    assert all(r.substitutions > 5 for r in results)

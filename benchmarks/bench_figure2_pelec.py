@@ -1,0 +1,10 @@
+"""Figure 2 bench: regenerate the PeleC performance history."""
+
+from repro.experiments.figure2 import run_figure2
+
+
+def test_bench_figure2(benchmark):
+    result = benchmark(run_figure2)
+    print("\n" + result.render())
+    assert all(result.checks().values())
+    assert 50 < result.total_improvement < 110

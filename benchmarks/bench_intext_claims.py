@@ -1,0 +1,74 @@
+"""In-text claim benches: one timed regeneration per application claim."""
+
+import pytest
+
+from repro.apps import coast, comet, exasky, gamess, gests, lammps, lsms, pele
+from repro.hardware.catalog import FRONTIER
+
+
+def test_bench_gests_fom(benchmark):
+    """§3.3: FOM > 5x on 4096 Frontier nodes; slabs vs pencils."""
+    fom = benchmark(gests.fom_improvement)
+    print(f"\nGESTS FOM improvement: {fom:.2f}x (paper: >5x)")
+    assert fom > 4.0
+    r = gests.slabs_vs_pencils()
+    assert r["slabs"].total < r["pencils"].total
+
+
+def test_bench_exasky_fom(benchmark):
+    """§3.4: 4.2x vs Summit; ~230x vs Theta."""
+    factor = benchmark(exasky.speedup)
+    print(f"\nExaSky FOM factor: {factor:.2f} (paper: 4.2); "
+          f"vs Theta: {exasky.fom_vs_theta_baseline():.0f}x (paper: ~230x)")
+    assert 2.7 < factor < 5.7
+
+
+def test_bench_comet_exaflops(benchmark):
+    """§3.6: 6.71 EF on 9074 nodes."""
+    ef = benchmark(comet.system_exaflops)
+    print(f"\nCoMet: {ef:.2f} EF mixed precision (paper: 6.71 EF)")
+    assert 5.0 < ef < 8.5
+
+
+def test_bench_coast_kernel(benchmark):
+    """§3.9: 5.6 -> 30.6 TF per GPU via autotuning; 136 PF -> 1.004 EF."""
+    tf = benchmark(coast.per_gpu_tflops)
+    pf = coast.system_petaflops()
+    print(f"\nCOAST kernel: V100 {tf['V100']:.1f} TF (5.6), "
+          f"MI250X {tf['MI250X']:.1f} TF (30.6); "
+          f"system {pf['Summit']:.0f} PF / {pf['Frontier']/1000:.3f} EF")
+    assert tf["V100"] == pytest.approx(5.6, rel=0.25)
+    assert tf["MI250X"] == pytest.approx(30.6, rel=0.25)
+
+
+def test_bench_lammps_reaxff(benchmark):
+    """§3.10: >50 % ReaxFF speedup."""
+    s = benchmark(lammps.optimization_speedup)
+    levers = lammps.lever_breakdown()
+    print(f"\nLAMMPS ReaxFF speedup: {s:.2f}x (paper: >1.5x); levers: "
+          + ", ".join(f"{k}={v:.2f}x" for k, v in levers.items()))
+    assert s > 1.5
+
+
+def test_bench_lsms_per_gpu(benchmark):
+    """§3.2: ~7.5x per GPU on FePt."""
+    s = benchmark(lsms.speedup)
+    print(f"\nLSMS per-GPU speedup: {s:.2f} (paper: 7.5)")
+    assert 4.9 < s < 10.2
+
+
+def test_bench_gamess_fragment(benchmark):
+    """§3.1: 5x RI-MP2 fragment kernel; near-ideal scaling to 2048 nodes."""
+    s = benchmark(gamess.speedup)
+    eff = gamess.mbe_scaling(935, [2048])[2048]
+    print(f"\nGAMESS RI-MP2 speedup: {s:.2f} (paper: 5); "
+          f"MBE efficiency @2048 nodes: {eff:.3f}")
+    assert 3.2 < s < 6.8
+    assert eff > 0.95
+
+
+def test_bench_pele_weak_scaling(benchmark):
+    """§3.8: >80 % weak scaling at 4096 Frontier nodes."""
+    eff = benchmark(pele.weak_scaling_efficiency, FRONTIER, "frontier-tuned", 4096)
+    print(f"\nPele weak-scaling efficiency @4096: {eff:.3f} (paper: >0.8)")
+    assert eff > 0.8

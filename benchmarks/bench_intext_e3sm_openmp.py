@@ -1,0 +1,44 @@
+"""E3SM latency levers and the §2.2 OpenMP data-movement guidance."""
+
+from repro.apps import e3sm
+from repro.gpu import KernelSpec
+from repro.hardware.catalog import FRONTIER
+from repro.hardware.gpu import MI250X_GCD
+from repro.progmodel import MapKind, OpenMPDevice
+
+
+def test_bench_e3sm_levers(benchmark):
+    """§3.5: fusion/fission + async streams + pool allocator."""
+    gain = benchmark(e3sm.optimization_gain)
+    levers = e3sm.lever_breakdown()
+    r = e3sm.run(FRONTIER.node.gpu)
+    print(f"\nE3SM optimization gain: {gain:.2f}x; levers: "
+          + ", ".join(f"{k}={v:.2f}x" for k, v in levers.items())
+          + f"; realtime throughput {r.throughput:.0f}x (target 1000-2000x)")
+    assert gain > 3.0
+    assert r.meets_target
+
+
+def _openmp_comparison() -> tuple[float, float]:
+    MB = 1 << 20
+    kernel = KernelSpec(name="loop", flops=5e9, bytes_read=1e8)
+    arrays = {"u": 256 * MB, "rhs": 256 * MB}
+    steps = 25
+
+    naive = OpenMPDevice(MI250X_GCD)
+    for _ in range(steps):
+        naive.naive_offload_loop(kernel, arrays)
+
+    tuned = OpenMPDevice(MI250X_GCD)
+    with tuned.target_data(u=(256 * MB, MapKind.TOFROM), rhs=(256 * MB, MapKind.TO)):
+        for _ in range(steps):
+            tuned.target_parallel_loop(kernel, uses=("u", "rhs"))
+    return naive.elapsed, tuned.elapsed
+
+
+def test_bench_openmp_target_data(benchmark):
+    """§2.2: persistent TARGET DATA regions vs per-loop implicit mapping."""
+    naive, tuned = benchmark(_openmp_comparison)
+    print(f"\nOpenMP: naive per-loop mapping {naive*1e3:.1f} ms, "
+          f"persistent TARGET DATA {tuned*1e3:.1f} ms -> {naive/tuned:.1f}x")
+    assert tuned < naive / 3

@@ -1,0 +1,104 @@
+"""Substrate micro-benches: the numerical kernels themselves, timed for real.
+
+These time the *actual Python computation* of the working substrates (not
+the simulated device model) so performance regressions in the library's
+own code are visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import blocked_floyd_warshall
+from repro.linalg import zblock_lu
+from repro.md import build_neighbor_list, hns_like_crystal
+from repro.ode import BdfIntegrator
+from repro.similarity import ccc_similarity, random_allele_data
+from repro.spectral import PseudoSpectralNS, SlabFFT3D
+from repro.hardware.interconnect import SLINGSHOT_11
+
+
+def test_bench_blocked_fw(benchmark):
+    rng = np.random.default_rng(0)
+    d = np.where(rng.random((96, 96)) < 0.2, rng.uniform(1, 5, (96, 96)), np.inf)
+    result = benchmark(blocked_floyd_warshall, d, 24)
+    assert np.isfinite(result).any()
+
+
+def test_bench_zblock_lu(benchmark):
+    rng = np.random.default_rng(1)
+    n = 96
+    a = rng.normal(size=(n, n)) + 1j * rng.normal(size=(n, n)) + 8 * np.eye(n)
+    result = benchmark(zblock_lu, a, 12)
+    assert result.shape == (12, 12)
+
+
+def test_bench_distributed_fft(benchmark):
+    rng = np.random.default_rng(2)
+    x = rng.normal(size=(32, 32, 32)) + 1j * rng.normal(size=(32, 32, 32))
+    fft = SlabFFT3D(32, 8, fabric=SLINGSHOT_11)
+
+    def roundtrip():
+        return fft.inverse(fft.forward(fft.scatter(x)))
+
+    slabs = benchmark(roundtrip)
+    np.testing.assert_allclose(fft.gather_slabs(slabs), x, atol=1e-9)
+
+
+def test_bench_psdns_step(benchmark):
+    ns = PseudoSpectralNS(16, viscosity=0.02)
+    ns.set_taylor_green()
+    benchmark(ns.step, 0.005)
+    assert ns.max_divergence() < 1e-9
+
+
+def test_bench_bdf_robertson(benchmark):
+    def rob(t, y):
+        return np.array([
+            -0.04 * y[0] + 1e4 * y[1] * y[2],
+            0.04 * y[0] - 1e4 * y[1] * y[2] - 3e7 * y[1] ** 2,
+            3e7 * y[1] ** 2,
+        ])
+
+    integ = BdfIntegrator(rob, rtol=1e-5, atol=1e-8)
+    result = benchmark(integ.integrate, np.array([1.0, 0, 0]), 0.0, 1.0)
+    assert result.y.sum() == pytest.approx(1.0, abs=1e-5)
+
+
+def test_bench_ccc_similarity(benchmark):
+    data = random_allele_data(48, 256, seed=3)
+    sim = benchmark(ccc_similarity, data)
+    assert sim.shape == (48, 48)
+
+
+def test_bench_neighbor_list(benchmark):
+    x, box = hns_like_crystal(5, 5, 5, seed=4)
+    nb = benchmark(build_neighbor_list, x, box, 2.5)
+    assert len(nb) == len(x)
+
+
+def test_bench_sod_shock_tube(benchmark):
+    from repro.hydro import Euler1D
+
+    def run():
+        s = Euler1D.sod(200)
+        s.run_until(0.1)
+        return s
+
+    s = benchmark(run)
+    assert s.total_mass() > 0
+
+
+def test_bench_mmf_step(benchmark):
+    from repro.cloud import MmfModel
+
+    m = MmfModel.create(16, 32, seed=0)
+    benchmark(m.step)
+    assert m.n_columns == 16
+
+
+def test_bench_scf_iteration(benchmark):
+    from repro.scattering import build_liz, scf_iterate
+
+    liz = build_liz(1.0, 1.2, block_size=8)
+    result = benchmark(scf_iterate, liz, target_moment=0.4)
+    assert result.converged

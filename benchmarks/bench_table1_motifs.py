@@ -1,0 +1,9 @@
+"""Table 1 bench: regenerate the porting-motif matrix from the registry."""
+
+from repro.experiments.table1 import run_table1
+
+
+def test_bench_table1(benchmark):
+    result = benchmark(run_table1)
+    print("\n" + result.render())
+    assert result.matches_paper()

@@ -1,0 +1,10 @@
+"""Table 2 bench: run all eight apps on simulated Summit and Frontier."""
+
+from repro.experiments.table2 import run_table2
+
+
+def test_bench_table2(benchmark):
+    result = benchmark(run_table2)
+    print("\n" + result.render())
+    assert result.all_in_band
+    assert len(result.rows) == 8

@@ -1,0 +1,59 @@
+"""COAST's literature-mining use case on a synthetic knowledge graph.
+
+Run:  python examples/apsp_biomedical.py
+
+Builds a SPOKE-like typed biomedical graph, solves all-pairs shortest
+paths with the distributed blocked Floyd-Warshall, ranks indirect
+compound→disease connections (candidate drug discovery), and autotunes
+the (min,+) kernel for both GPU generations.
+"""
+
+import numpy as np
+
+from repro.graph import (
+    TileAutotuner,
+    blocked_floyd_warshall,
+    discover_relationships,
+    distributed_floyd_warshall,
+    generate_knowledge_graph,
+)
+from repro.hardware.gpu import MI250X, V100
+from repro.hardware.interconnect import SLINGSHOT_11
+
+
+def main() -> None:
+    print("=== Building a SPOKE-like knowledge graph ===")
+    kg = generate_knowledge_graph(512, mean_degree=5.0, seed=11)
+    counts = kg.type_counts()
+    print(f"  {kg.n_vertices} vertices, {kg.n_edges} edges")
+    print("  types:", ", ".join(f"{t}={n}" for t, n in counts.items()))
+
+    print("\n=== All-pairs shortest paths (distributed Floyd-Warshall) ===")
+    dist_matrix = kg.distance_matrix()
+    result = distributed_floyd_warshall(dist_matrix, grid=4,
+                                        fabric=SLINGSHOT_11, ranks_per_node=8)
+    serial = blocked_floyd_warshall(dist_matrix, 128)
+    assert np.allclose(result.dist, serial)
+    reachable = np.isfinite(result.dist).mean()
+    print(f"  16 simulated ranks, {result.messages} collectives, "
+          f"simulated wall {result.elapsed*1e3:.2f} ms")
+    print(f"  {reachable:.1%} of pairs connected; results match serial: True")
+
+    print("\n=== Discovering unknown relationships ===")
+    hits = discover_relationships(kg, result.dist, source_type="compound",
+                                  target_type="disease", max_distance=4.0, top=5)
+    print("  top indirect compound -> disease connections (no direct edge):")
+    for u, v, d in hits:
+        print(f"    compound {u:4d} -> disease {v:4d}: path length {d:.2f}")
+
+    print("\n=== Autotuning the (min,+) kernel (§3.9) ===")
+    for gpu in (V100, MI250X):
+        tuned = TileAutotuner(gpu).tune(40960)
+        print(f"  {gpu.name:8s}: best {tuned.best} -> "
+              f"{0.71 * tuned.best_tflops:5.1f} TF sustained "
+              f"({tuned.evaluated} configs timed)")
+    print("  (paper: 5.6 TF on V100 -> 30.6 TF on MI250X)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Pele-style reacting-flow building blocks: AMR + EB + stiff chemistry.
+
+Run:  python examples/combustion_amr.py
+
+Exercises the real substrates behind the PeleC reproduction: a
+block-structured AMR hierarchy with embedded boundaries, generated
+chemistry source (PelePhysics-style), a CVODE-like implicit integration
+of the generated mechanism, and the Figure 2 history.
+"""
+
+import numpy as np
+
+from repro.amr import AmrHierarchy, Box, BoxArray, MultiFab, build_eb_geometry
+from repro.apps import pele
+from repro.chem import compile_rates, h2_o2_mechanism
+from repro.chem.kinetics import analytic_jacobian
+from repro.ode import BdfIntegrator, LinearSolver
+
+
+def main() -> None:
+    print("=== AMR hierarchy with an embedded cylinder ===")
+    domain = Box(lo=(0, 0, 0), hi=(63, 63, 63))
+    hierarchy = AmrHierarchy(domain, max_levels=3, max_grid_size=16)
+    # refine near the cylinder surface at x,y = 32
+    hierarchy.regrid(lambda b: abs(b.lo[0] - 28) < 12 and abs(b.lo[1] - 28) < 12)
+    print(f"  levels: {hierarchy.nlevels}, composite cells: "
+          f"{hierarchy.composite_cells():,}")
+    print(f"  uniform-grid equivalent: {hierarchy.equivalent_uniform_cells():,} "
+          f"({hierarchy.savings_factor():.1f}x saved by AMR)")
+
+    geom = build_eb_geometry(
+        Box(lo=(0, 0, 0), hi=(31, 31, 31)),
+        lambda x, y, z: 8.0 - np.sqrt((x - 16) ** 2 + (y - 16) ** 2),
+    )
+    print(f"  EB classification: {geom.n_regular} fluid, {geom.n_cut} cut, "
+          f"{geom.n_covered} covered cells")
+
+    print("\n=== Ghost exchange on a MultiFab ===")
+    ba = BoxArray.from_domain(domain, 32)
+    mf = MultiFab(ba, domain, ncomp=5, nghost=2)
+    mf.set_from_function(lambda x, y, z: np.sin(0.1 * x) * np.cos(0.1 * y) + z)
+    moved = mf.fill_boundary()
+    print(f"  {len(ba)} boxes, {moved/1e6:.1f} MB of ghost data per fill")
+
+    print("\n=== Generated chemistry + CVODE-like integration (§3.8) ===")
+    mech = h2_o2_mechanism()
+    generated = compile_rates(mech)
+    print(f"  generated rates routine: {generated.n_lines} lines, "
+          f"~{generated.estimated_registers} live registers")
+    T = 1500.0
+    c0 = np.array([1.0, 0.5, 0.0, 0.0, 0.0, 0.0])
+    integ = BdfIntegrator(
+        lambda t, c: generated.fn(T, np.maximum(c, 0.0)),
+        jac=lambda t, c: analytic_jacobian(mech, T, np.maximum(c, 0.0)),
+        rtol=1e-5, atol=1e-9, linear_solver=LinearSolver.DENSE,
+    )
+    res = integ.integrate(c0, 0.0, 1e-3)
+    names = mech.species
+    final = ", ".join(f"{n}={v:.3e}" for n, v in zip(names, res.y))
+    print(f"  ignition advance to t=1 ms: {res.stats.steps} BDF steps, "
+          f"{res.stats.newton_iters} Newton iterations")
+    print(f"  final state: {final}")
+
+    print("\n=== Coupled reacting flow (PeleC-in-miniature) ===")
+    from repro.hydro import ignition_demo
+
+    flow = ignition_demo(48, steps=2)
+    T = flow.temperature()
+    h2o = flow.concentrations[2]
+    print(f"  hot pocket: T_max = {T.max():.0f} K, H2O formed "
+          f"{h2o.max():.2e} mol (edges frozen: {h2o[0] == 0.0})")
+
+    print("\n=== The Figure 2 history ===")
+    for date, machine, state, t in pele.figure2_history():
+        print(f"  {date}  {machine:9s} {state:18s} {t:.3e} s/cell/step")
+    print(f"  total improvement: {pele.total_improvement():.1f}x (paper: ~75x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""CoMet-style comparative genomics: exact similarity on reduced precision.
+
+Run:  python examples/genomics_similarity.py
+
+Demonstrates the §3.6 story end to end: 2-way CCC over synthetic allele
+data via the GEMM formulation, the exactness of the FP16 and Int8 paths,
+the 3-way metric (epistasis-style triples), and the precision/throughput
+trade on simulated Frontier hardware.
+"""
+
+import numpy as np
+
+from repro.apps import comet
+from repro.similarity import (
+    ccc_similarity,
+    cooccurrence_counts_bruteforce,
+    cooccurrence_counts_gemm,
+    random_allele_data,
+    threeway_similarity,
+)
+
+
+def main() -> None:
+    print("=== Synthetic allele data ===")
+    data = random_allele_data(24, 400, seed=7)
+    # plant two strongly related vectors and a correlated triple
+    data[5] = data[2]
+    data[9, :200] = data[3, :200]
+    print(f"  {data.shape[0]} sample vectors x {data.shape[1]} allele fields")
+
+    print("\n=== Reduced precision computes EXACT counts (§3.6) ===")
+    exact = cooccurrence_counts_bruteforce(data)
+    for label, kwargs in (("FP64 GEMM", {}), ("FP16 GEMM", {"fp16": True}),
+                          ("Int8 GEMM", {"int8": True})):
+        match = np.array_equal(cooccurrence_counts_gemm(data, **kwargs), exact)
+        print(f"  {label}: matches brute force = {match}")
+
+    print("\n=== 2-way CCC similarity ===")
+    sim = ccc_similarity(data)
+    pairs = [(i, j) for i in range(24) for j in range(i + 1, 24)]
+    top = sorted(pairs, key=lambda p: -sim[p])[:3]
+    for i, j in top:
+        marker = "  <- planted duplicate" if (i, j) == (2, 5) else ""
+        print(f"  vectors ({i:2d},{j:2d}): CCC = {sim[i, j]:.4f}{marker}")
+
+    print("\n=== 3-way CCC on a subset (triple interactions) ===")
+    sub = data[:8]
+    sim3 = threeway_similarity(sub)
+    triples = [(i, j, k) for i in range(8) for j in range(i + 1, 8)
+               for k in range(j + 1, 8)]
+    best = max(triples, key=lambda t: sim3[t])
+    print(f"  strongest triple: {best} with score {sim3[best]:.4f}")
+
+    print("\n=== Precision/throughput trade on Frontier (per GCD) ===")
+    for dtype, tf in comet.precision_ablation().items():
+        print(f"  {dtype}: {tf:6.1f} TF useful")
+    print(f"\n  full-system projection: {comet.system_exaflops():.2f} EF "
+          "on 9074 nodes (paper: 6.71 EF)")
+
+
+if __name__ == "__main__":
+    main()

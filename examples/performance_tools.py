@@ -1,0 +1,86 @@
+"""The performance-engineering toolbox the COE taught (§3.10.3, §5).
+
+Run:  python examples/performance_tools.py
+
+Profiles a kernel set, reads the compiler's assembly-dump fields, applies
+the register-allocation fix, microbenchmarks the device math library, and
+exports a Chrome-trace timeline — the workflow the LAMMPS/AMD
+collaboration used to crack the ReaxFF register-spill problem.
+"""
+
+import json
+
+from repro.gpu import (
+    Device,
+    KernelSpec,
+    MathLibrary,
+    apply_compiler_fix,
+    assembly_report,
+    profile_kernels,
+    roofline_report,
+    timeline_stats,
+    to_chrome_trace,
+)
+from repro.hardware.gpu import MI250X_GCD
+
+
+def main() -> None:
+    device = MI250X_GCD
+    kernels = [
+        KernelSpec(name="torsion_force", flops=4e10, bytes_read=2e9,
+                   bytes_written=5e8, registers_per_thread=290,
+                   active_lane_fraction=0.3),
+        KernelSpec(name="angle_force", flops=2e10, bytes_read=1e9,
+                   bytes_written=3e8, registers_per_thread=270),
+        KernelSpec(name="qeq_spmv", flops=4e9, bytes_read=8e9,
+                   bytes_written=4e8, registers_per_thread=64),
+        KernelSpec(name="neighbor_build", flops=6e9, bytes_read=3e9,
+                   bytes_written=2e9, registers_per_thread=48),
+    ]
+
+    print("=== Kernel profile (hottest first) ===")
+    for row in profile_kernels(kernels, device):
+        print(f"  {row.kernel:16s} {row.time*1e3:8.2f} ms  {row.share:5.1%}  "
+              f"{row.bound}-bound  occ {row.occupancy:.2f} ({row.limited_by})"
+              + (f"  SPILLS {row.spills} regs" if row.spills else ""))
+
+    print("\n=== -save-temps assembly fields (§3.10.3) ===")
+    for k in kernels[:2]:
+        rep = assembly_report(k, device)
+        print(f"  {rep.kernel}: vgpr_count={rep.vgpr_count} "
+              f"vgpr_spill_count={rep.vgpr_spill_count} "
+              f"amdhsa_private_segment_fixed_size={rep.amdhsa_private_segment_fixed_size}")
+
+    print("\n=== After the compiler register-allocation fix ===")
+    from repro.gpu import time_kernel
+
+    for k in kernels[:2]:
+        fixed = apply_compiler_fix(k)
+        rep = assembly_report(fixed, device)
+        gain = time_kernel(k, device).total_time / time_kernel(fixed, device).total_time
+        print(f"  {k.name}: spills -> {rep.vgpr_spill_count}, {gain:.2f}x faster")
+
+    print("\n=== Math-library microbenchmark (results/s, Grsips) ===")
+    old, new = MathLibrary(optimized=False), MathLibrary(optimized=True)
+    for fn in ("fma", "exp", "log", "pow"):
+        a, b = old.throughput(fn, device), new.throughput(fn, device)
+        print(f"  {fn:4s}: {a/1e9:9.1f} -> {b/1e9:9.1f} Gop/s "
+              f"({b/a:.1f}x after ROCm optimization)")
+
+    print("\n=== Roofline placement ===")
+    print(roofline_report(kernels, device))
+
+    print("\n=== Timeline export ===")
+    d = Device(device)
+    for k in kernels:
+        d.launch(apply_compiler_fix(k))
+    d.synchronize()
+    doc = json.loads(to_chrome_trace(d))
+    stats = timeline_stats(d)
+    print(f"  {len(doc['traceEvents'])} chrome-trace events; device "
+          f"utilization {stats.utilization:.1%}, largest gap "
+          f"{stats.largest_gap*1e6:.2f} us")
+
+
+if __name__ == "__main__":
+    main()

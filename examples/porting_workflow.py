@@ -1,0 +1,105 @@
+"""The COE application-readiness workflow, end to end.
+
+Run:  python examples/porting_workflow.py
+
+Plays one application team's four years: declare a challenge problem and
+FOM, port a CUDA mini-app with hipify, climb the early-access ladder
+(Poplar → Spock → Crusher → Frontier) while filing issues and lessons,
+track the FOM, and pass the final review.
+"""
+
+from repro.core import (
+    AccelerationPlan,
+    ChallengeProblem,
+    ChallengeTracker,
+    Channel,
+    EarlyAccessCampaign,
+    FigureOfMerit,
+    FomKind,
+    KnowledgeBase,
+    Lesson,
+    ReadinessPhase,
+    ReviewVerdict,
+    convergence_to_frontier,
+)
+from repro.gpu import KernelSpec
+from repro.hardware import CRUSHER, FRONTIER, POPLAR, SPOCK, SUMMIT
+from repro.gpu.perfmodel import time_kernel
+from repro.progmodel.hipify import hipify
+
+APP_KERNEL = KernelSpec(
+    name="stencil_rhs",
+    flops=6e11,
+    bytes_read=3e10,
+    bytes_written=1e10,
+    registers_per_thread=120,
+)
+
+CUDA_MINIAPP = """
+state = rt.cudaMalloc(nbytes)
+rt.cudaMemcpyHostToDevice(state)
+for step in range(nsteps):
+    rt.cudaLaunchKernel(rhs_kernel)
+rt.cudaDeviceSynchronize()
+rt.cudaMemcpyDeviceToHost(state)
+"""
+
+
+def main() -> None:
+    # 1. Declare the challenge problem, FOM and plan (the §6 contract).
+    summit_rate = 1.0 / time_kernel(APP_KERNEL, SUMMIT.node.gpu).total_time
+    fom = FigureOfMerit(name="steps/sec per GPU", kind=FomKind.THROUGHPUT,
+                        reference_value=summit_rate, target_factor=2.5)
+    tracker = ChallengeTracker(
+        problem=ChallengeProblem(application="MiniApp", description="stencil RHS",
+                                 fom=fom),
+        plan=AccelerationPlan(application="MiniApp", milestones=(
+            "hipify the CUDA code", "first run on early access",
+            "tune for MI250X", "full-scale Frontier run")),
+    )
+    print(f"Challenge declared: reference {summit_rate:.1f} steps/s on Summit, "
+          f"target {fom.target_factor}x (a memory-bound stencil: the\n"
+          "  commitment tracks the bandwidth ratio, not the FLOP ratio)")
+
+    # 2. Port with hipify.
+    result = hipify(CUDA_MINIAPP)
+    print(f"\nhipify: {result.substitutions} substitutions, "
+          f"clean={result.clean}")
+    tracker.complete_milestone(0)
+
+    # 3. Climb the early-access ladder.
+    campaign = EarlyAccessCampaign(application="MiniApp")
+    kb = KnowledgeBase()
+    print("\nEarly-access ladder (convergence to Frontier in brackets):")
+    for machine in (POPLAR, SPOCK, CRUSHER, FRONTIER):
+        rate = 1.0 / time_kernel(APP_KERNEL, machine.node.gpu).total_time
+        m = tracker.tracker.record(machine.name, rate)
+        conv = convergence_to_frontier(machine, FRONTIER)
+        print(f"  {machine.name:9s} [{conv:.1f}]: {rate:8.1f} steps/s "
+              f"({fom.achieved_factor(rate):.2f}x of reference)")
+        if machine is POPLAR:
+            campaign.file_issue(machine.name, ReadinessPhase.FUNCTIONALITY,
+                                "kernel faults under early ROCm")
+            lid = kb.add(Lesson(topic="early ROCm faults",
+                                issue="intermittent faults in divergent code",
+                                mitigation="update ROCm; reduce register pressure",
+                                source_application="MiniApp",
+                                source_channel=Channel.HACKATHON))
+            kb.disseminate(lid, Channel.USER_GUIDE)
+            campaign.resolve(0)
+    tracker.complete_milestone(1)
+    tracker.complete_milestone(2)
+    tracker.complete_milestone(3)
+
+    # 4. Final review.
+    report = tracker.file_report("final", notes="Frontier production run")
+    verdict = tracker.review()
+    print(f"\nFinal report: achieved {report.achieved_factor:.2f}x "
+          f"(target {fom.target_factor}x) -> {verdict.value.upper()}")
+    print(f"Lessons in the user guide: {len(kb.in_user_guide())}; "
+          f"re-triages avoided: {kb.triage_savings()}")
+    assert verdict is ReviewVerdict.ON_TRACK
+
+
+if __name__ == "__main__":
+    main()

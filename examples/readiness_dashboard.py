@@ -1,0 +1,26 @@
+"""The COE readiness dashboard across all eight Table 2 applications.
+
+Run:  python examples/readiness_dashboard.py
+
+The capstone view the Management Council reviews ran on (§6): every
+application's simulated Summit→Frontier acceleration against its
+commitment, plus the paper-vs-measured experiment ledger.
+"""
+
+from repro.experiments import build_dashboard, run_table2
+
+
+def main() -> None:
+    dashboard = build_dashboard()
+    print(dashboard.render())
+    assert dashboard.all_on_track
+
+    print()
+    print(run_table2().render())
+
+    print("\nAll applications met their acceleration commitments — the")
+    print("simulated COE closes out as the real one did.")
+
+
+if __name__ == "__main__":
+    main()

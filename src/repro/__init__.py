@@ -1,0 +1,11 @@
+"""repro: an exascale application-readiness simulation framework.
+
+Reproduces "Experiences Readying Applications for Exascale" (SC 2023):
+simulated Summit/Frontier-class hardware, CUDA/HIP/OpenMP/Kokkos/YAKL
+programming-model layers, an MPI cost-model simulator, working numerical
+substrates for the paper's ten applications, and the experiment harnesses
+that regenerate Figure 1, Table 1, Table 2, Figure 2, and the in-text
+performance claims.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,40 @@
+"""AMReX-like block-structured AMR substrate (Pele's foundation, §3.8)."""
+
+from repro.amr.box import Box, BoxArray, chop_domain
+from repro.amr.eb import (
+    CellType,
+    EBGeometry,
+    build_eb_geometry,
+    eb_redistribution_weights,
+    sorted_cut_cells,
+)
+from repro.amr.ghost import (
+    GhostExchangeSpec,
+    asynchronous_step_time,
+    fill_boundary_time,
+    synchronous_step_time,
+)
+from repro.amr.hierarchy import AmrHierarchy, AmrLevel
+from repro.amr.multifab import FabArrayStats, MultiFab
+
+__all__ = [
+    "TwoLevelAdvection",
+    "FluxRegister",
+    "AmrHierarchy",
+    "AmrLevel",
+    "Box",
+    "BoxArray",
+    "CellType",
+    "EBGeometry",
+    "FabArrayStats",
+    "GhostExchangeSpec",
+    "MultiFab",
+    "asynchronous_step_time",
+    "build_eb_geometry",
+    "chop_domain",
+    "eb_redistribution_weights",
+    "fill_boundary_time",
+    "sorted_cut_cells",
+    "synchronous_step_time",
+]
+from repro.amr.flux import FluxRegister, TwoLevelAdvection

@@ -1,0 +1,100 @@
+"""GAMESS (§3.1): fragment-level RI-MP2 on Summit vs. Frontier.
+
+The paper's measured unit is "the fragment-level HIP RI-MP2 code within
+LibCChem/EXESS": a 5× per-GPU speed-up of the density-fitted MP2
+contraction after the memory-transfer optimizations, plus near-ideal
+linear scaling of the Many Body Expansion to 2 048 nodes.
+
+Timing model (documented in DESIGN.md §calibration): the contraction is an
+FP64 GEMM running near library peak.  MI250X DGEMM in practice delivers
+the vector-unit rate (its FP64 MFMA peak is not sustained by rocBLAS for
+these shapes), so the per-GPU ratio is ≈ (47.9·0.85)/(7.8·0.90) with the
+measured unit including the (optimized) host-device transfer of the
+B-tensor batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chem.fragments import fragment_scaling_efficiency, mbe_energy, water_cluster
+from repro.chem.rimp2 import rimp2_kernel_spec
+from repro.gpu.perfmodel import time_kernel
+from repro.gpu.transfer import h2d_time
+from repro.hardware.gpu import MI250X, V100, GPUSpec
+
+
+@dataclass(frozen=True)
+class GamessConfig:
+    """The production fragment dimensions (per-fragment RI-MP2 block)."""
+
+    nocc: int = 64
+    nvirt: int = 512
+    naux: int = 2048
+
+    @property
+    def b_tensor_bytes(self) -> float:
+        return 8.0 * self.naux * self.nocc * self.nvirt
+
+
+def fragment_kernel_time(device: GPUSpec, cfg: GamessConfig, *,
+                         transfers_optimized: bool) -> float:
+    """One fragment's RI-MP2 time on *device*: transfer + contraction.
+
+    Before the §3.1 memory-transfer optimizations the B tensor was
+    re-staged per occupied pair batch (8 extra transfers); after, it moves
+    once.
+    """
+    # cuBLAS on Summit was a mature library (0.92 of peak for these
+    # shapes); the early rocBLAS releases reached 0.80 (§3.1's "nearly
+    # peak" after optimization).
+    efficiency = 0.92 if device.vendor.value == "nvidia" else 0.80
+    spec = rimp2_kernel_spec(cfg.nocc, cfg.nvirt, cfg.naux, efficiency=efficiency)
+    # DGEMM sustains the vector rate, not the MFMA headline (see module doc)
+    spec = type(spec)(**{**spec.__dict__, "uses_matrix_engine": False})
+    t_kernel = time_kernel(spec, device).total_time
+    n_transfers = 1 if transfers_optimized else 9
+    t_copy = n_transfers * h2d_time(int(cfg.b_tensor_bytes), device).time
+    return t_kernel + t_copy
+
+
+def run_summit(cfg: GamessConfig = GamessConfig()) -> float:
+    """Per-fragment time on one Summit V100 (CUDA path, optimized)."""
+    return fragment_kernel_time(V100, cfg, transfers_optimized=True)
+
+
+def run_frontier(cfg: GamessConfig = GamessConfig()) -> float:
+    """Per-fragment time on one Frontier MI250X (HIP path, optimized)."""
+    return fragment_kernel_time(MI250X, cfg, transfers_optimized=True)
+
+
+def speedup(cfg: GamessConfig = GamessConfig()) -> float:
+    """The Table 2 number: fragment-level RI-MP2, Frontier/Summit."""
+    return run_summit(cfg) / run_frontier(cfg)
+
+
+def transfer_optimization_gain(cfg: GamessConfig = GamessConfig()) -> float:
+    """§3.1's 'substantial improvement' from the memory-transfer fixes."""
+    before = fragment_kernel_time(MI250X, cfg, transfers_optimized=False)
+    after = fragment_kernel_time(MI250X, cfg, transfers_optimized=True)
+    return before / after
+
+
+def mbe_scaling(n_molecules: int, node_counts: list[int], *,
+                gpus_per_node: int = 8) -> dict[int, float]:
+    """Parallel efficiency of the MBE across Frontier node counts.
+
+    Tasks = monomers + dimer pairs; each runs independently on one GCD
+    (the GDDI group model).  Reproduces "nearly ideal linear scaling up
+    to 2K nodes".
+    """
+    frags = water_cluster(min(n_molecules, 64), seed=0)
+    # count tasks for the *full* molecule count without building them all
+    n_tasks = n_molecules + n_molecules * (n_molecules - 1) // 2
+    # sanity anchor: the small built cluster obeys the same formula
+    small = mbe_energy(frags)
+    assert small.n_independent_tasks == len(frags) + len(frags) * (len(frags) - 1) // 2
+    return {
+        nodes: fragment_scaling_efficiency(n_tasks, nodes * gpus_per_node)
+        for nodes in node_counts
+    }

@@ -1,0 +1,91 @@
+"""GESTS (§3.3): PSDNS figure of merit, Summit reference vs. Frontier.
+
+FOM = N³ / t_wall.  Reference: the 18 432³ problem from the INCITE 2019
+Summit campaign (CUDA PSDNS, slabs).  Frontier result: both ported
+versions exceeded 5× on 4 096 nodes / 32 768 ranks at 32 768³.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.fom import FigureOfMerit, FomKind
+from repro.hardware.catalog import FRONTIER, SUMMIT
+from repro.spectral.psdns import PsdnsStepTime, psdns_step_time
+
+
+@dataclass(frozen=True)
+class GestsConfig:
+    summit_n: int = 18432
+    summit_ranks: int = 18432  # slab limit: one rank per plane
+    frontier_n: int = 32768
+    frontier_ranks: int = 32768  # 4096 nodes x 8 GCDs
+    decomposition: str = "slabs"
+
+
+def summit_step(cfg: GestsConfig = GestsConfig()) -> PsdnsStepTime:
+    return psdns_step_time(SUMMIT, cfg.summit_n, cfg.summit_ranks,
+                           decomposition=cfg.decomposition)
+
+
+def frontier_step(cfg: GestsConfig = GestsConfig()) -> PsdnsStepTime:
+    return psdns_step_time(FRONTIER, cfg.frontier_n, cfg.frontier_ranks,
+                           decomposition=cfg.decomposition)
+
+
+def reference_fom(cfg: GestsConfig = GestsConfig()) -> FigureOfMerit:
+    """The CAAR FOM definition with its Summit reference value."""
+    ref = summit_step(cfg).fom(cfg.summit_n)
+    return FigureOfMerit(
+        name="GESTS PSDNS throughput",
+        kind=FomKind.THROUGHPUT,
+        reference_value=ref,
+        target_factor=4.0,  # the CAAR commitment; >5x was delivered
+        units="grid points / s",
+    )
+
+
+def fom_improvement(cfg: GestsConfig = GestsConfig()) -> float:
+    """The headline: Frontier FOM / Summit reference FOM."""
+    return frontier_step(cfg).fom(cfg.frontier_n) / summit_step(cfg).fom(cfg.summit_n)
+
+
+def speedup(cfg: GestsConfig = GestsConfig()) -> float:
+    """Table 2 basis: the FOM improvement factor."""
+    return fom_improvement(cfg)
+
+
+def slabs_vs_pencils(n: int = 8192, ranks: int = 4096) -> dict[str, PsdnsStepTime]:
+    """The decomposition trade at rank counts both schemes support."""
+    return {
+        "slabs": psdns_step_time(FRONTIER, n, ranks, decomposition="slabs"),
+        "pencils": psdns_step_time(FRONTIER, n, ranks, decomposition="pencils"),
+    }
+
+
+def pencil_only_scale(n: int = 4096, ranks: int = 32768) -> PsdnsStepTime:
+    """A configuration beyond the slab rank ceiling (ranks > N)."""
+    return psdns_step_time(FRONTIER, n, ranks, decomposition="pencils")
+
+
+def openmp_management_overhead(n: int = 2048, nranks: int = 512) -> float:
+    """§3.3's porting choice, quantified: vendor FFT + OpenMP management.
+
+    "Vendor-specific functionality was limited to the core FFT functions,
+    and OpenMP offloading was used to manage data movement ... and to
+    accelerate a variety of array operations."  Returns the step-time
+    ratio (OpenMP-managed / all-native); the FFT dominates, so the ratio
+    must stay close to 1 — which is why the team could afford the
+    portability.
+    """
+    from repro.progmodel.openmp import OPENMP_KERNEL_DERATE
+
+    native = psdns_step_time(FRONTIER, n, nranks, decomposition="slabs")
+    # OpenMP path: identical FFT + transpose terms; pointwise array ops
+    # run at the OpenMP derate
+    managed_total = (
+        native.fft_time
+        + native.transpose_time
+        + native.pointwise_time / OPENMP_KERNEL_DERATE
+    )
+    return managed_total / native.total

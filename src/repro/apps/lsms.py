@@ -1,0 +1,124 @@
+"""LSMS (§3.2): per-GPU FePt multiple-scattering time, Summit vs. Frontier.
+
+The measured unit is the per-GPU time of one atom's LIZ calculation:
+structure-constant construction + KKR-matrix assembly (HIP kernels) and
+the τ-matrix dense complex solve.  Three effects compose the observed
+≈7.5× per-GPU gain:
+
+* raw device ratio — MI250X vs. V100 FP64;
+* the solver switch — Summit ran the historical ``zblock_lu`` block
+  inversion (lower FLOPs, lower achieved efficiency on pivotless small
+  panels); Frontier calls rocSOLVER ``zgetrf/zgetrs`` (more FLOPs, much
+  higher fraction of peak) — "we observe better performance for the
+  direct solution";
+* the assembly-kernel fix — the first HIP port's integer index/address
+  arithmetic interfered with floating-point issue on MI250X; rearranging
+  recovered throughput (modelled as an effective-rate derate removed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.kernel import KernelSpec
+from repro.gpu.perfmodel import time_kernel
+from repro.hardware.gpu import MI250X, V100, GPUSpec, Precision
+from repro.linalg.solver import (
+    getrf_flops,
+    getrs_flops,
+    solver_kernel_spec,
+    zblock_lu_flops,
+)
+
+#: Achieved fractions of peak for each solver path (vendor-library scale):
+#: block inversion spends time in small unblocked panels; rocSOLVER's
+#: blocked LU keeps more of the work in large GEMM updates.
+ZBLOCK_LU_EFFICIENCY = 0.45
+GETRF_EFFICIENCY = 0.55
+
+
+@dataclass(frozen=True)
+class LsmsConfig:
+    """FePt-class production problem: one atom's LIZ."""
+
+    liz_atoms: int = 113  # atoms within the production LIZ radius
+    block_size: int = 16  # (l_max + 1)^2 with l_max = 3
+
+    @property
+    def matrix_size(self) -> int:
+        return self.liz_atoms * self.block_size
+
+
+def assembly_kernel(cfg: LsmsConfig, *, index_math_optimized: bool) -> KernelSpec:
+    """Structure constants + KKR assembly for one LIZ.
+
+    ~400 FLOPs per complex matrix element (spherical harmonics, Hankel
+    functions).  The unoptimized HIP port loses ~45 % of issue slots to
+    integer address arithmetic (§3.2), modelled as extra flops.
+    """
+    n = cfg.matrix_size
+    elements = float(n) * n
+    flops = 400.0 * elements
+    if not index_math_optimized:
+        flops *= 1.8
+    return KernelSpec(
+        name="kkr_assembly",
+        flops=flops,
+        bytes_read=16.0 * elements,
+        bytes_written=16.0 * elements,
+        threads=max(int(elements), 64),
+        precision=Precision.FP64,
+        registers_per_thread=96,
+        workgroup_size=256,
+    )
+
+
+def solve_time(device: GPUSpec, cfg: LsmsConfig, *, method: str) -> float:
+    """τ-matrix solve time for one LIZ on *device*."""
+    n, b = cfg.matrix_size, cfg.block_size
+    if method == "zblock_lu":
+        flops = zblock_lu_flops(n, b)
+        eff = ZBLOCK_LU_EFFICIENCY
+    elif method == "getrf":
+        flops = getrf_flops(n) + getrs_flops(n, b)
+        eff = GETRF_EFFICIENCY
+    else:
+        raise ValueError(f"unknown method {method!r}")
+    spec = solver_kernel_spec(f"tau_{method}", flops, n, efficiency=eff)
+    return time_kernel(spec, device).total_time
+
+
+def run_summit(cfg: LsmsConfig = LsmsConfig()) -> float:
+    """Summit production path: CUDA kernels + cuBLAS zblock_lu."""
+    t_assembly = time_kernel(
+        assembly_kernel(cfg, index_math_optimized=True), V100
+    ).total_time
+    return t_assembly + solve_time(V100, cfg, method="zblock_lu")
+
+
+def run_frontier(cfg: LsmsConfig = LsmsConfig(), *,
+                 index_math_optimized: bool = True) -> float:
+    """Frontier path: optimized HIP assembly + rocSOLVER LU."""
+    t_assembly = time_kernel(
+        assembly_kernel(cfg, index_math_optimized=index_math_optimized), MI250X
+    ).total_time
+    return t_assembly + solve_time(MI250X, cfg, method="getrf")
+
+
+def speedup(cfg: LsmsConfig = LsmsConfig()) -> float:
+    """The Table 2 number: per-GPU FePt performance, Frontier/Summit."""
+    return run_summit(cfg) / run_frontier(cfg)
+
+
+def solver_choice_gain_on_frontier(cfg: LsmsConfig = LsmsConfig()) -> float:
+    """§3.2 ablation: direct LU vs. block inversion on MI250X."""
+    blocked = solve_time(MI250X, cfg, method="zblock_lu")
+    direct = solve_time(MI250X, cfg, method="getrf")
+    return blocked / direct
+
+
+def index_math_fix_gain(cfg: LsmsConfig = LsmsConfig()) -> float:
+    """§3.2 ablation: the assembly-kernel rearrangement on MI250X."""
+    before = run_frontier(cfg, index_math_optimized=False)
+    after = run_frontier(cfg, index_math_optimized=True)
+    return before / after

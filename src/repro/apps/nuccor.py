@@ -1,0 +1,73 @@
+"""NuCCOR (§3.7): per-GPU coupled-cluster contraction throughput.
+
+The NuCCOR port is architectural (plugins + hipify + rocBLAS adapters);
+its 6.1× per-GPU gain is the device ratio of its dominant workload —
+channel-blocked FP64 tensor contractions executed as library GEMMs — with
+the same library efficiency on both sides (the abstraction layer calls
+vendor BLAS either way).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cc.plugins import CublasPlugin, PluginFactory, RocblasPlugin
+from repro.gpu.perfmodel import time_kernel
+from repro.hardware.gpu import MI250X, V100, GPUSpec
+from repro.linalg.blas import gemm_kernel_spec
+
+
+@dataclass(frozen=True)
+class NuccorConfig:
+    """Representative contraction block sizes for a medium-mass nucleus."""
+
+    block_dim: int = 1536  # typical pphh channel block edge
+    contractions_per_iteration: int = 48
+    library_efficiency: float = 0.82
+
+
+def contraction_time(device: GPUSpec, cfg: NuccorConfig) -> float:
+    """One CC-iteration's worth of channel GEMMs on *device*."""
+    spec = gemm_kernel_spec(
+        cfg.block_dim, cfg.block_dim, cfg.block_dim,
+        efficiency=cfg.library_efficiency,
+        use_matrix_engine=False,  # FP64 GEMM sustains the vector rate
+    )
+    return cfg.contractions_per_iteration * time_kernel(spec, device).total_time
+
+
+def run_summit(cfg: NuccorConfig = NuccorConfig()) -> float:
+    """Per-GPU iteration time through the cublas plugin path."""
+    return contraction_time(V100, cfg)
+
+
+def run_frontier(cfg: NuccorConfig = NuccorConfig()) -> float:
+    """Per-GPU iteration time through the rocblas adapter (§3.7)."""
+    return contraction_time(MI250X, cfg)
+
+
+def speedup(cfg: NuccorConfig = NuccorConfig()) -> float:
+    """Table 2: 6.1x per-GPU."""
+    return run_summit(cfg) / run_frontier(cfg)
+
+
+def plugin_port_demo(n: int = 128) -> dict[str, float]:
+    """The §3.7 porting story in miniature: the same domain call runs on
+    every registered backend, numerically identical, only the simulated
+    device differs.  Returns each plugin's elapsed device seconds."""
+    import numpy as np
+
+    factory = PluginFactory()
+    rng = np.random.default_rng(0)
+    a, b = rng.normal(size=(n, n)), rng.normal(size=(n, n))
+    out: dict[str, float] = {}
+    reference = None
+    for name in factory.available:
+        plugin = factory.create(name)
+        result = plugin.gemm(a, b)
+        if reference is None:
+            reference = result
+        else:
+            np.testing.assert_allclose(result, reference)
+        out[name] = plugin.elapsed
+    return out

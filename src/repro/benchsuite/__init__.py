@@ -1,0 +1,17 @@
+"""SHOC-like benchmark suite for the Figure 1 HIP-vs-CUDA evaluation."""
+
+from repro.benchsuite.shoc import (
+    SHOC_SUITE,
+    ShocBenchmark,
+    ShocResult,
+    run_benchmark_cuda,
+    run_benchmark_hip,
+)
+
+__all__ = [
+    "SHOC_SUITE",
+    "ShocBenchmark",
+    "ShocResult",
+    "run_benchmark_cuda",
+    "run_benchmark_hip",
+]

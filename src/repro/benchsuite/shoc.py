@@ -1,0 +1,184 @@
+"""The SHOC-like benchmark suite used for the Figure 1 evaluation (§2.1).
+
+Thirteen benchmark programs covering the SHOC level-0/level-1 categories:
+bus speed, peak FLOPS, device memory, FFT, GEMM, MD, reduction, scan,
+sort, SpMV, stencil, triad, and S3D (chemistry).  Each benchmark is
+*CUDA source text*: a small Python program written against the
+:class:`~repro.progmodel.cuda.CudaRuntime` API spelling.  The Figure 1
+workflow runs each program natively on CUDA, then pushes the source
+through :func:`~repro.progmodel.hipify.hipify` and runs the translated
+text on the HIP runtime — the same translate-build-compare loop OLCF ran
+on Summit.
+
+Each program reports two timings, with and without host-device transfer,
+matching the two Figure 1 series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.gpu import GPUSpec, V100
+from repro.progmodel.cuda import CudaRuntime
+from repro.progmodel.hip import HipRuntime
+from repro.progmodel.hipify import hipify_strict
+
+#: Template for one SHOC program.  The body uses only CUDA spellings so
+#: hipify can translate it mechanically.  Each program defines `bytes_io`
+#: (transfers) and launches kernels built from the parameters below.
+_PROGRAM_TEMPLATE = '''
+def run(rt, make_kernel):
+    """SHOC {name}: {description}"""
+    h_in = rt.cudaMalloc({bytes_in})
+    h_out = rt.cudaMalloc({bytes_out})
+    start = rt.cudaEventCreate()
+    stop = rt.cudaEventCreate()
+
+    rt.cudaEventRecord(start)
+    rt.cudaMemcpyHostToDevice(h_in)
+    k_start = rt.cudaEventCreate()
+    rt.cudaEventRecord(k_start)
+    for _ in range({launches}):
+        rt.cudaLaunchKernel(make_kernel())
+    rt.cudaDeviceSynchronize()
+    k_stop = rt.cudaEventCreate()
+    rt.cudaEventRecord(k_stop)
+    rt.cudaMemcpyDeviceToHost(h_out)
+    rt.cudaEventRecord(stop)
+    rt.cudaEventSynchronize(stop)
+
+    total_ms = rt.cudaEventElapsedTime(start, stop)
+    kernel_ms = rt.cudaEventElapsedTime(k_start, k_stop)
+    rt.cudaFree(h_in)
+    rt.cudaFree(h_out)
+    return total_ms, kernel_ms
+'''
+
+
+@dataclass(frozen=True)
+class ShocBenchmark:
+    """One SHOC program: its CUDA source plus kernel resource parameters."""
+
+    name: str
+    description: str
+    flops: float
+    bytes_read: float
+    bytes_written: float
+    bytes_in: int
+    bytes_out: int
+    launches: int = 1
+    registers: int = 48
+    fp32: bool = False
+
+    @property
+    def cuda_source(self) -> str:
+        return _PROGRAM_TEMPLATE.format(
+            name=self.name,
+            description=self.description,
+            bytes_in=self.bytes_in,
+            bytes_out=self.bytes_out,
+            launches=self.launches,
+        )
+
+    def make_kernel(self):
+        from repro.gpu.kernel import KernelSpec
+        from repro.hardware.gpu import Precision
+
+        return KernelSpec(
+            name=self.name,
+            flops=self.flops,
+            bytes_read=self.bytes_read,
+            bytes_written=self.bytes_written,
+            threads=max(int(self.bytes_read / 8), 64),
+            precision=Precision.FP32 if self.fp32 else Precision.FP64,
+            registers_per_thread=self.registers,
+            workgroup_size=256,
+        )
+
+
+_MB = 1 << 20
+_PROBLEM = 64 * _MB  # SHOC default problem class scale
+
+SHOC_SUITE: tuple[ShocBenchmark, ...] = (
+    ShocBenchmark("BusSpeedDownload", "host-to-device bandwidth",
+                  flops=0.0, bytes_read=8 * _MB, bytes_written=0.0,
+                  bytes_in=256 * _MB, bytes_out=8),
+    ShocBenchmark("BusSpeedReadback", "device-to-host bandwidth",
+                  flops=0.0, bytes_read=8 * _MB, bytes_written=0.0,
+                  bytes_in=8, bytes_out=256 * _MB),
+    ShocBenchmark("MaxFlops", "peak single-precision arithmetic",
+                  flops=4e11, bytes_read=1 * _MB, bytes_written=1 * _MB,
+                  bytes_in=4 * _MB, bytes_out=4 * _MB, fp32=True, registers=64),
+    ShocBenchmark("DeviceMemory", "streaming device-memory bandwidth",
+                  flops=1e7, bytes_read=2 * _PROBLEM, bytes_written=_PROBLEM,
+                  bytes_in=16 * _MB, bytes_out=16 * _MB),
+    ShocBenchmark("FFT", "batched 1-D FFTs",
+                  flops=5 * 512 * 9 * 65536, bytes_read=4 * _PROBLEM,
+                  bytes_written=4 * _PROBLEM, bytes_in=_PROBLEM, bytes_out=_PROBLEM,
+                  launches=3, registers=64),
+    ShocBenchmark("GEMM", "dense matrix multiply",
+                  flops=2 * 2048.0**3, bytes_read=3 * 2048 * 2048 * 8.0,
+                  bytes_written=2048 * 2048 * 8.0,
+                  bytes_in=2 * 32 * _MB, bytes_out=32 * _MB, registers=128),
+    ShocBenchmark("MD", "Lennard-Jones force kernel",
+                  flops=8e9, bytes_read=_PROBLEM, bytes_written=_PROBLEM // 4,
+                  bytes_in=24 * _MB, bytes_out=24 * _MB, registers=96),
+    ShocBenchmark("Reduction", "sum reduction",
+                  flops=8e6, bytes_read=_PROBLEM, bytes_written=1024.0,
+                  bytes_in=64 * _MB, bytes_out=8, launches=2),
+    ShocBenchmark("Scan", "parallel prefix sum",
+                  flops=2e7, bytes_read=2 * _PROBLEM, bytes_written=_PROBLEM,
+                  bytes_in=64 * _MB, bytes_out=64 * _MB, launches=3),
+    ShocBenchmark("Sort", "radix sort",
+                  flops=4e7, bytes_read=4 * _PROBLEM, bytes_written=4 * _PROBLEM,
+                  bytes_in=32 * _MB, bytes_out=32 * _MB, launches=8),
+    ShocBenchmark("Spmv", "sparse matrix-vector multiply",
+                  flops=2e8, bytes_read=12 * 8 * 1 << 20,
+                  bytes_written=8 << 20, bytes_in=96 * _MB, bytes_out=8 * _MB),
+    ShocBenchmark("Stencil2D", "9-point 2-D stencil",
+                  flops=9 * 4096.0**2 * 2, bytes_read=4096.0**2 * 8 * 2,
+                  bytes_written=4096.0**2 * 8,
+                  bytes_in=128 * _MB, bytes_out=128 * _MB, launches=4),
+    ShocBenchmark("S3D", "chemical rates kernel (S3D)",
+                  flops=6e10, bytes_read=_PROBLEM // 2, bytes_written=_PROBLEM // 2,
+                  bytes_in=16 * _MB, bytes_out=16 * _MB, registers=180),
+)
+
+
+@dataclass(frozen=True)
+class ShocResult:
+    """Timings of one benchmark on one runtime."""
+
+    name: str
+    backend: str
+    total_ms: float
+    kernel_ms: float
+
+    @property
+    def transfer_ms(self) -> float:
+        return self.total_ms - self.kernel_ms
+
+
+def run_benchmark_cuda(bench: ShocBenchmark, *, device: GPUSpec = V100) -> ShocResult:
+    """Compile and run the CUDA source on the native CUDA runtime."""
+    namespace: dict = {}
+    exec(compile(bench.cuda_source, f"<shoc:{bench.name}>", "exec"), namespace)
+    rt = CudaRuntime(device)
+    total_ms, kernel_ms = namespace["run"](rt, bench.make_kernel)
+    return ShocResult(name=bench.name, backend="cuda", total_ms=total_ms,
+                      kernel_ms=kernel_ms)
+
+
+def run_benchmark_hip(bench: ShocBenchmark, *, device: GPUSpec = V100) -> ShocResult:
+    """hipify the CUDA source, then run it on the HIP runtime.
+
+    On an NVIDIA device this exercises exactly the Figure 1 pipeline:
+    translated source, HIP shim over the same engine.
+    """
+    hip_source = hipify_strict(bench.cuda_source)
+    namespace: dict = {}
+    exec(compile(hip_source, f"<shoc-hip:{bench.name}>", "exec"), namespace)
+    rt = HipRuntime(device)
+    total_ms, kernel_ms = namespace["run"](rt, bench.make_kernel)
+    return ShocResult(name=bench.name, backend="hip", total_ms=total_ms,
+                      kernel_ms=kernel_ms)

@@ -1,0 +1,24 @@
+"""NuCCOR substrate: block tensors, pairing Hamiltonian, plugin architecture."""
+
+from repro.cc.pairing import PairingModel, power_iteration_ground_state
+from repro.cc.plugins import (
+    ComputePlugin,
+    CublasPlugin,
+    HostPlugin,
+    PluginFactory,
+    RocblasPlugin,
+)
+from repro.cc.tensor import BlockMatrix, ChannelBasis, random_channel_basis
+
+__all__ = [
+    "BlockMatrix",
+    "ChannelBasis",
+    "ComputePlugin",
+    "CublasPlugin",
+    "HostPlugin",
+    "PairingModel",
+    "PluginFactory",
+    "RocblasPlugin",
+    "power_iteration_ground_state",
+    "random_channel_basis",
+]

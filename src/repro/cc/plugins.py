@@ -1,0 +1,145 @@
+"""NuCCOR's plugin/factory hardware-abstraction architecture (§3.7).
+
+"Portability is always handled first by abstraction ... adding a new
+hardware architecture or support for a new library is just a matter of
+creating the appropriate plugin and adding it to the appropriate factory
+classes.  This way CUDA Fortran, hipfort, OpenMP, or any other tool
+becomes an optional dependency for experimentation instead of a
+requirement."
+
+The domain code below (``matvec``, ``gemm``) is written against the
+:class:`ComputePlugin` interface only.  Three plugins ship: a host
+reference, a cuBLAS-adapter (CUDA runtime), and a rocBLAS-adapter (HIP
+runtime) — the last being "the necessary adapters to libraries like
+rocBLAS" the team created for Frontier.  All produce identical numbers;
+only the priced device differs.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.gpu import MI250X_GCD, V100, GPUSpec
+from repro.linalg.blas import gemm_kernel_spec
+from repro.progmodel.cuda import CudaRuntime
+from repro.progmodel.hip import HipRuntime
+
+
+class ComputePlugin(ABC):
+    """The abstract interface all NuCCOR backends implement."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def gemm(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Matrix multiply."""
+
+    @abstractmethod
+    def matvec(self, a: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Matrix-vector product."""
+
+    @property
+    @abstractmethod
+    def elapsed(self) -> float:
+        """Simulated device seconds consumed so far."""
+
+
+class HostPlugin(ComputePlugin):
+    """The minimal gfortran-compatible build: plain host execution."""
+
+    name = "host"
+
+    def __init__(self) -> None:
+        self._elapsed = 0.0
+
+    def gemm(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return a @ b
+
+    def matvec(self, a: np.ndarray, v: np.ndarray) -> np.ndarray:
+        return a @ v
+
+    @property
+    def elapsed(self) -> float:
+        return self._elapsed
+
+
+class _GpuLibraryPlugin(ComputePlugin):
+    """Shared adapter logic for the vendor-BLAS plugins."""
+
+    def __init__(self, runtime, launch) -> None:
+        self._runtime = runtime
+        self._launch = launch
+
+    def _charge(self, m: int, n: int, k: int) -> None:
+        self._launch(gemm_kernel_spec(m, n, k, efficiency=0.8))
+
+    def gemm(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        m, k = a.shape
+        n = b.shape[1] if b.ndim > 1 else 1
+        self._charge(m, n, k)
+        return a @ b
+
+    def matvec(self, a: np.ndarray, v: np.ndarray) -> np.ndarray:
+        self._charge(a.shape[0], 1, a.shape[1])
+        return a @ v
+
+    @property
+    def elapsed(self) -> float:
+        self._runtime.device_synchronize()
+        return self._runtime.elapsed
+
+
+class CublasPlugin(_GpuLibraryPlugin):
+    """CUDA-era backend (Summit)."""
+
+    name = "cublas"
+
+    def __init__(self, spec: GPUSpec = V100) -> None:
+        rt = CudaRuntime(spec)
+        super().__init__(rt, lambda k: rt.cudaLaunchKernel(k))
+
+
+class RocblasPlugin(_GpuLibraryPlugin):
+    """The Frontier adapter created during the CAAR port."""
+
+    name = "rocblas"
+
+    def __init__(self, spec: GPUSpec = MI250X_GCD) -> None:
+        rt = HipRuntime(spec)
+        super().__init__(rt, lambda k: rt.hipLaunchKernel(k))
+
+
+@dataclass
+class PluginFactory:
+    """The factory class domain code asks for a backend by name."""
+
+    _registry: dict[str, type[ComputePlugin]] | None = None
+
+    def __post_init__(self) -> None:
+        if self._registry is None:
+            self._registry = {}
+        for cls in (HostPlugin, CublasPlugin, RocblasPlugin):
+            self._registry.setdefault(cls.name, cls)
+
+    def register(self, name: str, cls: type[ComputePlugin]) -> None:
+        """Adding a new architecture = registering one plugin."""
+        if not issubclass(cls, ComputePlugin):
+            raise TypeError(f"{cls} does not implement ComputePlugin")
+        assert self._registry is not None
+        self._registry[name] = cls
+
+    def create(self, name: str, **kwargs) -> ComputePlugin:
+        assert self._registry is not None
+        if name not in self._registry:
+            raise KeyError(
+                f"no plugin {name!r}; available: {sorted(self._registry)}"
+            )
+        return self._registry[name](**kwargs)
+
+    @property
+    def available(self) -> list[str]:
+        assert self._registry is not None
+        return sorted(self._registry)

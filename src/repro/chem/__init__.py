@@ -1,0 +1,74 @@
+"""Chemistry substrates: RI-MP2 + fragmentation (GAMESS), mechanisms +
+codegen + kinetics (PelePhysics)."""
+
+from repro.chem.codegen import (
+    GeneratedKernel,
+    compile_rates,
+    estimate_registers,
+    generate_rates_source,
+    generated_lines_for_jacobian,
+)
+from repro.chem.fragments import (
+    Fragment,
+    MbeResult,
+    distribute_fragments,
+    fragment_scaling_efficiency,
+    mbe_energy,
+    pairwise_energy,
+    supersystem_energy,
+    water_cluster,
+)
+from repro.chem.kinetics import (
+    analytic_jacobian,
+    chemistry_rhs,
+    jacobian_flop_count,
+    numerical_jacobian,
+    production_rates,
+    rates_flop_count,
+)
+from repro.chem.mechanism import (
+    Mechanism,
+    Reaction,
+    drm19_like_mechanism,
+    h2_o2_mechanism,
+)
+from repro.chem.rimp2 import (
+    FragmentOrbitals,
+    make_fragment,
+    rimp2_energy,
+    rimp2_energy_reference,
+    rimp2_flops,
+    rimp2_kernel_spec,
+)
+
+__all__ = [
+    "Fragment",
+    "FragmentOrbitals",
+    "GeneratedKernel",
+    "MbeResult",
+    "Mechanism",
+    "Reaction",
+    "analytic_jacobian",
+    "chemistry_rhs",
+    "compile_rates",
+    "distribute_fragments",
+    "drm19_like_mechanism",
+    "estimate_registers",
+    "fragment_scaling_efficiency",
+    "generate_rates_source",
+    "generated_lines_for_jacobian",
+    "h2_o2_mechanism",
+    "jacobian_flop_count",
+    "make_fragment",
+    "mbe_energy",
+    "numerical_jacobian",
+    "pairwise_energy",
+    "production_rates",
+    "rates_flop_count",
+    "rimp2_energy",
+    "rimp2_energy_reference",
+    "rimp2_flops",
+    "rimp2_kernel_spec",
+    "supersystem_energy",
+    "water_cluster",
+]

@@ -1,0 +1,121 @@
+"""PelePhysics-style code generation for thermo-chemistry routines (§3.8).
+
+"Both applications share a library called PelePhysics which contains a
+code generator to emit code for thermo-chemistry routines ... the unrolled
+chemistry computation routines can contain upwards of 200k lines of code
+in a single file, with a single GPU kernel (such as the calculation of a
+chemical Jacobian) spanning 140k lines".
+
+:func:`generate_rates_source` emits a fully unrolled Python function for a
+mechanism's production rates (every reaction's Arrhenius expression and
+stoichiometric update written out literally, no loops); the generated code
+is ``exec``-compiled and must match the interpreted evaluator bit-for-bit.
+Generated line counts grow linearly with mechanism size, reproducing the
+kernel-size pathology the paper describes.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.chem.mechanism import R_UNIV, Mechanism
+
+
+@dataclass(frozen=True)
+class GeneratedKernel:
+    """A compiled generated routine plus its source metrics."""
+
+    source: str
+    fn: Callable
+    n_lines: int
+    estimated_registers: int
+
+
+def _emit_rate(buf: io.StringIO, tag: str, A: float, b: float, Ea: float) -> None:
+    buf.write(f"    k{tag} = {A!r} * T**{b!r} * exp({-Ea!r} / ({R_UNIV!r} * T))\n")
+
+
+def generate_rates_source(mech: Mechanism, *, fn_name: str = "wdot_generated") -> str:
+    """Emit unrolled Python source computing ω̇ for *mech*."""
+    buf = io.StringIO()
+    buf.write(f"def {fn_name}(T, C, out):\n")
+    buf.write('    """Generated production rates — do not edit."""\n')
+    buf.write("    from math import exp\n")
+    for i in range(mech.n_species):
+        buf.write(f"    out[{i}] = 0.0\n")
+    for r, rx in enumerate(mech.reactions):
+        buf.write(f"    # reaction {r}\n")
+        _emit_rate(buf, f"f{r}", rx.A, rx.b, rx.Ea)
+        terms = " * ".join(
+            f"C[{s}]" if nu == 1 else f"C[{s}]**{nu}" for s, nu in rx.reactants.items()
+        )
+        buf.write(f"    qf{r} = kf{r} * {terms}\n")
+        if rx.reverse_A:
+            _emit_rate(buf, f"r{r}", rx.reverse_A, rx.reverse_b, rx.reverse_Ea)
+            terms_r = " * ".join(
+                f"C[{s}]" if nu == 1 else f"C[{s}]**{nu}" for s, nu in rx.products.items()
+            )
+            buf.write(f"    qr{r} = kr{r} * {terms_r}\n")
+            buf.write(f"    q{r} = qf{r} - qr{r}\n")
+        else:
+            buf.write(f"    q{r} = qf{r}\n")
+        for s, nu in rx.reactants.items():
+            buf.write(f"    out[{s}] -= {float(nu)!r} * q{r}\n")
+        for s, nu in rx.products.items():
+            buf.write(f"    out[{s}] += {float(nu)!r} * q{r}\n")
+    buf.write("    return out\n")
+    return buf.getvalue()
+
+
+def compile_rates(mech: Mechanism) -> GeneratedKernel:
+    """Generate, compile and wrap the unrolled rates routine."""
+    src = generate_rates_source(mech)
+    namespace: dict = {}
+    exec(compile(src, f"<generated:{mech.name}>", "exec"), namespace)
+    raw = namespace["wdot_generated"]
+
+    def fn(T: float, conc: np.ndarray) -> np.ndarray:
+        out = np.zeros(mech.n_species)
+        raw(T, conc, out)
+        return out
+
+    n_lines = src.count("\n")
+    return GeneratedKernel(
+        source=src,
+        fn=fn,
+        n_lines=n_lines,
+        estimated_registers=estimate_registers(mech),
+    )
+
+
+def estimate_registers(mech: Mechanism) -> int:
+    """Register-pressure estimate of the unrolled kernel.
+
+    Every reaction keeps its rate constant and net rate live; an unrolled
+    kernel holds the species accumulator array in registers too.  This is
+    the mechanism behind the paper's "large kernels ... use upwards of 18k
+    registers" observation — the estimate reproduces that scale for
+    detailed mechanisms.
+    """
+    live_per_reaction = 3  # kf, kr, q
+    return 16 + mech.n_species + live_per_reaction * mech.n_reactions
+
+
+def generated_lines_for_jacobian(mech: Mechanism) -> int:
+    """Line count of the (hypothetically emitted) unrolled Jacobian.
+
+    Each reaction contributes a derivative block per participating
+    species pair; this reproduces the 84-reaction drm19 → O(10⁴) lines and
+    detailed-mechanism → O(10⁵) lines scaling the paper reports.
+    """
+    lines = 10 + mech.n_species  # prologue + zeroing... per *row* actually
+    for rx in mech.reactions:
+        participants = len(rx.reactants) + len(rx.products)
+        directions = 2 if rx.reverse_A else 1
+        # one derivative expression + scatter updates per (direction, var)
+        lines += directions * participants * (2 + participants)
+    return lines

@@ -1,0 +1,148 @@
+"""Fragmentation methods: the many-body expansion GAMESS scaled to 2k nodes.
+
+FMO/EFMO/MBE (§3.1) all share the structure exploited for exascale: total
+energy as a truncated many-body expansion over fragments,
+
+    E ≈ Σᵢ Eᵢ + Σ_{i<j} (Eᵢⱼ − Eᵢ − Eⱼ) [+ 3-body ...]
+
+where every fragment (and fragment-pair) energy is an *independent*
+calculation — hence near-ideal linear scaling.  We implement the MBE over
+a pluggable fragment-energy functional.  With an additive pairwise
+potential the 2-body MBE is exact, which is the correctness anchor; with a
+distance cutoff it becomes the linear-scaling approximation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+EnergyFn = Callable[[np.ndarray], float]
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """One fragment: its atom coordinates (n_atoms, 3)."""
+
+    atoms: np.ndarray
+
+    @property
+    def natoms(self) -> int:
+        return len(self.atoms)
+
+    @property
+    def centroid(self) -> np.ndarray:
+        return self.atoms.mean(axis=0)
+
+
+def water_cluster(n_molecules: int, *, spacing: float = 3.0, seed: int = 0) -> list[Fragment]:
+    """A cluster of 3-atom water-like fragments on a jittered lattice.
+
+    The paper's Frontier demonstration used 935 water molecules with the
+    Many Body Expansion Fragmentation method; this builds the same shape
+    of problem at arbitrary size.
+    """
+    if n_molecules < 1:
+        raise ValueError("need at least one molecule")
+    rng = np.random.default_rng(seed)
+    side = int(np.ceil(n_molecules ** (1 / 3)))
+    frags = []
+    count = 0
+    for i in range(side):
+        for j in range(side):
+            for k in range(side):
+                if count >= n_molecules:
+                    break
+                center = np.array([i, j, k]) * spacing + rng.normal(scale=0.2, size=3)
+                # O at centre, two H at fixed offsets
+                atoms = np.stack([
+                    center,
+                    center + np.array([0.76, 0.59, 0.0]),
+                    center + np.array([-0.76, 0.59, 0.0]),
+                ])
+                frags.append(Fragment(atoms=atoms))
+                count += 1
+    return frags
+
+
+def pairwise_energy(atoms: np.ndarray, *, scale: float = 1.0) -> float:
+    """A smooth additive pair potential used as the model 'ab initio' energy.
+
+    Strictly pairwise-additive, so the untruncated 2-body MBE must
+    reproduce the supersystem energy exactly — the property the
+    correctness tests pin down.
+    """
+    if len(atoms) < 2:
+        return 0.0
+    d = atoms[:, None, :] - atoms[None, :, :]
+    r2 = np.sum(d * d, axis=-1)
+    iu = np.triu_indices(len(atoms), k=1)
+    r2 = r2[iu]
+    return float(scale * np.sum(np.exp(-0.3 * r2) - 0.05 / (1.0 + r2)))
+
+
+@dataclass
+class MbeResult:
+    energy: float
+    monomer_energies: list[float]
+    pair_corrections: dict[tuple[int, int], float]
+    pairs_computed: int
+    pairs_skipped: int
+
+    @property
+    def n_independent_tasks(self) -> int:
+        """Independently schedulable calculations (the scaling resource)."""
+        return len(self.monomer_energies) + self.pairs_computed
+
+
+def mbe_energy(fragments: Sequence[Fragment], energy_fn: EnergyFn = pairwise_energy,
+               *, cutoff: float | None = None) -> MbeResult:
+    """Two-body many-body expansion with an optional pair-distance cutoff."""
+    mono = [energy_fn(f.atoms) for f in fragments]
+    pair_corr: dict[tuple[int, int], float] = {}
+    skipped = 0
+    for i in range(len(fragments)):
+        for j in range(i + 1, len(fragments)):
+            if cutoff is not None:
+                dist = float(np.linalg.norm(fragments[i].centroid - fragments[j].centroid))
+                if dist > cutoff:
+                    skipped += 1
+                    continue
+            dimer = np.concatenate([fragments[i].atoms, fragments[j].atoms])
+            pair_corr[(i, j)] = energy_fn(dimer) - mono[i] - mono[j]
+    return MbeResult(
+        energy=float(sum(mono) + sum(pair_corr.values())),
+        monomer_energies=mono,
+        pair_corrections=pair_corr,
+        pairs_computed=len(pair_corr),
+        pairs_skipped=skipped,
+    )
+
+
+def supersystem_energy(fragments: Sequence[Fragment],
+                       energy_fn: EnergyFn = pairwise_energy) -> float:
+    """Direct energy of the whole system (the expensive reference)."""
+    return energy_fn(np.concatenate([f.atoms for f in fragments]))
+
+
+def distribute_fragments(n_tasks: int, nranks: int) -> list[list[int]]:
+    """Static round-robin task distribution (GDDI-style group scheduling)."""
+    if nranks < 1:
+        raise ValueError("nranks must be positive")
+    buckets: list[list[int]] = [[] for _ in range(nranks)]
+    for t in range(n_tasks):
+        buckets[t % nranks].append(t)
+    return buckets
+
+
+def fragment_scaling_efficiency(n_tasks: int, nranks: int,
+                                task_time: float = 1.0) -> float:
+    """Parallel efficiency of independent equal-cost tasks on nranks."""
+    if n_tasks < 1:
+        return 1.0
+    per_rank = -(-n_tasks // nranks)  # ceil
+    ideal = n_tasks * task_time / nranks
+    actual = per_rank * task_time
+    return ideal / actual

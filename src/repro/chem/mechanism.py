@@ -1,0 +1,139 @@
+"""Chemical mechanisms: species, Arrhenius reactions, and built-in examples.
+
+The PelePhysics layer (§3.8): a mechanism definition from which production
+rates, Jacobians, and *generated source code* are produced.  Rates use
+mass-action kinetics with modified-Arrhenius coefficients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+R_UNIV = 8.314462618  # J / (mol K)
+
+
+@dataclass(frozen=True)
+class Reaction:
+    """An (optionally reversible) mass-action reaction.
+
+    ``reactants``/``products`` map species index → stoichiometric
+    coefficient.  Rate constant k = A · T^b · exp(−Ea / (R T)); the
+    reverse rate, when enabled, uses an explicit reverse Arrhenius fit
+    (the common PelePhysics representation for generated code).
+    """
+
+    reactants: dict[int, int]
+    products: dict[int, int]
+    A: float
+    b: float = 0.0
+    Ea: float = 0.0
+    reverse_A: float = 0.0
+    reverse_b: float = 0.0
+    reverse_Ea: float = 0.0
+
+    def rate_constant(self, T: float) -> float:
+        return self.A * T**self.b * np.exp(-self.Ea / (R_UNIV * T))
+
+    def reverse_rate_constant(self, T: float) -> float:
+        if self.reverse_A == 0.0:
+            return 0.0
+        return self.reverse_A * T**self.reverse_b * np.exp(
+            -self.reverse_Ea / (R_UNIV * T)
+        )
+
+
+@dataclass(frozen=True)
+class Mechanism:
+    """A named mechanism: species list + reactions."""
+
+    name: str
+    species: tuple[str, ...]
+    reactions: tuple[Reaction, ...]
+
+    @property
+    def n_species(self) -> int:
+        return len(self.species)
+
+    @property
+    def n_reactions(self) -> int:
+        return len(self.reactions)
+
+    def __post_init__(self) -> None:
+        for rx in self.reactions:
+            for idx in list(rx.reactants) + list(rx.products):
+                if not 0 <= idx < len(self.species):
+                    raise ValueError(f"reaction references unknown species {idx}")
+
+    def conserved_atoms(self) -> np.ndarray:
+        """Net stoichiometric change per reaction (must net to zero mass
+        under the species' implicit unit masses for the toy mechanisms)."""
+        out = np.zeros((self.n_reactions, self.n_species))
+        for r, rx in enumerate(self.reactions):
+            for s, nu in rx.reactants.items():
+                out[r, s] -= nu
+            for s, nu in rx.products.items():
+                out[r, s] += nu
+        return out
+
+
+def h2_o2_mechanism() -> Mechanism:
+    """A compact H2-O2 skeletal mechanism (6 species, 6 reversible steps).
+
+    Coefficients are representative, chosen for a well-posed stiff system
+    rather than quantitative flame speeds.
+    """
+    H2, O2, H2O, H, O, OH = range(6)
+    rx = (
+        Reaction({H2: 1}, {H: 2}, A=2.2e9, b=0.0, Ea=3.0e5,
+                 reverse_A=1.0e6, reverse_b=0.0, reverse_Ea=0.0),
+        Reaction({O2: 1}, {O: 2}, A=1.0e9, b=0.0, Ea=4.0e5,
+                 reverse_A=1.0e6, reverse_b=0.0, reverse_Ea=0.0),
+        Reaction({H: 1, O2: 1}, {OH: 1, O: 1}, A=3.5e6, b=-0.4, Ea=6.0e4,
+                 reverse_A=3.5e3, reverse_b=0.0, reverse_Ea=2.0e4),
+        Reaction({O: 1, H2: 1}, {OH: 1, H: 1}, A=5.0e4, b=1.0, Ea=2.6e4,
+                 reverse_A=1.7e3, reverse_b=1.0, reverse_Ea=1.5e4),
+        Reaction({OH: 1, H2: 1}, {H2O: 1, H: 1}, A=2.0e5, b=1.0, Ea=1.4e4,
+                 reverse_A=4.0e2, reverse_b=1.0, reverse_Ea=7.5e4),
+        Reaction({OH: 2}, {H2O: 1, O: 1}, A=3.0e4, b=1.0, Ea=0.0,
+                 reverse_A=7.5e2, reverse_b=1.0, reverse_Ea=6.0e4),
+    )
+    return Mechanism(
+        name="h2o2-skeletal",
+        species=("H2", "O2", "H2O", "H", "O", "OH"),
+        reactions=rx,
+    )
+
+
+def drm19_like_mechanism(*, seed: int = 7) -> Mechanism:
+    """A 21-species, 84-reaction synthetic mechanism with drm19's shape.
+
+    PeleC's standard workload is the DRM-19 reduced methane mechanism
+    (21 species, 84 reactions); we generate a random sparse mechanism of
+    identical dimensions so the generated-code-size and Jacobian-cost
+    experiments exercise the real scale.
+    """
+    rng = np.random.default_rng(seed)
+    n_sp, n_rx = 21, 84
+    species = tuple(f"S{i}" for i in range(n_sp))
+    reactions = []
+    for _ in range(n_rx):
+        nr = int(rng.integers(1, 3))
+        reacts = {int(i): 1 for i in rng.choice(n_sp, size=nr, replace=False)}
+        nprod = int(rng.integers(1, 3))
+        prods = {int(i): 1 for i in rng.choice(n_sp, size=nprod, replace=False)}
+        if set(reacts) == set(prods):
+            prods = {(max(prods) + 1) % n_sp: 1}
+        reactions.append(
+            Reaction(
+                reacts, prods,
+                A=float(10 ** rng.uniform(3, 9)),
+                b=float(rng.uniform(-1, 2.5)),
+                Ea=float(rng.uniform(0, 3e5)),
+                reverse_A=float(10 ** rng.uniform(2, 6)),
+                reverse_b=float(rng.uniform(-1, 2)),
+                reverse_Ea=float(rng.uniform(0, 2e5)),
+            )
+        )
+    return Mechanism(name="drm19-like", species=species, reactions=tuple(reactions))

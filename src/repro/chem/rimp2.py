@@ -1,0 +1,114 @@
+"""RI-MP2 correlation energy via density-fitted tensor contractions (§3.1).
+
+The GAMESS/LibCChem-EXESS fragment kernel: with fitted three-index
+integrals B[P, i, a] (auxiliary index P, occupied i, virtual a), the MP2
+pair energies need the four-index block
+
+    (ia|jb) = Σ_P B[P, i, a] · B[P, j, b]
+
+formed per (i, j) pair as a GEMM — this is the contraction GAMESS drove to
+"nearly peak device performance" on MI250X.  We implement it for real
+(verified against an einsum reference) over synthetic-but-well-formed B
+tensors and orbital energies, plus the kernel descriptor used by the
+performance model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpu.kernel import KernelSpec
+from repro.hardware.gpu import Precision
+from repro.linalg.blas import gemm_kernel_spec
+
+
+@dataclass(frozen=True)
+class FragmentOrbitals:
+    """Synthetic post-SCF data of one fragment."""
+
+    b_tensor: np.ndarray  # (naux, nocc, nvirt)
+    e_occ: np.ndarray  # (nocc,), negative
+    e_virt: np.ndarray  # (nvirt,), positive
+
+    @property
+    def nocc(self) -> int:
+        return self.b_tensor.shape[1]
+
+    @property
+    def nvirt(self) -> int:
+        return self.b_tensor.shape[2]
+
+    @property
+    def naux(self) -> int:
+        return self.b_tensor.shape[0]
+
+
+def make_fragment(nocc: int, nvirt: int, naux: int, *, seed: int = 0) -> FragmentOrbitals:
+    """Generate a well-conditioned synthetic fragment.
+
+    Orbital energies have a proper HOMO-LUMO gap so MP2 denominators never
+    vanish; B decays with the auxiliary index like real fitted integrals.
+    """
+    if min(nocc, nvirt, naux) < 1:
+        raise ValueError("all dimensions must be positive")
+    rng = np.random.default_rng(seed)
+    decay = np.exp(-0.05 * np.arange(naux))[:, None, None]
+    b = rng.normal(scale=0.1, size=(naux, nocc, nvirt)) * decay
+    e_occ = -np.sort(rng.uniform(0.3, 2.0, nocc))[::-1]
+    e_virt = np.sort(rng.uniform(0.2, 3.0, nvirt))
+    return FragmentOrbitals(b_tensor=b, e_occ=e_occ, e_virt=e_virt)
+
+
+def rimp2_energy(frag: FragmentOrbitals) -> float:
+    """RI-MP2 correlation energy by per-pair GEMM contractions.
+
+    The production loop structure: for each occupied pair (i, j) form
+    V = Bᵢᵀ Bⱼ  (an nvirt×nvirt GEMM over the auxiliary index), then
+    accumulate  Σ_ab V_ab (2 V_ab − V_ba) / (εᵢ+εⱼ−εₐ−ε_b).
+    """
+    b, eo, ev = frag.b_tensor, frag.e_occ, frag.e_virt
+    nocc = frag.nocc
+    energy = 0.0
+    for i in range(nocc):
+        bi = b[:, i, :]  # (naux, nvirt)
+        for j in range(nocc):
+            bj = b[:, j, :]
+            v = bi.T @ bj  # (ia|jb) block, the GEMM kernel
+            denom = eo[i] + eo[j] - ev[:, None] - ev[None, :]
+            energy += float(np.sum(v * (2.0 * v - v.T) / denom))
+    return energy
+
+
+def rimp2_energy_reference(frag: FragmentOrbitals) -> float:
+    """Einsum reference (forms the full four-index tensor at once)."""
+    b, eo, ev = frag.b_tensor, frag.e_occ, frag.e_virt
+    v = np.einsum("pia,pjb->iajb", b, b)
+    denom = (
+        eo[:, None, None, None]
+        + eo[None, None, :, None]
+        - ev[None, :, None, None]
+        - ev[None, None, None, :]
+    )
+    return float(np.sum(v * (2.0 * v - v.transpose(0, 3, 2, 1)) / denom))
+
+
+def rimp2_flops(nocc: int, nvirt: int, naux: int) -> float:
+    """Contraction FLOPs: nocc² GEMMs of (nvirt × naux) · (naux × nvirt)."""
+    return 2.0 * nocc * nocc * nvirt * nvirt * naux
+
+
+def rimp2_kernel_spec(nocc: int, nvirt: int, naux: int, *,
+                      precision: Precision = Precision.FP64,
+                      efficiency: float = 0.85) -> KernelSpec:
+    """One launch covering all nocc² pair GEMMs (batched formulation).
+
+    GAMESS reached near-peak rates after the memory-transfer optimizations
+    (§3.1), hence the high default efficiency for this tuned shape.
+    """
+    single = gemm_kernel_spec(
+        nvirt, nvirt, naux, precision=precision, efficiency=efficiency,
+        name=f"rimp2_{nocc}o{nvirt}v{naux}x",
+    )
+    return single.scaled(nocc * nocc, name=single.name)

@@ -1,0 +1,38 @@
+"""E3SM-MMF substrate: CRM kernel ensemble + WENO reconstruction."""
+
+from repro.cloud.crm import (
+    CrmStepTime,
+    crm_kernel_ensemble,
+    crm_step_time,
+    optimize_ensemble,
+    realtime_throughput,
+)
+from repro.cloud.weno import (
+    LINEAR2_BYTES_PER_POINT,
+    LINEAR2_FLOPS_PER_POINT,
+    WENO5_BYTES_PER_POINT,
+    WENO5_FLOPS_PER_POINT,
+    advect_step,
+    arithmetic_intensity,
+    linear2_reconstruct,
+    weno5_reconstruct,
+)
+
+__all__ = [
+    "MmfModel",
+    "CrmInstance",
+    "CrmStepTime",
+    "LINEAR2_BYTES_PER_POINT",
+    "LINEAR2_FLOPS_PER_POINT",
+    "WENO5_BYTES_PER_POINT",
+    "WENO5_FLOPS_PER_POINT",
+    "advect_step",
+    "arithmetic_intensity",
+    "crm_kernel_ensemble",
+    "crm_step_time",
+    "linear2_reconstruct",
+    "optimize_ensemble",
+    "realtime_throughput",
+    "weno5_reconstruct",
+]
+from repro.cloud.mmf import CrmInstance, MmfModel

@@ -1,0 +1,164 @@
+"""The E3SM-MMF cloud-resolving-model kernel ensemble (§3.5).
+
+E3SM-MMF's strong-scaled configuration leaves little work per GPU, so its
+runtime is dominated by latencies: kernel launches, allocations, and
+register-spill effects.  This module builds the representative kernel
+ensemble (many small dynamics/microphysics/macrophysics kernels per step)
+and implements the paper's three optimization levers so benchmarks can
+measure each:
+
+* **fusion** of small kernels (fewer launches) balanced against
+  **fission** of spilling kernels (§3.5's "balance to strike");
+* **same-stream asynchronous launching** so launch overheads overlap
+  earlier kernels' execution;
+* the **YAKL pool allocator** replacing per-step device malloc/free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.kernel import KernelSpec, fission, fuse
+from repro.gpu.memory import DeviceAllocator, PoolAllocator
+from repro.gpu.occupancy import compute_occupancy
+from repro.gpu.perfmodel import time_kernel, time_kernel_sequence
+from repro.hardware.gpu import GPUSpec, Precision
+
+
+def crm_kernel_ensemble(columns: int, *, levels: int = 60,
+                        n_micro: int = 24, n_macro: int = 8,
+                        n_dyn: int = 10) -> list[KernelSpec]:
+    """The per-step kernel list of a strong-scaled CRM instance.
+
+    ``columns`` is the CRM columns resident on one GPU — small at the
+    1000x-realtime throughput target, which is what makes latency bite.
+    Microphysics kernels are tiny; dynamics kernels are mid-sized with a
+    couple of register-heavy WENO kernels that spill when naively fused.
+    """
+    cells = columns * levels
+    kernels: list[KernelSpec] = []
+    for i in range(n_micro):
+        kernels.append(KernelSpec(
+            name=f"micro_{i}",
+            flops=18.0 * cells,
+            bytes_read=4 * 8.0 * cells,
+            bytes_written=2 * 8.0 * cells,
+            threads=max(cells, 64),
+            precision=Precision.FP32,
+            registers_per_thread=48,
+            workgroup_size=128,
+        ))
+    for i in range(n_macro):
+        kernels.append(KernelSpec(
+            name=f"macro_{i}",
+            flops=40.0 * cells,
+            bytes_read=6 * 8.0 * cells,
+            bytes_written=2 * 8.0 * cells,
+            threads=max(cells, 64),
+            precision=Precision.FP32,
+            registers_per_thread=64,
+            workgroup_size=128,
+        ))
+    for i in range(n_dyn):
+        heavy = i < 2  # the WENO limiter kernels
+        kernels.append(KernelSpec(
+            name=f"dyn_{i}",
+            flops=(300.0 if heavy else 90.0) * cells,
+            bytes_read=8 * 8.0 * cells,
+            bytes_written=3 * 8.0 * cells,
+            threads=max(cells, 64),
+            precision=Precision.FP64,
+            registers_per_thread=320 if heavy else 96,
+            workgroup_size=256,
+        ))
+    return kernels
+
+
+def optimize_ensemble(kernels: list[KernelSpec], device: GPUSpec, *,
+                      fuse_group: int = 4) -> list[KernelSpec]:
+    """Apply E3SM's fusion/fission policy.
+
+    Small same-precision kernels are fused in groups of ``fuse_group``
+    (launch-latency amortization); any kernel that would spill on
+    *device* is fissioned until it does not (§3.5: "kernels could be
+    fissioned into multiple kernels until register spillage did not
+    occur").
+    """
+    if fuse_group < 1:
+        raise ValueError("fuse_group must be >= 1")
+    out: list[KernelSpec] = []
+    pending: list[KernelSpec] = []
+
+    def flush() -> None:
+        if not pending:
+            return
+        out.append(fuse(list(pending)) if len(pending) > 1 else pending[0])
+        pending.clear()
+
+    for k in kernels:
+        small = k.flops / max(k.threads, 1) < 64.0
+        if small and (not pending or pending[0].precision == k.precision):
+            pending.append(k)
+            if len(pending) == fuse_group:
+                flush()
+        else:
+            flush()
+            out.append(k)
+    flush()
+
+    final: list[KernelSpec] = []
+    for k in out:
+        parts = 1
+        while compute_occupancy(
+            k if parts == 1 else fission(k, parts)[0], device
+        ).spills and parts < 8:
+            parts += 1
+        final.extend(fission(k, parts))
+    return final
+
+
+@dataclass(frozen=True)
+class CrmStepTime:
+    """Per-step cost breakdown for one configuration."""
+
+    kernel_time: float
+    allocation_time: float
+
+    @property
+    def total(self) -> float:
+        return self.kernel_time + self.allocation_time
+
+
+def crm_step_time(kernels: list[KernelSpec], device: GPUSpec, *,
+                  same_stream_async: bool = True,
+                  pool_allocator: bool = True,
+                  temps_per_step: int = 40,
+                  temp_bytes: int = 1 << 20) -> CrmStepTime:
+    """Wall time of one CRM step under the chosen optimization levers.
+
+    ``temps_per_step`` transient device arrays are allocated and freed per
+    step — through the native allocator (blocking) or the YAKL pool.
+    """
+    t_kernels = time_kernel_sequence(kernels, device,
+                                     same_stream_async=same_stream_async)
+    if pool_allocator:
+        backing = DeviceAllocator(int(device.mem_capacity))
+        pool = PoolAllocator(backing, initial_block=4 * temps_per_step * temp_bytes)
+        for _ in range(temps_per_step):
+            h = pool.malloc(temp_bytes)
+            pool.free(h)
+        t_alloc = pool.simulated_time
+    else:
+        alloc = DeviceAllocator(int(device.mem_capacity))
+        for _ in range(temps_per_step):
+            h = alloc.malloc(temp_bytes)
+            alloc.free(h)
+        t_alloc = alloc.simulated_time
+    return CrmStepTime(kernel_time=t_kernels, allocation_time=t_alloc)
+
+
+def realtime_throughput(step_time: float, *, dt_model_seconds: float = 10.0) -> float:
+    """Simulated-seconds-per-wall-second (the 1000-2000x target metric)."""
+    if step_time <= 0:
+        raise ValueError("step time must be positive")
+    return dt_model_seconds / step_time

@@ -1,0 +1,81 @@
+"""WENO5 reconstruction: the arithmetic-intensity upgrade of E3SM's new
+Cloud Resolving Model (§3.5).
+
+"Part of the ECP funding for E3SM-MMF was devoted to writing a new Cloud
+Resolving Model, which increases arithmetic intensity via higher-order
+interpolation and Weighted Essentially Non-Oscillatory (WENO) limiting.
+This improvement in arithmetic intensity is better suited to GPUs."
+
+Implemented for real: classic fifth-order WENO-JS face reconstruction,
+verified for design order on smooth data and non-oscillatory behaviour at
+discontinuities, alongside the second-order reconstruction it replaced.
+The per-point FLOP counts quantify the intensity claim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_EPS = 1e-6
+
+
+def weno5_reconstruct(u: np.ndarray) -> np.ndarray:
+    """Left-biased WENO5 face value at each i+1/2 (periodic).
+
+    ``u`` holds *cell averages*; entry i of the result approximates the
+    point value u(x_{i+1/2}) from the stencil {i-2 .. i+2}, fifth-order
+    accurate on smooth data and non-oscillatory at discontinuities.
+    """
+    u = np.asarray(u, dtype=float)
+    um2, um1, u0, up1, up2 = (np.roll(u, s) for s in (2, 1, 0, -1, -2))
+    # candidate stencil reconstructions
+    p0 = (2 * um2 - 7 * um1 + 11 * u0) / 6.0
+    p1 = (-um1 + 5 * u0 + 2 * up1) / 6.0
+    p2 = (2 * u0 + 5 * up1 - up2) / 6.0
+    # smoothness indicators
+    b0 = 13 / 12 * (um2 - 2 * um1 + u0) ** 2 + 0.25 * (um2 - 4 * um1 + 3 * u0) ** 2
+    b1 = 13 / 12 * (um1 - 2 * u0 + up1) ** 2 + 0.25 * (um1 - up1) ** 2
+    b2 = 13 / 12 * (u0 - 2 * up1 + up2) ** 2 + 0.25 * (3 * u0 - 4 * up1 + up2) ** 2
+    # nonlinear weights
+    a0 = 0.1 / (_EPS + b0) ** 2
+    a1 = 0.6 / (_EPS + b1) ** 2
+    a2 = 0.3 / (_EPS + b2) ** 2
+    asum = a0 + a1 + a2
+    return (a0 * p0 + a1 * p1 + a2 * p2) / asum
+
+
+def linear2_reconstruct(u: np.ndarray) -> np.ndarray:
+    """Second-order centred face value (the old low-order CRM)."""
+    u = np.asarray(u, dtype=float)
+    return 0.5 * (u + np.roll(u, -1))
+
+
+def advect_step(u: np.ndarray, cfl: float, *, scheme: str = "weno5") -> np.ndarray:
+    """One periodic upwind advection step (velocity +1) at the given CFL."""
+    if not 0 < cfl <= 1:
+        raise ValueError("cfl must be in (0, 1]")
+    if scheme == "weno5":
+        face = weno5_reconstruct(u)
+    elif scheme == "linear2":
+        face = linear2_reconstruct(u)
+    else:
+        raise ValueError(f"unknown scheme {scheme!r}")
+    flux_in = np.roll(face, 1)
+    return u - cfl * (face - flux_in)
+
+
+#: FLOPs per reconstructed point, counted from the expressions above.
+WENO5_FLOPS_PER_POINT = 62.0
+LINEAR2_FLOPS_PER_POINT = 2.0
+#: Stencil bytes per point (double precision reads + one write).
+WENO5_BYTES_PER_POINT = 6 * 8.0
+LINEAR2_BYTES_PER_POINT = 3 * 8.0
+
+
+def arithmetic_intensity(scheme: str) -> float:
+    """FLOP/byte of each reconstruction — the §3.5 intensity claim."""
+    if scheme == "weno5":
+        return WENO5_FLOPS_PER_POINT / WENO5_BYTES_PER_POINT
+    if scheme == "linear2":
+        return LINEAR2_FLOPS_PER_POINT / LINEAR2_BYTES_PER_POINT
+    raise ValueError(f"unknown scheme {scheme!r}")

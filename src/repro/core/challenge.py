@@ -1,0 +1,120 @@
+"""Challenge problems, acceleration plans, and project reviews (§6).
+
+The COE's quantitative tracking workflow: every team declares a challenge
+problem + FOM + acceleration plan, files mid-project reports reviewed by
+the Management Council, and closes with a final report against the stated
+target.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.fom import FigureOfMerit, FomTracker
+
+
+class ReviewVerdict(enum.Enum):
+    ON_TRACK = "on track"
+    AT_RISK = "at risk"
+    OFF_TRACK = "off track"
+
+
+@dataclass(frozen=True)
+class ChallengeProblem:
+    """A well-posed challenge problem (§6)."""
+
+    application: str
+    description: str
+    fom: FigureOfMerit
+    workload: str = ""
+
+
+@dataclass(frozen=True)
+class AccelerationPlan:
+    """The declared route from Summit performance to the Frontier target."""
+
+    application: str
+    milestones: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.milestones:
+            raise ValueError("a plan needs at least one milestone")
+
+
+@dataclass
+class ProjectReport:
+    """A mid-project or final report snapshot."""
+
+    application: str
+    phase: str  # "mid-project" | "final"
+    achieved_factor: float
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if self.phase not in ("mid-project", "final"):
+            raise ValueError(f"unknown phase {self.phase!r}")
+
+
+@dataclass
+class ChallengeTracker:
+    """One application's full quantitative-tracking record."""
+
+    problem: ChallengeProblem
+    plan: AccelerationPlan
+    tracker: FomTracker = field(init=False)
+    reports: list[ProjectReport] = field(default_factory=list)
+    completed_milestones: set[int] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.plan.application != self.problem.application:
+            raise ValueError("plan and problem belong to different applications")
+        self.tracker = FomTracker(fom=self.problem.fom)
+
+    def complete_milestone(self, index: int) -> None:
+        if not 0 <= index < len(self.plan.milestones):
+            raise ValueError(f"no milestone {index}")
+        self.completed_milestones.add(index)
+
+    @property
+    def plan_progress(self) -> float:
+        return len(self.completed_milestones) / len(self.plan.milestones)
+
+    def file_report(self, phase: str, *, notes: str = "") -> ProjectReport:
+        """Snapshot the latest measurement into a review report."""
+        latest = self.tracker.latest
+        factor = (
+            self.problem.fom.achieved_factor(latest.value) if latest else 0.0
+        )
+        report = ProjectReport(
+            application=self.problem.application,
+            phase=phase,
+            achieved_factor=factor,
+            notes=notes,
+        )
+        self.reports.append(report)
+        return report
+
+    def review(self) -> ReviewVerdict:
+        """The Management Council heuristic.
+
+        On track: target met, or plan progress ahead of the achieved
+        fraction needed.  At risk: progress lags or a regression was
+        detected.  Off track: no measurements, or far behind with the plan
+        nearly exhausted.
+        """
+        latest = self.tracker.latest
+        if latest is None:
+            return ReviewVerdict.OFF_TRACK
+        achieved = self.problem.fom.achieved_factor(latest.value)
+        needed = self.problem.fom.target_factor
+        if achieved >= needed:
+            return ReviewVerdict.ON_TRACK
+        fraction = achieved / needed
+        if self.tracker.regressions():
+            return ReviewVerdict.AT_RISK
+        if fraction >= self.plan_progress - 0.25:
+            return ReviewVerdict.ON_TRACK
+        if self.plan_progress > 0.75 and fraction < 0.5:
+            return ReviewVerdict.OFF_TRACK
+        return ReviewVerdict.AT_RISK

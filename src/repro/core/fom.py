@@ -1,0 +1,110 @@
+"""Figures of merit and the COE's quantitative readiness tracking (§6).
+
+"Application teams were expected to provide a well-posed challenge problem
+and figure of merit (FOM) on Summit and an acceleration plan for Frontier
+... This quantitative approach permitted early detection of software bugs
+and performance regressions."
+
+A :class:`FigureOfMerit` is a named, higher-is-better scalar with a
+reference (Summit) value and a target factor; a :class:`FomTracker`
+records measurements over time and flags regressions — the mechanism the
+COE Management Council reviews ran on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class FomKind(enum.Enum):
+    THROUGHPUT = "throughput"  # e.g. grid points per second
+    SPEEDUP = "speedup"  # ratio vs. a fixed baseline
+    FLOPS = "flops"  # achieved operations per second
+
+
+@dataclass(frozen=True)
+class FigureOfMerit:
+    """A project's FOM definition: higher is better by construction."""
+
+    name: str
+    kind: FomKind
+    reference_value: float  # measured on the reference system (Summit)
+    target_factor: float  # the CAAR/ECP acceleration commitment
+    units: str = ""
+
+    def __post_init__(self) -> None:
+        if self.reference_value <= 0 or self.target_factor <= 0:
+            raise ValueError("reference value and target factor must be positive")
+
+    @property
+    def target_value(self) -> float:
+        return self.reference_value * self.target_factor
+
+    def achieved_factor(self, measured: float) -> float:
+        return measured / self.reference_value
+
+    def meets_target(self, measured: float) -> bool:
+        return measured >= self.target_value
+
+
+@dataclass(frozen=True)
+class FomMeasurement:
+    """One measurement of a FOM on a named system."""
+
+    system: str
+    value: float
+    label: str = ""
+
+
+@dataclass
+class FomTracker:
+    """Measurement history plus regression detection for one FOM."""
+
+    fom: FigureOfMerit
+    history: list[FomMeasurement] = field(default_factory=list)
+    #: a drop larger than this fraction vs. the running best is a regression
+    regression_threshold: float = 0.05
+
+    def record(self, system: str, value: float, *, label: str = "") -> FomMeasurement:
+        if value <= 0:
+            raise ValueError("FOM values must be positive")
+        m = FomMeasurement(system=system, value=value, label=label)
+        self.history.append(m)
+        return m
+
+    @property
+    def best(self) -> float:
+        if not self.history:
+            return 0.0
+        return max(m.value for m in self.history)
+
+    @property
+    def latest(self) -> FomMeasurement | None:
+        return self.history[-1] if self.history else None
+
+    def regressions(self) -> list[tuple[FomMeasurement, float]]:
+        """Measurements that dropped >threshold below the prior best.
+
+        Returns ``(measurement, fraction_below_best)`` pairs — the early
+        warning the mid-project reports surfaced.
+        """
+        out: list[tuple[FomMeasurement, float]] = []
+        best = 0.0
+        for m in self.history:
+            if best > 0 and m.value < (1.0 - self.regression_threshold) * best:
+                out.append((m, 1.0 - m.value / best))
+            best = max(best, m.value)
+        return out
+
+    def status(self) -> str:
+        """One-line readiness status for reviews."""
+        if not self.history:
+            return f"{self.fom.name}: no measurements"
+        latest = self.history[-1]
+        factor = self.fom.achieved_factor(latest.value)
+        met = "MET" if self.fom.meets_target(latest.value) else "below target"
+        return (
+            f"{self.fom.name}: {factor:.2f}x of reference on {latest.system} "
+            f"(target {self.fom.target_factor:.1f}x, {met})"
+        )

@@ -1,0 +1,27 @@
+"""The porting-motif taxonomy of Table 1."""
+
+from __future__ import annotations
+
+import enum
+
+
+class PortingMotif(enum.Enum):
+    """The five optimization/porting motifs the paper classifies work by."""
+
+    CUDA_HIP_PORTING = "CUDA/HIP Porting"
+    LIBRARY_TUNING = "Library Tuning"
+    PERFORMANCE_PORTABILITY = "Performance Portability"
+    KERNEL_FUSION_FISSION = "Kernel Fusion/Fission"
+    ALGORITHMIC_OPTIMIZATIONS = "Algorithmic Optimizations"
+
+
+#: Table 1 exactly as printed: motif -> applications.
+TABLE1_EXPECTED: dict[PortingMotif, tuple[str, ...]] = {
+    PortingMotif.CUDA_HIP_PORTING: ("GAMESS", "CoMet", "NuCCOR", "COAST"),
+    PortingMotif.LIBRARY_TUNING: ("GAMESS", "LSMS", "GESTS", "CoMet", "LAMMPS"),
+    PortingMotif.PERFORMANCE_PORTABILITY: ("GESTS", "ExaSky", "E3SM", "NuCCOR", "Pele"),
+    PortingMotif.KERNEL_FUSION_FISSION: ("E3SM", "Pele", "LAMMPS"),
+    PortingMotif.ALGORITHMIC_OPTIMIZATIONS: (
+        "LSMS", "ExaSky", "E3SM", "CoMet", "Pele", "LAMMPS",
+    ),
+}

@@ -1,0 +1,40 @@
+"""Plain-text table/figure renderers used by the benchmark harnesses."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 *, title: str = "") -> str:
+    """Fixed-width text table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(name: str, points: Sequence[tuple[object, float]], *,
+                  value_format: str = "{:.4g}") -> str:
+    """One figure series as aligned (x, y) text rows."""
+    lines = [f"# {name}"]
+    for x, y in points:
+        lines.append(f"  {str(x):24s} {value_format.format(y)}")
+    return "\n".join(lines)
+
+
+def render_bar(name: str, value: float, *, scale: float = 1.0, width: int = 50,
+               value_format: str = "{:.3f}") -> str:
+    """A single ASCII bar (for ratio-style figures like Figure 1)."""
+    n = max(0, min(width, int(round(value / scale * width))))
+    return f"{name:20s} |{'#' * n:<{width}}| {value_format.format(value)}"

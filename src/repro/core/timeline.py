@@ -1,0 +1,103 @@
+"""Early-access timeline and the readiness-phase model (§4, §6).
+
+"Early access to software and hardware helped identify: A) functionality
+problems, B) missing features, and C) performance problems, typically in
+this order."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.hardware.catalog import EARLY_ACCESS_PROGRESSION
+from repro.hardware.machine import MachineSpec
+
+
+class ReadinessPhase(enum.Enum):
+    """The A→B→C progression of issues found on early hardware."""
+
+    FUNCTIONALITY = 1  # does it run at all
+    MISSING_FEATURES = 2  # what can't be expressed yet
+    PERFORMANCE = 3  # how fast does it go
+
+
+@dataclass(frozen=True)
+class IssueRecord:
+    """One issue found on an early-access system."""
+
+    system: str
+    phase: ReadinessPhase
+    summary: str
+    resolved: bool = False
+
+
+@dataclass
+class EarlyAccessCampaign:
+    """An application team's passage through the early-access systems."""
+
+    application: str
+    issues: list[IssueRecord] = field(default_factory=list)
+
+    def file_issue(self, system: str, phase: ReadinessPhase, summary: str) -> IssueRecord:
+        rec = IssueRecord(system=system, phase=phase, summary=summary)
+        self.issues.append(rec)
+        return rec
+
+    def resolve(self, index: int) -> None:
+        if not 0 <= index < len(self.issues):
+            raise ValueError(f"no issue {index}")
+        old = self.issues[index]
+        self.issues[index] = IssueRecord(
+            system=old.system, phase=old.phase, summary=old.summary, resolved=True
+        )
+
+    def open_issues(self) -> list[IssueRecord]:
+        return [i for i in self.issues if not i.resolved]
+
+    def current_phase(self) -> ReadinessPhase:
+        """The earliest phase with open issues: you cannot tune what does
+        not run."""
+        open_ = self.open_issues()
+        if not open_:
+            return ReadinessPhase.PERFORMANCE
+        return min((i.phase for i in open_), key=lambda p: p.value)
+
+    def phase_histogram(self) -> dict[ReadinessPhase, int]:
+        out = {p: 0 for p in ReadinessPhase}
+        for i in self.issues:
+            out[i.phase] += 1
+        return out
+
+
+def early_access_generations() -> list[tuple[int, list[str]]]:
+    """The §4 deployment progression grouped by generation."""
+    gens: dict[int, list[str]] = {}
+    for m in EARLY_ACCESS_PROGRESSION:
+        gens.setdefault(m.generation, []).append(m.name)
+    return sorted(gens.items())
+
+
+def convergence_to_frontier(machine: MachineSpec, frontier: MachineSpec) -> float:
+    """How architecturally close an early system is to Frontier, in [0, 1].
+
+    Scores the node ingredients the §4 narrative tracks: GPU product,
+    CPU product, interconnect, and GPUs per node.
+    """
+    score = 0.0
+    if machine.node.gpu is not None and frontier.node.gpu is not None:
+        if machine.node.gpu.name == frontier.node.gpu.name:
+            score += 0.4
+        elif machine.node.gpu.vendor == frontier.node.gpu.vendor:
+            score += 0.2
+    if machine.node.cpu.name == frontier.node.cpu.name:
+        score += 0.2
+    a, b = machine.node.interconnect, frontier.node.interconnect
+    if a is not None and b is not None:
+        if a.name == b.name:
+            score += 0.2
+        elif "Slingshot" in a.name and "Slingshot" in b.name:
+            score += 0.1
+    if machine.node.gpus_per_node == frontier.node.gpus_per_node:
+        score += 0.2
+    return score

@@ -1,0 +1,120 @@
+"""Training catalogue and quick-start-guide generation (§5).
+
+"The OLCF, in coordination with HPE and AMD, created a quick-start guide
+and organized a training workshop for each system ... Trainings covered a
+wide spectrum of topics across hardware, software and system operations."
+
+The catalogue holds the §5 topic list; :func:`generate_quick_start_guide`
+renders a system's guide from its hardware spec plus the lessons that
+reached user-guide status — the artifact pipeline §5 describes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.lessons import KnowledgeBase
+from repro.hardware.machine import MachineSpec
+
+
+class TopicArea(enum.Enum):
+    HARDWARE = "hardware"
+    SOFTWARE = "software"
+    SYSTEM = "system operations"
+
+
+@dataclass(frozen=True)
+class TrainingTopic:
+    title: str
+    area: TopicArea
+    summary: str
+
+
+#: The §5 training catalogue, verbatim topics.
+TRAINING_CATALOG: tuple[TrainingTopic, ...] = (
+    TrainingTopic("Cache sizes and memory hierarchy", TopicArea.HARDWARE,
+                  "per-CU LDS and L2 sizes; blocking for the hierarchy"),
+    TrainingTopic("Hardware atomics", TopicArea.HARDWARE,
+                  "which atomics are native vs CAS loops on CDNA"),
+    TrainingTopic("Register spilling", TopicArea.HARDWARE,
+                  "reading vgpr_spill_count; fission to stop spills"),
+    TrainingTopic("Kernel launch latencies", TopicArea.HARDWARE,
+                  "costs per launch; batching and same-stream pipelining"),
+    TrainingTopic("Specialized SGEMM/DGEMM operations", TopicArea.SOFTWARE,
+                  "MFMA paths, when libraries use them, shape tuning"),
+    TrainingTopic("AMD Infinity Fabric interconnect", TopicArea.SOFTWARE,
+                  "GCD-to-GCD and CPU-GPU coherent links"),
+    TrainingTopic("HIPifying codes", TopicArea.SOFTWARE,
+                  "hipify workflow, outdated-syntax pitfalls, API coverage"),
+    TrainingTopic("Batch system call patterns", TopicArea.SYSTEM,
+                  "srun layouts for 8 GCDs per node"),
+    TrainingTopic("NUMA and affinity considerations", TopicArea.SYSTEM,
+                  "binding ranks to the GCD nearest their L3 quadrant"),
+)
+
+
+def topics_by_area(area: TopicArea) -> list[TrainingTopic]:
+    return [t for t in TRAINING_CATALOG if t.area is area]
+
+
+def generate_quick_start_guide(machine: MachineSpec, kb: KnowledgeBase) -> str:
+    """Render a Crusher-style quick-start guide for *machine*.
+
+    Sections: system description (from the hardware spec), how it differs
+    from Frontier (§4: docs "detailing how the accessible platform
+    differed from the final system"), known issues (from the knowledge
+    base's user-guide lessons), and the training catalogue.
+    """
+    from repro.core.timeline import convergence_to_frontier
+    from repro.hardware.catalog import FRONTIER
+
+    node = machine.node
+    lines = [
+        f"# {machine.name} Quick-Start Guide",
+        "",
+        "## System description",
+        f"- {machine.describe()}",
+    ]
+    if node.has_gpus:
+        assert node.gpu is not None
+        lines.append(
+            f"- GPUs: {node.gpus_per_node}x {node.gpu.name} per node "
+            f"(wavefront {node.gpu.wavefront_size}, "
+            f"{node.gpu.mem_capacity/2**30:.0f} GiB HBM each)"
+        )
+    if node.interconnect is not None:
+        lines.append(f"- Interconnect: {node.interconnect.name}")
+    conv = convergence_to_frontier(machine, FRONTIER)
+    lines += [
+        "",
+        "## Differences from the Frontier node architecture",
+        f"- architectural convergence score: {conv:.1f} / 1.0",
+    ]
+    if machine.name == "Frontier" or conv >= 1.0:
+        lines.append("- none: this is the production node architecture")
+    else:
+        if node.gpu is not None and node.gpu.name != FRONTIER.node.gpu.name:
+            lines.append(
+                f"- GPU is {node.gpu.name}, not {FRONTIER.node.gpu.name}: "
+                "do not tune cache blocking yet"
+            )
+        if node.gpus_per_node != FRONTIER.node.gpus_per_node:
+            lines.append(
+                f"- {node.gpus_per_node} devices/node vs Frontier's "
+                f"{FRONTIER.node.gpus_per_node}: rank layouts will change"
+            )
+    guide_lessons = kb.in_user_guide()
+    lines += ["", "## Known issues and mitigations"]
+    if guide_lessons:
+        for lesson in guide_lessons:
+            lines.append(f"- **{lesson.topic}** ({lesson.source_application}): "
+                         f"{lesson.issue} -> {lesson.mitigation}")
+    else:
+        lines.append("- none recorded yet")
+    lines += ["", "## Training topics"]
+    for area in TopicArea:
+        lines.append(f"### {area.value.title()}")
+        for t in topics_by_area(area):
+            lines.append(f"- {t.title}: {t.summary}")
+    return "\n".join(lines)

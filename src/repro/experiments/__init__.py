@@ -1,0 +1,40 @@
+"""Experiment harnesses: one module per paper table/figure + in-text claims."""
+
+from repro.experiments.earlyaccess import (
+    GenerationReport,
+    ScalingPoint,
+    prediction_improves_with_generation,
+    run_ladder,
+    spock_scaling_study,
+)
+from repro.experiments.figure1 import Figure1Result, run_figure1
+from repro.experiments.figure2 import Figure2Result, run_figure2
+from repro.experiments.intext import ALL_CLAIMS, IntextResult, run_intext
+from repro.experiments.runner import full_report, run_all
+from repro.experiments.table1 import Table1Result, run_table1
+from repro.experiments.table2 import Table2Result, run_table2
+
+__all__ = [
+    "build_dashboard",
+    "DashboardRow",
+    "Dashboard",
+    "GenerationReport",
+    "ScalingPoint",
+    "prediction_improves_with_generation",
+    "run_ladder",
+    "spock_scaling_study",
+    "ALL_CLAIMS",
+    "Figure1Result",
+    "Figure2Result",
+    "IntextResult",
+    "Table1Result",
+    "Table2Result",
+    "full_report",
+    "run_all",
+    "run_figure1",
+    "run_figure2",
+    "run_intext",
+    "run_table1",
+    "run_table2",
+]
+from repro.experiments.dashboard import Dashboard, DashboardRow, build_dashboard

@@ -1,0 +1,107 @@
+"""Section 4 experiment: the value of the early-access hardware ladder.
+
+Quantifies the §4 narrative: each early-access generation was closer to
+Frontier (architecture convergence), gave application kernels a
+progressively more representative performance picture, and Spock/Birch
+were "of sufficient scale to permit modest scaling studies".
+
+The experiment runs a representative kernel bundle across
+Poplar → Spock → Crusher → Frontier and a modest weak-scaling study on
+Spock's node count, reporting per-generation performance and the
+prediction error each system would have given for Frontier tuning
+decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.timeline import convergence_to_frontier
+from repro.gpu.kernel import KernelSpec
+from repro.gpu.perfmodel import time_kernel
+from repro.hardware.catalog import CRUSHER, FRONTIER, POPLAR, SPOCK
+from repro.hardware.gpu import Precision
+from repro.hardware.machine import MachineSpec
+from repro.mpisim.costmodel import allreduce_time, link_parameters, ranks_per_nic
+
+#: A representative application kernel bundle: one compute-bound, one
+#: memory-bound, one register-hungry (the three tuning regimes).
+REPRESENTATIVE_KERNELS: tuple[KernelSpec, ...] = (
+    KernelSpec(name="gemm_like", flops=5e11, bytes_read=3e8, bytes_written=1e8,
+               registers_per_thread=128),
+    KernelSpec(name="stream_like", flops=2e8, bytes_read=4e9, bytes_written=2e9,
+               registers_per_thread=48),
+    KernelSpec(name="chem_like", flops=2e11, bytes_read=5e8, bytes_written=2e8,
+               registers_per_thread=240, precision=Precision.FP64),
+)
+
+
+@dataclass(frozen=True)
+class GenerationReport:
+    machine: str
+    generation: int
+    convergence: float
+    bundle_time: float
+    frontier_prediction_error: float  # relative error predicting Frontier
+
+
+def bundle_time(machine: MachineSpec) -> float:
+    """Wall time of the kernel bundle on one device of *machine*."""
+    gpu = machine.node.gpu
+    if gpu is None:
+        raise ValueError(f"{machine.name} has no GPUs")
+    return sum(time_kernel(k, gpu).total_time for k in REPRESENTATIVE_KERNELS)
+
+
+def run_ladder() -> list[GenerationReport]:
+    """Per-generation report across the §4 progression."""
+    t_frontier = bundle_time(FRONTIER)
+    out = []
+    for machine in (POPLAR, SPOCK, CRUSHER, FRONTIER):
+        t = bundle_time(machine)
+        out.append(GenerationReport(
+            machine=machine.name,
+            generation=machine.generation,
+            convergence=convergence_to_frontier(machine, FRONTIER),
+            bundle_time=t,
+            frontier_prediction_error=abs(t - t_frontier) / t_frontier,
+        ))
+    return out
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    nodes: int
+    efficiency: float
+
+
+def spock_scaling_study(max_nodes: int = 36) -> list[ScalingPoint]:
+    """A modest weak-scaling study at Spock's scale (§4).
+
+    Per step: the bundle plus one allreduce whose cost grows with node
+    count — the study shape users ran to sanity-check scaling behaviour
+    before Frontier time existed.
+    """
+    if max_nodes < 1:
+        raise ValueError("max_nodes must be positive")
+    t_node = bundle_time(SPOCK)
+    fabric = SPOCK.node.interconnect
+    assert fabric is not None
+    link = link_parameters(
+        fabric, ranks_sharing_nic=ranks_per_nic(SPOCK.node.gpus_per_node, fabric),
+        device_buffers=True,
+    )
+    points = []
+    nodes = 1
+    while nodes <= max_nodes:
+        ranks = nodes * SPOCK.node.gpus_per_node
+        t_comm = allreduce_time(ranks, 1 << 20, link)
+        points.append(ScalingPoint(nodes=nodes, efficiency=t_node / (t_node + t_comm)))
+        nodes *= 2
+    return points
+
+
+def prediction_improves_with_generation() -> bool:
+    """The §4 payoff: later generations predict Frontier better."""
+    errors = [r.frontier_prediction_error for r in run_ladder()]
+    return all(a >= b for a, b in zip(errors, errors[1:]))

@@ -1,0 +1,58 @@
+"""Figure 2: PeleC time-per-cell-per-timestep history (§3.8)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps import pele
+from repro.core.report import render_series, render_table
+
+
+@dataclass(frozen=True)
+class Figure2Result:
+    single_node: tuple[tuple[str, str, str, float], ...]
+    at_scale: tuple[tuple[str, str, str, float], ...]
+    total_improvement: float
+
+    def checks(self) -> dict[str, bool]:
+        """Shape assertions against the paper's narrative."""
+        times = [t for _, _, _, t in self.single_node]
+        gains = [a / b for a, b in zip(times, times[1:])]
+        gpu_port_gain = gains[2]  # Eagle -> Summit GPU port
+        return {
+            "total ~75x (band 50-110)": 50.0 <= self.total_improvement <= 110.0,
+            "GPU port is the largest single gain": gpu_port_gain == max(gains),
+            "monotone improvement after 2019": all(
+                g >= 0.999 for g in gains[2:]
+            ),
+            "Frontier is the fastest point": times[-1] == min(times),
+            "async ghost helps at scale": (
+                self.at_scale[1][3] <= self.at_scale[0][3]
+            ),
+        }
+
+    def render(self) -> str:
+        parts = [
+            "Figure 2: PeleC time per cell per timestep (single node)",
+            render_series(
+                "single-node",
+                [(f"{d} {m:9s} {s}", t) for d, m, s, t in self.single_node],
+                value_format="{:.3e} s",
+            ),
+            render_series(
+                "4096 nodes",
+                [(f"{d} {m:9s} {s}", t) for d, m, s, t in self.at_scale],
+                value_format="{:.3e} s",
+            ),
+            f"total improvement Sept 2018 -> Mar 2023: {self.total_improvement:.1f}x"
+            "   [paper: ~75x]",
+        ]
+        return "\n\n".join(parts)
+
+
+def run_figure2() -> Figure2Result:
+    return Figure2Result(
+        single_node=tuple(pele.figure2_history()),
+        at_scale=tuple(pele.figure2_scale_series()),
+        total_improvement=pele.total_improvement(),
+    )

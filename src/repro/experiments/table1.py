@@ -1,0 +1,39 @@
+"""Table 1: the porting-motif ↔ application matrix, from the registry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.motifs import TABLE1_EXPECTED, PortingMotif
+from repro.core.registry import ApplicationRegistry, build_default_registry
+from repro.core.report import render_table
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    rows: dict[PortingMotif, list[str]]
+
+    def matches_paper(self) -> bool:
+        return all(
+            sorted(self.rows[m]) == sorted(TABLE1_EXPECTED[m]) for m in PortingMotif
+        )
+
+    def mismatches(self) -> dict[PortingMotif, tuple[list[str], list[str]]]:
+        out = {}
+        for m in PortingMotif:
+            got, exp = sorted(self.rows[m]), sorted(TABLE1_EXPECTED[m])
+            if got != exp:
+                out[m] = (got, exp)
+        return out
+
+    def render(self) -> str:
+        return render_table(
+            ("Porting Motif", "Applications"),
+            [(m.value, ", ".join(self.rows[m])) for m in PortingMotif],
+            title="Table 1: Application Porting Motifs",
+        )
+
+
+def run_table1(registry: ApplicationRegistry | None = None) -> Table1Result:
+    reg = registry if registry is not None else build_default_registry()
+    return Table1Result(rows=reg.motif_table())

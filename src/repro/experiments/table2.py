@@ -1,0 +1,68 @@
+"""Table 2: Summit→Frontier speed-ups for the eight measured applications.
+
+Every number is computed by running the application's challenge unit on
+the simulated Summit and Frontier; nothing is copied from the paper except
+the expected column used for the band check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps import TABLE2_APPS
+from repro.core.report import render_table
+from repro.core.speedup import TABLE2_EXPECTED, within_band
+
+#: The measurement basis per application (what the paper's number is of).
+BASIS: dict[str, str] = {
+    "GAMESS": "fragment-level RI-MP2 kernel, per GPU",
+    "LSMS": "FePt per-GPU LIZ calculation",
+    "GESTS": "PSDNS FOM (N^3/t_wall), 32768^3 on 4096 nodes",
+    "ExaSky": "gravity FOM, weak-scaled to 8192 nodes",
+    "CoMet": "CCC count-GEMM, per GPU",
+    "NuCCOR": "CC contraction throughput, per GPU",
+    "Pele": "PeleC time/cell/step, best code states",
+    "COAST": "system APSP throughput (Gordon Bell runs)",
+}
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    application: str
+    measured: float
+    expected: float
+
+    @property
+    def in_band(self) -> bool:
+        return within_band(self.measured, self.expected)
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    rows: tuple[Table2Row, ...]
+
+    @property
+    def all_in_band(self) -> bool:
+        return all(r.in_band for r in self.rows)
+
+    def render(self) -> str:
+        return render_table(
+            ("Application", "Measured (sim)", "Paper", "Band ±35%"),
+            [
+                (r.application, f"{r.measured:.2f}", f"{r.expected:.1f}",
+                 "OK" if r.in_band else "MISS")
+                for r in self.rows
+            ],
+            title="Table 2: Observed application speed-ups, Summit -> Frontier",
+        )
+
+
+def run_table2() -> Table2Result:
+    rows = []
+    for name, module in TABLE2_APPS.items():
+        rows.append(Table2Row(
+            application=name,
+            measured=module.speedup(),
+            expected=TABLE2_EXPECTED[name],
+        ))
+    return Table2Result(rows=tuple(rows))

@@ -1,0 +1,80 @@
+"""Simulated GPU execution model: kernels, occupancy, timing, memory, streams."""
+
+from repro.gpu.device import Device, LaunchRecord
+from repro.gpu.kernel import KernelSpec, fission, fuse
+from repro.gpu.memory import (
+    Allocation,
+    DeviceAllocator,
+    OutOfDeviceMemory,
+    PoolAllocator,
+    UnifiedMemory,
+)
+from repro.gpu.occupancy import (
+    OccupancyResult,
+    compute_occupancy,
+    latency_hiding_factor,
+    latency_hiding_from_waves,
+    spill_traffic_bytes,
+)
+from repro.gpu.perfmodel import (
+    KernelTiming,
+    achieved_flops,
+    divergence_factor,
+    time_kernel,
+    time_kernel_sequence,
+)
+from repro.gpu.stream import DeviceClock, Event, Stream
+from repro.gpu.transfer import TransferTiming, d2d_time, d2h_time, h2d_time
+
+__all__ = [
+    "to_chrome_trace",
+    "timeline_stats",
+    "TimelineStats",
+    "roofline_report",
+    "roofline_curve",
+    "place_kernel",
+    "RooflinePoint",
+    "profile_kernels",
+    "assembly_report",
+    "apply_compiler_fix",
+    "MathLibrary",
+    "KernelProfile",
+    "AssemblyReport",
+    "Allocation",
+    "Device",
+    "DeviceAllocator",
+    "DeviceClock",
+    "Event",
+    "KernelSpec",
+    "KernelTiming",
+    "LaunchRecord",
+    "OccupancyResult",
+    "OutOfDeviceMemory",
+    "PoolAllocator",
+    "Stream",
+    "TransferTiming",
+    "UnifiedMemory",
+    "achieved_flops",
+    "compute_occupancy",
+    "d2d_time",
+    "d2h_time",
+    "divergence_factor",
+    "fission",
+    "fuse",
+    "h2d_time",
+    "latency_hiding_factor",
+    "latency_hiding_from_waves",
+    "spill_traffic_bytes",
+    "time_kernel",
+    "time_kernel_sequence",
+]
+from repro.gpu.profiler import (
+    AssemblyReport,
+    KernelProfile,
+    MathLibrary,
+    apply_compiler_fix,
+    assembly_report,
+    profile_kernels,
+)
+from repro.gpu.roofline import RooflinePoint, place_kernel, roofline_curve, roofline_report
+from repro.gpu.trace import TimelineStats, timeline_stats, to_chrome_trace

@@ -1,0 +1,189 @@
+"""Kernel resource descriptors and source-level transformations.
+
+A :class:`KernelSpec` captures exactly the quantities the paper's teams used
+to reason about performance: floating-point work and its precision, memory
+traffic, register pressure (driving occupancy and spills), and control-flow
+divergence (the ReaxFF story).  The descriptor is hardware-independent; the
+timing comes from :mod:`repro.gpu.perfmodel` applied against a
+:class:`repro.hardware.gpu.GPUSpec`.
+
+Two structural transformations from the paper are implemented here:
+
+* :func:`fuse` — merge several small kernels into one, summing work and
+  taking the max register pressure (E3SM §3.5: fewer launches, possible
+  register-pressure increase).
+* :func:`fission` — split one large kernel into pieces, dividing work and
+  reducing per-piece register pressure (E3SM/Pele: more launches, no spills).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from repro.hardware.gpu import Precision
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Architecture-independent description of one GPU kernel's resources.
+
+    Parameters
+    ----------
+    name:
+        Kernel identifier (used in traces and reports).
+    flops:
+        Floating-point operations performed per launch.
+    bytes_read, bytes_written:
+        Device-memory traffic per launch, in bytes.
+    threads:
+        Total work-items per launch.
+    precision:
+        Dominant arithmetic precision.
+    uses_matrix_engine:
+        Whether the kernel's FLOPs run on tensor cores / MFMA units.
+    registers_per_thread:
+        Architectural registers the compiler allocates per work-item.
+    lds_per_workgroup / workgroup_size:
+        Shared-memory usage, for the occupancy calculation.
+    active_lane_fraction:
+        Mean fraction of SIMD lanes doing useful work (1.0 = no
+        divergence).  The ReaxFF torsion kernel pre-optimization sat near
+        a few lanes out of 64.
+    divergence_wavefront_sensitive:
+        If True, the active fraction is interpreted as *expected active
+        lanes per 32-wide warp*; running on a 64-wide machine halves the
+        utilization again (the HACC gravity-kernel regression).
+    launch_count:
+        How many times the kernel is launched per measured step.
+    """
+
+    name: str
+    flops: float
+    bytes_read: float
+    bytes_written: float = 0.0
+    threads: int = 1 << 20
+    precision: Precision = Precision.FP64
+    uses_matrix_engine: bool = False
+    registers_per_thread: int = 64
+    lds_per_workgroup: int = 0
+    workgroup_size: int = 256
+    active_lane_fraction: float = 1.0
+    divergence_wavefront_sensitive: bool = False
+    launch_count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.bytes_read < 0 or self.bytes_written < 0:
+            raise ValueError(f"kernel {self.name!r}: negative resource counts")
+        if not 0.0 < self.active_lane_fraction <= 1.0:
+            raise ValueError(
+                f"kernel {self.name!r}: active_lane_fraction must be in (0, 1], "
+                f"got {self.active_lane_fraction}"
+            )
+        if self.threads <= 0 or self.workgroup_size <= 0:
+            raise ValueError(f"kernel {self.name!r}: threads/workgroup must be positive")
+        if self.launch_count <= 0:
+            raise ValueError(f"kernel {self.name!r}: launch_count must be positive")
+
+    @property
+    def bytes_total(self) -> float:
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOP per byte of device-memory traffic."""
+        if self.bytes_total == 0:
+            return math.inf
+        return self.flops / self.bytes_total
+
+    def scaled(self, factor: float, *, name: str | None = None) -> "KernelSpec":
+        """A copy with work (flops, bytes, threads) scaled by *factor*."""
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return replace(
+            self,
+            name=name or self.name,
+            flops=self.flops * factor,
+            bytes_read=self.bytes_read * factor,
+            bytes_written=self.bytes_written * factor,
+            threads=max(1, int(self.threads * factor)),
+        )
+
+
+def fuse(kernels: list[KernelSpec], *, name: str | None = None) -> KernelSpec:
+    """Fuse several kernels into one launch.
+
+    Work sums; register pressure and LDS take the maximum plus a small
+    additive term for live values crossing the old kernel boundaries
+    (which is why over-aggressive fusion triggers spills).  Divergence is
+    the work-weighted mean.  Intermediate arrays that existed only to
+    carry data between the fused kernels are dropped: each interior
+    boundary removes one write + one read of the smaller neighbour's
+    traffic, which is the actual payoff of fusion beyond launch latency.
+    """
+    if not kernels:
+        raise ValueError("cannot fuse an empty kernel list")
+    if len({k.precision for k in kernels}) != 1:
+        raise ValueError("fused kernels must share a precision")
+    total_flops = sum(k.flops for k in kernels)
+    reads = sum(k.bytes_read for k in kernels)
+    writes = sum(k.bytes_written for k in kernels)
+    for a, b in zip(kernels, kernels[1:]):
+        saved = min(a.bytes_written, b.bytes_read)
+        writes -= saved
+        reads -= saved
+    # Live values spanning old boundaries cost ~8 extra registers per joint.
+    regs = max(k.registers_per_thread for k in kernels) + 8 * (len(kernels) - 1)
+    lanes = (
+        sum(k.active_lane_fraction * k.flops for k in kernels) / total_flops
+        if total_flops > 0
+        else min(k.active_lane_fraction for k in kernels)
+    )
+    return KernelSpec(
+        name=name or "+".join(k.name for k in kernels),
+        flops=total_flops,
+        bytes_read=max(reads, 0.0),
+        bytes_written=max(writes, 0.0),
+        threads=max(k.threads for k in kernels),
+        precision=kernels[0].precision,
+        uses_matrix_engine=all(k.uses_matrix_engine for k in kernels),
+        registers_per_thread=regs,
+        lds_per_workgroup=max(k.lds_per_workgroup for k in kernels),
+        workgroup_size=kernels[0].workgroup_size,
+        active_lane_fraction=min(1.0, lanes),
+        launch_count=1,
+    )
+
+
+def fission(kernel: KernelSpec, parts: int) -> list[KernelSpec]:
+    """Split one kernel into *parts* pieces.
+
+    Each piece carries ``1/parts`` of the work but must re-load the live
+    state the original kept in registers, so per-piece traffic gains a
+    spill-avoidance overhead term while register pressure drops roughly
+    proportionally (floored at 32).  This mirrors E3SM's observation:
+    more launches, lower register pressure, often lower total runtime
+    once spills are eliminated.
+    """
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    if parts == 1:
+        return [kernel]
+    regs = max(32, int(math.ceil(kernel.registers_per_thread / parts)) + 8)
+    # Each boundary re-materializes intermediates through memory.
+    boundary_bytes = kernel.threads * 8.0 * 4  # ~4 doubles per thread per cut
+    pieces = []
+    for i in range(parts):
+        pieces.append(
+            replace(
+                kernel,
+                name=f"{kernel.name}.part{i}",
+                flops=kernel.flops / parts,
+                bytes_read=kernel.bytes_read / parts + (boundary_bytes if i > 0 else 0.0),
+                bytes_written=kernel.bytes_written / parts
+                + (boundary_bytes if i < parts - 1 else 0.0),
+                registers_per_thread=regs,
+                launch_count=1,
+            )
+        )
+    return pieces

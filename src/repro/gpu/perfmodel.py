@@ -1,0 +1,126 @@
+"""Roofline-with-overheads kernel timing model.
+
+``kernel_time`` combines:
+
+* the roofline bound ``max(flops / effective_peak, bytes / effective_bw)``,
+* occupancy-driven latency hiding (:mod:`repro.gpu.occupancy`),
+* SIMD divergence (active-lane fraction, wavefront-width sensitivity),
+* register-spill scratch traffic,
+* a fixed per-launch device-side tail latency.
+
+The model is deterministic; run-to-run noise, when wanted, is injected by
+callers with a seeded RNG so experiments stay reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.kernel import KernelSpec
+from repro.gpu.occupancy import (
+    OccupancyResult,
+    compute_occupancy,
+    latency_hiding_from_waves,
+    spill_traffic_bytes,
+)
+from repro.hardware.gpu import GPUSpec
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Breakdown of one kernel execution on one device."""
+
+    kernel: str
+    device: str
+    compute_time: float
+    memory_time: float
+    launch_latency: float
+    occupancy: OccupancyResult
+    effective_flops: float
+
+    @property
+    def execution_time(self) -> float:
+        """Device-side execution time, excluding launch latency."""
+        return max(self.compute_time, self.memory_time)
+
+    @property
+    def total_time(self) -> float:
+        """Wall time of a synchronous launch: latency + execution."""
+        return self.launch_latency + self.execution_time
+
+    @property
+    def bound(self) -> str:
+        return "compute" if self.compute_time >= self.memory_time else "memory"
+
+
+def divergence_factor(kernel: KernelSpec, device: GPUSpec) -> float:
+    """Fraction of SIMD throughput retained under divergence.
+
+    ``active_lane_fraction`` is calibrated at warp width 32.  On a 64-wide
+    wavefront a kernel marked wavefront-sensitive wastes the extra lanes
+    too — the HACC gravity-kernel regression on MI100 (§3.4).
+    """
+    f = kernel.active_lane_fraction
+    if kernel.divergence_wavefront_sensitive and device.wavefront_size > 32:
+        f *= 32.0 / device.wavefront_size
+    return max(f, 1.0 / device.wavefront_size)
+
+
+def time_kernel(kernel: KernelSpec, device: GPUSpec) -> KernelTiming:
+    """Time one launch of *kernel* on an otherwise idle *device*."""
+    occ = compute_occupancy(kernel, device)
+    hiding = latency_hiding_from_waves(occ.waves_per_cu)
+    div = divergence_factor(kernel, device)
+
+    peak = device.peak(kernel.precision, matrix=kernel.uses_matrix_engine)
+    effective_flops = peak * hiding * div
+    compute_time = kernel.flops / effective_flops if kernel.flops > 0 else 0.0
+
+    bw = device.effective_bandwidth * hiding
+    bytes_total = kernel.bytes_total + spill_traffic_bytes(kernel, device)
+    memory_time = bytes_total / bw if bytes_total > 0 else 0.0
+
+    return KernelTiming(
+        kernel=kernel.name,
+        device=device.name,
+        compute_time=compute_time,
+        memory_time=memory_time,
+        launch_latency=device.kernel_launch_latency,
+        occupancy=occ,
+        effective_flops=effective_flops,
+    )
+
+
+def time_kernel_sequence(
+    kernels: list[KernelSpec], device: GPUSpec, *, same_stream_async: bool = True
+) -> float:
+    """Wall time of launching *kernels* back-to-back on one device.
+
+    With ``same_stream_async`` (E3SM's strategy, §3.5) the host enqueues
+    all launches without waiting, so launch latency overlaps the previous
+    kernel's execution: each kernel costs
+    ``max(execution, launch_latency)`` after the first.  Synchronous
+    launching pays ``latency + execution`` every time.
+    """
+    if not kernels:
+        return 0.0
+    total = 0.0
+    first = True
+    for k in kernels:
+        t = time_kernel(k, device)
+        for _ in range(k.launch_count):
+            if not same_stream_async or first:
+                # the very first async launch still waits out its latency
+                total += t.launch_latency + t.execution_time
+                first = False
+            else:
+                total += max(t.execution_time, t.launch_latency)
+    return total
+
+
+def achieved_flops(kernel: KernelSpec, device: GPUSpec) -> float:
+    """Achieved FLOP/s for one synchronous launch (paper's TF/GPU metric)."""
+    t = time_kernel(kernel, device)
+    if t.total_time == 0.0:
+        return 0.0
+    return kernel.flops / t.total_time

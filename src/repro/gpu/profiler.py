@@ -1,0 +1,172 @@
+"""Kernel profiling and compiler diagnostics (§3.2, §3.10.3).
+
+Three tools the paper's teams leaned on:
+
+* :func:`profile_kernels` — per-kernel timing/occupancy/bound reports,
+  sorted hottest-first (the profiling that found LSMS's index-arithmetic
+  bottleneck and LAMMPS's divergence);
+* :func:`assembly_report` — the ``-save-temps`` fields the LAMMPS team
+  read: ``vgpr_count``, ``vgpr_spill_count``,
+  ``amdhsa_private_segment_fixed_size`` (scratch bytes per work-item);
+  the compiler register-allocation fix is modelled by
+  :func:`apply_compiler_fix`;
+* :class:`MathLibrary` — per-function throughput of heavily used device
+  math functions (``pow``, ``exp``, ...), with the ROCm-version
+  optimization story: "microbenchmarking the achieved throughput of some
+  heavily used math functions (e.g., pow() and exp()) exposed some
+  additional optimization opportunities".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.gpu.kernel import KernelSpec
+from repro.gpu.occupancy import compute_occupancy
+from repro.gpu.perfmodel import KernelTiming, time_kernel
+from repro.hardware.gpu import GPUSpec
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """One row of the profiler output."""
+
+    kernel: str
+    time: float
+    share: float  # fraction of the profiled total
+    bound: str
+    occupancy: float
+    limited_by: str
+    spills: int
+
+
+def profile_kernels(kernels: list[KernelSpec], device: GPUSpec) -> list[KernelProfile]:
+    """Profile a kernel set; rows sorted by time, hottest first."""
+    timings: list[tuple[KernelSpec, KernelTiming]] = [
+        (k, time_kernel(k, device)) for k in kernels
+    ]
+    total = sum(t.total_time * k.launch_count for k, t in timings) or 1.0
+    rows = []
+    for k, t in timings:
+        rows.append(KernelProfile(
+            kernel=k.name,
+            time=t.total_time * k.launch_count,
+            share=t.total_time * k.launch_count / total,
+            bound=t.bound,
+            occupancy=t.occupancy.occupancy,
+            limited_by=t.occupancy.limited_by,
+            spills=t.occupancy.spilled_registers_per_thread,
+        ))
+    rows.sort(key=lambda r: -r.time)
+    return rows
+
+
+@dataclass(frozen=True)
+class AssemblyReport:
+    """The fields read from ``-save-temps`` assembly dumps (§3.10.3)."""
+
+    kernel: str
+    vgpr_count: int
+    vgpr_spill_count: int
+    amdhsa_private_segment_fixed_size: int  # scratch bytes per work-item
+    sgpr_count: int
+
+    @property
+    def spills(self) -> bool:
+        return self.vgpr_spill_count > 0
+
+
+def assembly_report(kernel: KernelSpec, device: GPUSpec) -> AssemblyReport:
+    """What the compiler's assembly dump would say for *kernel*."""
+    occ = compute_occupancy(kernel, device)
+    spilled = occ.spilled_registers_per_thread
+    return AssemblyReport(
+        kernel=kernel.name,
+        vgpr_count=min(kernel.registers_per_thread, device.max_registers_per_thread),
+        vgpr_spill_count=spilled,
+        amdhsa_private_segment_fixed_size=4 * spilled,
+        sgpr_count=min(16 + kernel.registers_per_thread // 8, 102),
+    )
+
+
+#: Registers wasted by the double-precision-constant spilling bug the
+#: LAMMPS/AMD collaboration tracked down with DWARF info (§3.10.3): FP64
+#: literals were bounced between scalar and vector registers.
+_CONSTANT_SPILL_WASTE = 48
+
+
+def apply_compiler_fix(kernel: KernelSpec, *, fp64_constants: int = 24) -> KernelSpec:
+    """The register-allocation fix: reclaim the constant-spilling waste.
+
+    Models the post-fix kernel: ``min(fp64_constants * 2, waste)``
+    registers come back (each double held a VGPR pair), which "virtually
+    eliminated register spills from the key kernels".
+    """
+    if fp64_constants < 0:
+        raise ValueError("fp64_constants must be non-negative")
+    reclaimed = min(2 * fp64_constants, _CONSTANT_SPILL_WASTE)
+    return dataclasses.replace(
+        kernel,
+        registers_per_thread=max(16, kernel.registers_per_thread - reclaimed),
+    )
+
+
+@dataclass(frozen=True)
+class MathFunctionSpec:
+    """Throughput of one device math function, in results per clock per CU."""
+
+    name: str
+    rate_per_clock_per_cu: float
+
+
+class MathLibrary:
+    """The ROCm device math library at a given optimization level.
+
+    ``optimized=False`` is the early-ROCm state the microbenchmarks
+    exposed; ``optimized=True`` reflects the §3.10.3 improvements
+    (biggest on ``pow``, which decomposes into log+mul+exp).
+    """
+
+    _BASE: dict[str, float] = {
+        "add": 64.0,
+        "mul": 64.0,
+        "fma": 64.0,
+        "rcp": 16.0,
+        "sqrt": 16.0,
+        "exp": 8.0,
+        "log": 8.0,
+        "pow": 2.0,
+        "sin": 6.0,
+    }
+    _OPTIMIZED_GAIN: dict[str, float] = {"exp": 1.6, "log": 1.5, "pow": 2.2}
+
+    def __init__(self, *, optimized: bool = True) -> None:
+        self.optimized = optimized
+
+    def throughput(self, fn: str, device: GPUSpec) -> float:
+        """Results per second on the whole device."""
+        if fn not in self._BASE:
+            raise KeyError(f"unknown function {fn!r}; known: {sorted(self._BASE)}")
+        rate = self._BASE[fn]
+        if self.optimized:
+            rate *= self._OPTIMIZED_GAIN.get(fn, 1.0)
+        clock = device.peak_flops[next(iter(device.peak_flops))] / (
+            device.compute_units * device.wavefront_size * 2
+        )
+        return rate * device.compute_units * clock
+
+    def microbenchmark(self, device: GPUSpec) -> dict[str, float]:
+        """The §3.10.3 sweep: throughput of every function, results/s."""
+        return {fn: self.throughput(fn, device) for fn in self._BASE}
+
+    def kernel_math_derate(self, kernel_exp_fraction: float, *,
+                           device: GPUSpec) -> float:
+        """Effective throughput fraction for a kernel whose FLOPs are
+        ``kernel_exp_fraction`` transcendental (chemistry kernels)."""
+        if not 0.0 <= kernel_exp_fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        exp_rate = self.throughput("exp", device)
+        fma_rate = self.throughput("fma", device)
+        inv = (1 - kernel_exp_fraction) / fma_rate + kernel_exp_fraction / exp_rate
+        return (1.0 / inv) / fma_rate

@@ -1,0 +1,84 @@
+"""Roofline analysis reports: where kernels sit against a device's limits.
+
+The standard co-design artifact the COE trainings taught: plot (or
+tabulate) every kernel's arithmetic intensity against the device's
+bandwidth and compute ceilings, and say which ceiling binds and how far
+from it the kernel runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpu.kernel import KernelSpec
+from repro.gpu.perfmodel import time_kernel
+from repro.hardware.gpu import GPUSpec, Precision
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel's position on the roofline."""
+
+    kernel: str
+    intensity: float  # flop/byte
+    achieved_flops: float
+    roof_flops: float  # min(peak, bw * intensity)
+    bound: str
+
+    @property
+    def fraction_of_roof(self) -> float:
+        return self.achieved_flops / self.roof_flops if self.roof_flops else 0.0
+
+
+def roofline_curve(device: GPUSpec, *, precision: Precision = Precision.FP64,
+                   matrix: bool = False, n_points: int = 40) -> list[tuple[float, float]]:
+    """(intensity, attainable FLOP/s) samples of the roofline itself."""
+    if n_points < 2:
+        raise ValueError("need at least 2 points")
+    peak = device.peak(precision, matrix=matrix)
+    bw = device.effective_bandwidth
+    ridge = peak / bw
+    intensities = np.logspace(np.log10(ridge / 100), np.log10(ridge * 100), n_points)
+    return [(float(i), float(min(peak, bw * i))) for i in intensities]
+
+
+def place_kernel(kernel: KernelSpec, device: GPUSpec) -> RooflinePoint:
+    """Place one kernel on the device roofline."""
+    timing = time_kernel(kernel, device)
+    intensity = kernel.arithmetic_intensity
+    peak = device.peak(kernel.precision, matrix=kernel.uses_matrix_engine)
+    bw = device.effective_bandwidth
+    roof = min(peak, bw * intensity) if np.isfinite(intensity) else peak
+    achieved = kernel.flops / timing.execution_time if timing.execution_time else 0.0
+    return RooflinePoint(
+        kernel=kernel.name,
+        intensity=float(intensity),
+        achieved_flops=achieved,
+        roof_flops=float(roof),
+        bound=timing.bound,
+    )
+
+
+def roofline_report(kernels: list[KernelSpec], device: GPUSpec) -> str:
+    """A text roofline table for a kernel set on one device."""
+    from repro.core.report import render_table
+
+    rows = []
+    for k in kernels:
+        pt = place_kernel(k, device)
+        rows.append((
+            pt.kernel,
+            f"{pt.intensity:.2f}" if np.isfinite(pt.intensity) else "inf",
+            f"{pt.achieved_flops/1e12:.2f}",
+            f"{pt.roof_flops/1e12:.2f}",
+            f"{pt.fraction_of_roof:.0%}",
+            pt.bound,
+        ))
+    return render_table(
+        ("Kernel", "AI (flop/B)", "Achieved TF", "Roof TF", "Of roof", "Bound"),
+        rows,
+        title=f"Roofline on {device.name} "
+              f"(ridge {device.ridge_intensity(Precision.FP64):.1f} flop/B)",
+    )

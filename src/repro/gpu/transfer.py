@@ -1,0 +1,53 @@
+"""Host-device and peer-to-peer transfer timing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.gpu import GPUSpec
+
+
+@dataclass(frozen=True)
+class TransferTiming:
+    """Timing of one explicit memcpy."""
+
+    bytes: int
+    latency: float
+    bandwidth: float
+
+    @property
+    def time(self) -> float:
+        return self.latency + self.bytes / self.bandwidth
+
+
+def h2d_time(nbytes: int, device: GPUSpec) -> TransferTiming:
+    """Host-to-device copy over the host link."""
+    if nbytes < 0:
+        raise ValueError("transfer size must be non-negative")
+    return TransferTiming(
+        bytes=nbytes,
+        latency=device.host_link_latency,
+        bandwidth=device.host_link_bandwidth,
+    )
+
+
+def d2h_time(nbytes: int, device: GPUSpec) -> TransferTiming:
+    """Device-to-host copy (symmetric links on all catalog parts)."""
+    return h2d_time(nbytes, device)
+
+
+def d2d_time(nbytes: int, device: GPUSpec, *, same_package: bool = False) -> TransferTiming:
+    """Peer-to-peer copy between devices.
+
+    GCDs in one MI250X package share a 200 GB/s in-package Infinity Fabric
+    link; other pairs route over the host link.
+    """
+    if nbytes < 0:
+        raise ValueError("transfer size must be non-negative")
+    if same_package:
+        return TransferTiming(bytes=nbytes, latency=2e-6, bandwidth=200e9)
+    return TransferTiming(
+        bytes=nbytes,
+        latency=device.host_link_latency,
+        bandwidth=device.host_link_bandwidth,
+    )

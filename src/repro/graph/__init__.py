@@ -1,0 +1,42 @@
+"""COAST substrate: Floyd-Warshall APSP, distributed FW, autotuning, knowledge graphs."""
+
+from repro.graph.apsp import apsp_flops, blocked_floyd_warshall, floyd_warshall, minplus
+from repro.graph.distributed import DistributedApspResult, distributed_floyd_warshall
+from repro.graph.knowledge import (
+    EDGE_TYPES,
+    VERTEX_TYPES,
+    KnowledgeGraph,
+    discover_relationships,
+    generate_knowledge_graph,
+)
+from repro.graph.tuning import (
+    DEFAULT_SEARCH_SPACE,
+    AutotuneResult,
+    TileAutotuner,
+    TileConfig,
+    kernel_for_config,
+)
+
+__all__ = [
+    "floyd_warshall_with_paths",
+    "explain_relationships",
+    "DiscoveredPath",
+    "ApspWithPaths",
+    "AutotuneResult",
+    "DEFAULT_SEARCH_SPACE",
+    "DistributedApspResult",
+    "EDGE_TYPES",
+    "KnowledgeGraph",
+    "TileAutotuner",
+    "TileConfig",
+    "VERTEX_TYPES",
+    "apsp_flops",
+    "blocked_floyd_warshall",
+    "discover_relationships",
+    "distributed_floyd_warshall",
+    "floyd_warshall",
+    "generate_knowledge_graph",
+    "kernel_for_config",
+    "minplus",
+]
+from repro.graph.paths import ApspWithPaths, DiscoveredPath, explain_relationships, floyd_warshall_with_paths

@@ -1,0 +1,92 @@
+"""Hardware substrate: GPU/CPU/node/machine/interconnect specifications.
+
+The catalog (`repro.hardware.catalog`) holds frozen instances of every
+system named in the paper; all timing models elsewhere in the library are
+derived from these first-principles spec-sheet numbers.
+"""
+
+from repro.hardware.cpu import ALL_CPUS, CPUSpec, cpu_by_name
+from repro.hardware.gpu import (
+    ALL_GPUS,
+    MI60,
+    MI100,
+    MI250X,
+    MI250X_GCD,
+    P100,
+    V100,
+    GPUSpec,
+    GPUVendor,
+    Precision,
+    gpu_by_name,
+)
+from repro.hardware.interconnect import (
+    ALL_INTERCONNECTS,
+    ARIES,
+    EARLY_ACCESS_FABRIC,
+    IB_EDR,
+    IB_EDR_DUAL,
+    SLINGSHOT_10,
+    SLINGSHOT_11,
+    InterconnectSpec,
+)
+from repro.hardware.machine import MachineSpec
+from repro.hardware.node import NodeSpec
+from repro.hardware.catalog import (
+    ALL_MACHINES,
+    BIRCH,
+    CORI,
+    CRUSHER,
+    EAGLE,
+    EARLY_ACCESS_PROGRESSION,
+    FRONTIER,
+    FRONTIER_NODE,
+    POPLAR,
+    SPOCK,
+    SUMMIT,
+    SUMMIT_NODE,
+    THETA,
+    TULIP,
+    machine_by_name,
+)
+
+__all__ = [
+    "ALL_CPUS",
+    "ALL_GPUS",
+    "ALL_INTERCONNECTS",
+    "ALL_MACHINES",
+    "ARIES",
+    "BIRCH",
+    "CORI",
+    "CRUSHER",
+    "CPUSpec",
+    "EAGLE",
+    "EARLY_ACCESS_FABRIC",
+    "EARLY_ACCESS_PROGRESSION",
+    "FRONTIER",
+    "FRONTIER_NODE",
+    "GPUSpec",
+    "GPUVendor",
+    "IB_EDR",
+    "IB_EDR_DUAL",
+    "InterconnectSpec",
+    "MachineSpec",
+    "MI100",
+    "MI250X",
+    "MI250X_GCD",
+    "MI60",
+    "NodeSpec",
+    "P100",
+    "POPLAR",
+    "Precision",
+    "SLINGSHOT_10",
+    "SLINGSHOT_11",
+    "SPOCK",
+    "SUMMIT",
+    "SUMMIT_NODE",
+    "THETA",
+    "TULIP",
+    "V100",
+    "cpu_by_name",
+    "gpu_by_name",
+    "machine_by_name",
+]

@@ -1,0 +1,137 @@
+"""Canonical machine catalog: every system named in the paper.
+
+Production machines (Summit, Frontier, Cori, Theta, Eagle, Titan-era
+omitted), plus the three generations of Frontier early-access platforms
+described in Section 4: Poplar/Tulip (MI60 + Naples), Spock/Birch
+(MI100 + Rome + Slingshot-10), and Crusher (Frontier node architecture).
+"""
+
+from __future__ import annotations
+
+from repro.hardware import cpu as _cpu
+from repro.hardware import gpu as _gpu
+from repro.hardware import interconnect as _ic
+from repro.hardware.machine import MachineSpec
+from repro.hardware.node import NodeSpec
+
+# ---------------------------------------------------------------------------
+# Node designs
+# ---------------------------------------------------------------------------
+
+SUMMIT_NODE = NodeSpec(
+    name="Summit node",
+    cpu=_cpu.POWER9,
+    cpu_sockets=2,
+    gpu=_gpu.V100,
+    gpus_per_node=6,
+    interconnect=_ic.IB_EDR_DUAL,
+)
+
+FRONTIER_NODE = NodeSpec(
+    name="Frontier node",
+    cpu=_cpu.EPYC_TRENTO,
+    cpu_sockets=1,
+    gpu=_gpu.MI250X_GCD,
+    gpus_per_node=8,  # 4 MI250X packages, each exposing 2 GCDs
+    interconnect=_ic.SLINGSHOT_11,
+)
+
+CORI_NODE = NodeSpec(
+    name="Cori KNL node",
+    cpu=_cpu.KNL_CORI,
+    cpu_sockets=1,
+    interconnect=_ic.ARIES,
+)
+
+THETA_NODE = NodeSpec(
+    name="Theta KNL node",
+    cpu=_cpu.KNL_THETA,
+    cpu_sockets=1,
+    interconnect=_ic.ARIES,
+)
+
+EAGLE_NODE = NodeSpec(
+    name="Eagle node",
+    cpu=_cpu.SKYLAKE_EAGLE,
+    cpu_sockets=2,
+    interconnect=_ic.IB_EDR,
+)
+
+POPLAR_NODE = NodeSpec(
+    name="Poplar/Tulip node",
+    cpu=_cpu.EPYC_NAPLES,
+    cpu_sockets=2,
+    gpu=_gpu.MI60,
+    gpus_per_node=4,
+    interconnect=_ic.EARLY_ACCESS_FABRIC,
+)
+
+SPOCK_NODE = NodeSpec(
+    name="Spock/Birch node",
+    cpu=_cpu.EPYC_ROME,
+    cpu_sockets=1,
+    gpu=_gpu.MI100,
+    gpus_per_node=4,
+    interconnect=_ic.SLINGSHOT_10,
+)
+
+CRUSHER_NODE = NodeSpec(
+    name="Crusher node",
+    cpu=_cpu.EPYC_TRENTO,
+    cpu_sockets=1,
+    gpu=_gpu.MI250X_GCD,
+    gpus_per_node=8,
+    interconnect=_ic.SLINGSHOT_11,
+)
+
+# ---------------------------------------------------------------------------
+# Machines
+# ---------------------------------------------------------------------------
+
+SUMMIT = MachineSpec(name="Summit", site="OLCF", node=SUMMIT_NODE, nodes=4608, year=2018)
+FRONTIER = MachineSpec(
+    name="Frontier", site="OLCF", node=FRONTIER_NODE, nodes=9408, year=2022, generation=4
+)
+CORI = MachineSpec(name="Cori", site="NERSC", node=CORI_NODE, nodes=9688, year=2016)
+THETA = MachineSpec(name="Theta", site="ALCF", node=THETA_NODE, nodes=4392, year=2017)
+EAGLE = MachineSpec(name="Eagle", site="NREL", node=EAGLE_NODE, nodes=2114, year=2018)
+
+POPLAR = MachineSpec(
+    name="Poplar", site="HPE", node=POPLAR_NODE, nodes=64, year=2019, generation=1
+)
+TULIP = MachineSpec(
+    name="Tulip", site="HPE", node=POPLAR_NODE, nodes=64, year=2019, generation=1
+)
+SPOCK = MachineSpec(
+    name="Spock", site="OLCF", node=SPOCK_NODE, nodes=36, year=2021, generation=2
+)
+BIRCH = MachineSpec(
+    name="Birch", site="HPE", node=SPOCK_NODE, nodes=12, year=2020, generation=2
+)
+CRUSHER = MachineSpec(
+    name="Crusher", site="OLCF", node=CRUSHER_NODE, nodes=192, year=2022, generation=3
+)
+
+ALL_MACHINES: tuple[MachineSpec, ...] = (
+    SUMMIT,
+    FRONTIER,
+    CORI,
+    THETA,
+    EAGLE,
+    POPLAR,
+    TULIP,
+    SPOCK,
+    BIRCH,
+    CRUSHER,
+)
+
+#: The paper's early-access progression in deployment order (Section 4).
+EARLY_ACCESS_PROGRESSION: tuple[MachineSpec, ...] = (POPLAR, TULIP, BIRCH, SPOCK, CRUSHER)
+
+
+def machine_by_name(name: str) -> MachineSpec:
+    """Look up a catalog machine by name (case-insensitive)."""
+    for m in ALL_MACHINES:
+        if m.name.lower() == name.lower():
+            return m
+    raise KeyError(f"unknown machine {name!r}; known: {[m.name for m in ALL_MACHINES]}")

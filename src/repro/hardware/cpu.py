@@ -1,0 +1,146 @@
+"""CPU hardware specifications for the machines in the paper's history.
+
+Figure 2's PeleC timeline starts on many-core CPU machines (Cori and Theta's
+Knights Landing, Eagle's Skylake), and every GPU node also has a host CPU
+whose throughput matters for un-offloaded code.  The model is the same
+roofline style as the GPU side: peak FLOP/s and streaming bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.gpu import Precision
+
+_T = 1e12
+_G = 1e9
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """Static description of one CPU socket.
+
+    ``peak_flops_fp64`` is the vector peak of one socket; ``mem_bandwidth``
+    is the socket's streaming bandwidth (MCDRAM for KNL).  ``smt`` is the
+    hardware-thread multiplier.
+    """
+
+    name: str
+    cores: int
+    peak_flops_fp64: float
+    mem_bandwidth: float
+    mem_capacity: float
+    smt: int = 1
+    base_clock_hz: float = 2.0e9
+
+    @property
+    def peak_flops_fp32(self) -> float:
+        return 2.0 * self.peak_flops_fp64
+
+    def peak(self, precision: Precision) -> float:
+        if precision == Precision.FP64:
+            return self.peak_flops_fp64
+        return self.peak_flops_fp32
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Achievable streaming bandwidth in B/s (0.8 derate vs. spec)."""
+        return 0.8 * self.mem_bandwidth
+
+
+_GiB = 1024.0**3
+
+#: Intel Xeon Phi 7250 "Knights Landing" — NERSC Cori (68 cores/node).
+KNL_CORI = CPUSpec(
+    name="Xeon Phi 7250 (Cori)",
+    cores=68,
+    peak_flops_fp64=3.0 * _T,
+    mem_bandwidth=450 * _G,  # MCDRAM
+    mem_capacity=96 * _GiB,
+    smt=4,
+    base_clock_hz=1.4e9,
+)
+
+#: Intel Xeon Phi 7230 — ANL Theta (64 cores/node).
+KNL_THETA = CPUSpec(
+    name="Xeon Phi 7230 (Theta)",
+    cores=64,
+    peak_flops_fp64=2.6 * _T,
+    mem_bandwidth=450 * _G,
+    mem_capacity=192 * _GiB,
+    smt=4,
+    base_clock_hz=1.3e9,
+)
+
+#: Intel Xeon Gold 6154 "Skylake" — NREL Eagle (dual socket, 18 cores each).
+SKYLAKE_EAGLE = CPUSpec(
+    name="Xeon Gold 6154 (Eagle)",
+    cores=18,
+    peak_flops_fp64=1.1 * _T,
+    mem_bandwidth=128 * _G,
+    mem_capacity=96 * _GiB,
+    smt=2,
+    base_clock_hz=3.0e9,
+)
+
+#: IBM POWER9 — OLCF Summit host CPU (22 cores/socket, 2 sockets).
+POWER9 = CPUSpec(
+    name="POWER9",
+    cores=22,
+    peak_flops_fp64=0.54 * _T,
+    mem_bandwidth=170 * _G,
+    mem_capacity=256 * _GiB,
+    smt=4,
+    base_clock_hz=3.1e9,
+)
+
+#: AMD EPYC 7601 "Naples" — first-gen early access (Poplar/Tulip).
+EPYC_NAPLES = CPUSpec(
+    name="EPYC 7601 (Naples)",
+    cores=32,
+    peak_flops_fp64=0.56 * _T,
+    mem_bandwidth=170 * _G,
+    mem_capacity=256 * _GiB,
+    smt=2,
+    base_clock_hz=2.2e9,
+)
+
+#: AMD EPYC 7662 "Rome" — second-gen early access (Spock/Birch).
+EPYC_ROME = CPUSpec(
+    name="EPYC 7662 (Rome)",
+    cores=64,
+    peak_flops_fp64=2.0 * _T,
+    mem_bandwidth=204 * _G,
+    mem_capacity=256 * _GiB,
+    smt=2,
+    base_clock_hz=2.0e9,
+)
+
+#: AMD "optimized 3rd-gen EPYC" (Trento) — Crusher and Frontier host CPU.
+EPYC_TRENTO = CPUSpec(
+    name="EPYC 7A53 (Trento)",
+    cores=64,
+    peak_flops_fp64=2.0 * _T,
+    mem_bandwidth=205 * _G,
+    mem_capacity=512 * _GiB,
+    smt=2,
+    base_clock_hz=2.0e9,
+)
+
+ALL_CPUS: tuple[CPUSpec, ...] = (
+    KNL_CORI,
+    KNL_THETA,
+    SKYLAKE_EAGLE,
+    POWER9,
+    EPYC_NAPLES,
+    EPYC_ROME,
+    EPYC_TRENTO,
+)
+
+
+def cpu_by_name(name: str) -> CPUSpec:
+    """Look up a catalog CPU by its exact :attr:`CPUSpec.name`."""
+    for spec in ALL_CPUS:
+        if spec.name == name:
+            return spec
+    raise KeyError(f"unknown CPU {name!r}; known: {[c.name for c in ALL_CPUS]}")

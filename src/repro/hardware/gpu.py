@@ -1,0 +1,298 @@
+"""GPU hardware specifications.
+
+Every accelerator named in the paper is modelled from public spec-sheet
+numbers: peak floating-point throughput per precision, HBM bandwidth and
+capacity, host link bandwidth, kernel-launch latency, wavefront width, and
+the register/LDS resources that drive the occupancy model in
+:mod:`repro.gpu.occupancy`.
+
+The MI250X is a dual-die package: each Graphics Compute Die (GCD) is
+addressed as a separate device by the runtime, so the catalog exposes both
+the per-GCD device (what a rank binds to) and the full-package aggregate
+(what marketing numbers quote).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Precision(enum.Enum):
+    """Arithmetic precision of a kernel's dominant floating-point work."""
+
+    FP64 = "fp64"
+    FP32 = "fp32"
+    FP16 = "fp16"
+    BF16 = "bf16"
+    INT8 = "int8"
+
+    @property
+    def bytes_per_element(self) -> int:
+        return {
+            Precision.FP64: 8,
+            Precision.FP32: 4,
+            Precision.FP16: 2,
+            Precision.BF16: 2,
+            Precision.INT8: 1,
+        }[self]
+
+
+class GPUVendor(enum.Enum):
+    NVIDIA = "nvidia"
+    AMD = "amd"
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of one GPU device (one die, for dual-die parts).
+
+    Parameters
+    ----------
+    name:
+        Human-readable product name (e.g. ``"MI250X (1 GCD)"``).
+    vendor:
+        :class:`GPUVendor`; selects the native programming model and the
+        wavefront width default.
+    peak_flops:
+        Map from :class:`Precision` to peak vector throughput in FLOP/s.
+    peak_matrix_flops:
+        Map from :class:`Precision` to peak matrix-engine (tensor core /
+        MFMA) throughput in FLOP/s.  Empty for devices without one.
+    mem_bandwidth:
+        STREAM-achievable device memory bandwidth in B/s (we store the
+        spec-sheet number; an ``hbm_efficiency`` derate is applied by the
+        perf model).
+    mem_capacity:
+        Device memory capacity in bytes.
+    host_link_bandwidth:
+        Host-device link bandwidth in B/s (PCIe gen3/4, or Infinity
+        Fabric for Frontier's coherent CPU-GPU link).
+    host_link_latency:
+        One-way host-device transfer setup latency in seconds.
+    kernel_launch_latency:
+        Time from launch API call until the kernel starts on an idle
+        device, in seconds.
+    compute_units:
+        Number of SMs (NVIDIA) or CUs (AMD).
+    wavefront_size:
+        Native SIMD width: 32 on NVIDIA, 64 on AMD CDNA.
+    registers_per_cu:
+        32-bit architectural vector registers available per CU/SM.
+    max_registers_per_thread:
+        Compiler ceiling before spilling to scratch.
+    lds_per_cu:
+        Shared-memory/LDS bytes per CU/SM.
+    max_waves_per_cu:
+        Hardware occupancy ceiling, in wavefronts per CU.
+    hbm_efficiency:
+        Fraction of spec-sheet bandwidth achievable by well-written
+        streaming kernels (≈0.85 on HBM2e parts).
+    """
+
+    name: str
+    vendor: GPUVendor
+    peak_flops: dict[Precision, float]
+    peak_matrix_flops: dict[Precision, float] = field(default_factory=dict)
+    mem_bandwidth: float = 0.0
+    mem_capacity: float = 0.0
+    host_link_bandwidth: float = 0.0
+    host_link_latency: float = 10e-6
+    kernel_launch_latency: float = 5e-6
+    compute_units: int = 0
+    wavefront_size: int = 32
+    registers_per_cu: int = 65536
+    max_registers_per_thread: int = 255
+    lds_per_cu: int = 65536
+    max_waves_per_cu: int = 32
+    hbm_efficiency: float = 0.85
+
+    def peak(self, precision: Precision, *, matrix: bool = False) -> float:
+        """Peak FLOP/s at *precision*, using the matrix engine if requested.
+
+        Falls back to vector throughput when no matrix engine supports the
+        precision, mirroring how libraries fall back to vector kernels.
+        """
+        if matrix and precision in self.peak_matrix_flops:
+            return self.peak_matrix_flops[precision]
+        if precision not in self.peak_flops:
+            raise KeyError(f"{self.name} has no {precision.value} throughput")
+        return self.peak_flops[precision]
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Achievable streaming bandwidth in B/s."""
+        return self.mem_bandwidth * self.hbm_efficiency
+
+    def ridge_intensity(self, precision: Precision, *, matrix: bool = False) -> float:
+        """Roofline ridge point (FLOP/byte) at *precision*."""
+        return self.peak(precision, matrix=matrix) / self.effective_bandwidth
+
+
+_T = 1e12
+_G = 1e9
+_GiB = 1024.0**3
+
+#: NVIDIA Tesla V100 (SXM2, 16/32 GB) — six per Summit node.
+V100 = GPUSpec(
+    name="V100",
+    vendor=GPUVendor.NVIDIA,
+    peak_flops={
+        Precision.FP64: 7.8 * _T,
+        Precision.FP32: 15.7 * _T,
+        Precision.FP16: 31.4 * _T,
+    },
+    peak_matrix_flops={Precision.FP16: 125.0 * _T},
+    mem_bandwidth=900 * _G,
+    mem_capacity=16 * _GiB,
+    host_link_bandwidth=50 * _G,  # NVLink2 to POWER9 (3 bricks x ~16.6 GB/s)
+    host_link_latency=8e-6,
+    kernel_launch_latency=4.0e-6,
+    compute_units=80,
+    wavefront_size=32,
+    registers_per_cu=65536,
+    max_registers_per_thread=255,
+    lds_per_cu=96 * 1024,
+    max_waves_per_cu=64,
+    hbm_efficiency=0.87,
+)
+
+#: NVIDIA P100 — for the 2018 starting points in Figure 2's history.
+P100 = GPUSpec(
+    name="P100",
+    vendor=GPUVendor.NVIDIA,
+    peak_flops={
+        Precision.FP64: 5.3 * _T,
+        Precision.FP32: 10.6 * _T,
+        Precision.FP16: 21.2 * _T,
+    },
+    mem_bandwidth=732 * _G,
+    mem_capacity=16 * _GiB,
+    host_link_bandwidth=16 * _G,
+    kernel_launch_latency=5.0e-6,
+    compute_units=56,
+    wavefront_size=32,
+    max_waves_per_cu=64,
+    hbm_efficiency=0.82,
+)
+
+#: AMD Instinct MI60 — first-generation early-access systems (Poplar/Tulip).
+MI60 = GPUSpec(
+    name="MI60",
+    vendor=GPUVendor.AMD,
+    peak_flops={
+        Precision.FP64: 7.4 * _T,
+        Precision.FP32: 14.7 * _T,
+        Precision.FP16: 29.5 * _T,
+    },
+    mem_bandwidth=1024 * _G,
+    mem_capacity=32 * _GiB,
+    host_link_bandwidth=32 * _G,  # PCIe gen4 x16
+    kernel_launch_latency=7.0e-6,  # early ROCm launch path was slower
+    compute_units=64,
+    wavefront_size=64,
+    registers_per_cu=131072,
+    max_registers_per_thread=256,
+    lds_per_cu=64 * 1024,
+    max_waves_per_cu=40,
+    hbm_efficiency=0.80,
+)
+
+#: AMD Instinct MI100 — second-generation early access (Spock/Birch).
+MI100 = GPUSpec(
+    name="MI100",
+    vendor=GPUVendor.AMD,
+    peak_flops={
+        Precision.FP64: 11.5 * _T,
+        Precision.FP32: 23.1 * _T,
+        Precision.FP16: 46.1 * _T,
+    },
+    peak_matrix_flops={
+        Precision.FP32: 46.1 * _T,
+        Precision.FP16: 184.6 * _T,
+        Precision.BF16: 92.3 * _T,
+    },
+    mem_bandwidth=1228 * _G,
+    mem_capacity=32 * _GiB,
+    host_link_bandwidth=32 * _G,
+    kernel_launch_latency=6.0e-6,
+    compute_units=120,
+    wavefront_size=64,
+    registers_per_cu=131072,
+    max_registers_per_thread=256,
+    lds_per_cu=64 * 1024,
+    max_waves_per_cu=40,
+    hbm_efficiency=0.82,
+)
+
+#: One Graphics Compute Die of the AMD Instinct MI250X.  Frontier exposes
+#: each GCD as a separate device; a node has 4 packages = 8 GCDs.
+MI250X_GCD = GPUSpec(
+    name="MI250X (1 GCD)",
+    vendor=GPUVendor.AMD,
+    peak_flops={
+        Precision.FP64: 23.95 * _T,
+        Precision.FP32: 23.95 * _T,
+        Precision.FP16: 95.8 * _T,
+    },
+    peak_matrix_flops={
+        Precision.FP64: 47.9 * _T,
+        Precision.FP32: 47.9 * _T,
+        Precision.FP16: 191.5 * _T,
+        Precision.BF16: 191.5 * _T,
+        Precision.INT8: 191.5 * _T,
+    },
+    mem_bandwidth=1638 * _G,
+    mem_capacity=64 * _GiB,
+    host_link_bandwidth=36 * _G,  # Infinity Fabric CPU-GCD link
+    host_link_latency=6e-6,
+    kernel_launch_latency=5.0e-6,
+    compute_units=110,
+    wavefront_size=64,
+    registers_per_cu=131072,
+    max_registers_per_thread=256,
+    lds_per_cu=64 * 1024,
+    max_waves_per_cu=32,
+    hbm_efficiency=0.85,
+)
+
+#: Full MI250X package (both GCDs) — used when quoting per-"GPU" numbers the
+#: way the paper does (e.g. COAST's 30.6 TF on "one MI250X").
+MI250X = GPUSpec(
+    name="MI250X",
+    vendor=GPUVendor.AMD,
+    peak_flops={
+        Precision.FP64: 47.9 * _T,
+        Precision.FP32: 47.9 * _T,
+        Precision.FP16: 191.5 * _T,
+    },
+    peak_matrix_flops={
+        Precision.FP64: 95.7 * _T,
+        Precision.FP32: 95.7 * _T,
+        Precision.FP16: 383.0 * _T,
+        Precision.BF16: 383.0 * _T,
+        Precision.INT8: 383.0 * _T,
+    },
+    mem_bandwidth=3276 * _G,
+    mem_capacity=128 * _GiB,
+    host_link_bandwidth=72 * _G,
+    host_link_latency=6e-6,
+    kernel_launch_latency=5.0e-6,
+    compute_units=220,
+    wavefront_size=64,
+    registers_per_cu=131072,
+    max_registers_per_thread=256,
+    lds_per_cu=64 * 1024,
+    max_waves_per_cu=32,
+    hbm_efficiency=0.85,
+)
+
+ALL_GPUS: tuple[GPUSpec, ...] = (P100, V100, MI60, MI100, MI250X_GCD, MI250X)
+
+
+def gpu_by_name(name: str) -> GPUSpec:
+    """Look up a catalog GPU by its exact :attr:`GPUSpec.name`."""
+    for spec in ALL_GPUS:
+        if spec.name == name:
+            return spec
+    raise KeyError(f"unknown GPU {name!r}; known: {[g.name for g in ALL_GPUS]}")

@@ -1,0 +1,48 @@
+"""Machine (full-system) specifications."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.gpu import Precision
+from repro.hardware.node import NodeSpec
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A named system: a node design replicated ``nodes`` times.
+
+    ``generation`` tags the paper's early-access progression: 0 for
+    production precursors (Summit, Cori, ...), 1-3 for the three
+    early-access generations, 4 for Frontier itself.
+    """
+
+    name: str
+    site: str
+    node: NodeSpec
+    nodes: int
+    year: int
+    generation: int = 0
+
+    def peak_flops(self, precision: Precision = Precision.FP64, *, matrix: bool = False) -> float:
+        """System peak FLOP/s at *precision*."""
+        return self.nodes * self.node.peak_flops(precision, matrix=matrix)
+
+    @property
+    def total_devices(self) -> int:
+        """Total GPU devices in the system (0 for CPU machines)."""
+        return self.nodes * self.node.gpus_per_node
+
+    def describe(self) -> str:
+        """One-line summary used by reports and examples."""
+        gpu = (
+            f"{self.node.gpus_per_node}x {self.node.gpu.name}"
+            if self.node.has_gpus
+            else "CPU-only"
+        )
+        pf = self.peak_flops(Precision.FP64) / 1e15
+        return (
+            f"{self.name} ({self.site}, {self.year}): {self.nodes} nodes x "
+            f"[{self.node.cpu_sockets}x {self.node.cpu.name} + {gpu}], "
+            f"{pf:.2f} PF FP64"
+        )

@@ -1,0 +1,13 @@
+"""Cholla-class compressible hydro substrate (1-D Euler, HLL)."""
+
+from repro.hydro.euler1d import (
+    SOD_EXACT,
+    Euler1D,
+    IdealGas,
+    sod_plateau_states,
+)
+
+__all__ = [
+    "ignition_demo",
+    "ReactingFlow1D","Euler1D", "IdealGas", "SOD_EXACT", "sod_plateau_states"]
+from repro.hydro.reacting import ReactingFlow1D, ignition_demo

@@ -1,0 +1,138 @@
+"""Dense solvers: LAPACK-style LU and the LSMS ``zblock_lu`` alternative.
+
+LSMS (§3.2) needs the *first diagonal block* of the inverse of a large
+complex non-Hermitian matrix (the τ-matrix of the local interaction zone).
+Two algorithms:
+
+* ``getrf``/``getrs`` — full LU factorization then solve against the first
+  block columns of the identity (what rocSOLVER provides);
+* :func:`zblock_lu` — the historical block-elimination algorithm that
+  only computes the needed block, with a slightly lower FLOP count.
+
+Both are implemented for real (they agree to rounding on random systems),
+and both expose FLOP counts so the perf model can reproduce the paper's
+observation that the library LU wins on MI250X despite more FLOPs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.linalg as sla
+
+from repro.gpu.kernel import KernelSpec
+from repro.hardware.gpu import Precision
+
+
+@dataclass(frozen=True)
+class LUFactorization:
+    """Result of :func:`getrf` (compact LU plus pivots)."""
+
+    lu: np.ndarray
+    piv: np.ndarray
+
+
+def getrf(a: np.ndarray) -> LUFactorization:
+    """LU factorization with partial pivoting (rocsolver_zgetrf analogue)."""
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ValueError(f"getrf needs a square matrix, got {a.shape}")
+    lu, piv = sla.lu_factor(a)
+    return LUFactorization(lu=lu, piv=piv)
+
+
+def getrs(fact: LUFactorization, b: np.ndarray) -> np.ndarray:
+    """Solve A x = b from a prior factorization (rocsolver_zgetrs)."""
+    return sla.lu_solve((fact.lu, fact.piv), b)
+
+
+def invert_first_block_lu(a: np.ndarray, block_size: int) -> np.ndarray:
+    """First ``block_size`` diagonal block of A⁻¹ via full LU (library path)."""
+    n = a.shape[0]
+    if not 0 < block_size <= n:
+        raise ValueError(f"block_size {block_size} out of range for n={n}")
+    fact = getrf(a)
+    rhs = np.zeros((n, block_size), dtype=a.dtype)
+    rhs[:block_size, :] = np.eye(block_size, dtype=a.dtype)
+    return getrs(fact, rhs)[:block_size, :]
+
+
+def zblock_lu(a: np.ndarray, block_size: int) -> np.ndarray:
+    """First diagonal block of A⁻¹ by block elimination (LSMS zblock_lu).
+
+    Eliminates trailing blocks bottom-up: for each trailing block *k*,
+    ``A[:k, :k] -= A[:k, k] · A[k, k]⁻¹ · A[k, :k]`` restricted to the
+    surviving leading submatrix, then inverts the final leading block.
+    Touches only the work needed for the leading block — the "slightly
+    lower total floating point operation count" of §3.2.
+    """
+    n = a.shape[0]
+    if not 0 < block_size <= n:
+        raise ValueError(f"block_size {block_size} out of range for n={n}")
+    if n % block_size != 0:
+        raise ValueError(f"n={n} must be a multiple of block_size={block_size}")
+    nblocks = n // block_size
+    work = a.astype(a.dtype, copy=True)
+    for k in range(nblocks - 1, 0, -1):
+        lo, hi = k * block_size, (k + 1) * block_size
+        akk = work[lo:hi, lo:hi]
+        # Schur update of everything above-left of block k
+        akk_inv_arow = np.linalg.solve(akk, work[lo:hi, :lo])
+        work[:lo, :lo] -= work[:lo, lo:hi] @ akk_inv_arow
+    return np.linalg.inv(work[:block_size, :block_size])
+
+
+# ---------------------------------------------------------------------------
+# FLOP counts and kernel descriptors
+# ---------------------------------------------------------------------------
+
+
+def getrf_flops(n: int, *, complex_data: bool = True) -> float:
+    """2/3 n³ real multiply-adds; complex arithmetic costs 4x."""
+    base = (2.0 / 3.0) * n**3
+    return 4.0 * base if complex_data else base
+
+
+def getrs_flops(n: int, nrhs: int, *, complex_data: bool = True) -> float:
+    base = 2.0 * n**2 * nrhs
+    return 4.0 * base if complex_data else base
+
+
+def zblock_lu_flops(n: int, block_size: int, *, complex_data: bool = True) -> float:
+    """Block-elimination FLOPs: Σ over trailing blocks of the Schur update.
+
+    For block k with leading size m=k·b: one b×b solve against m columns
+    (2b²m) plus one m×m ·(m×b · b×m) update (2m²b), then the final b³
+    inversion.
+    """
+    b = block_size
+    nblocks = n // b
+    total = 2.0 * b**3  # final inversion
+    for k in range(nblocks - 1, 0, -1):
+        m = k * b
+        total += 2.0 * b * b * m  # solve A_kk^-1 * A_k,row
+        total += 2.0 * m * m * b  # rank-b Schur update
+    return 4.0 * total if complex_data else total
+
+
+def solver_kernel_spec(name: str, flops: float, n: int, *,
+                       precision: Precision = Precision.FP64,
+                       complex_data: bool = True,
+                       efficiency: float = 0.5) -> KernelSpec:
+    """Kernel descriptor for a dense-solver call.
+
+    Factorizations are less efficient than GEMM (pivoting, panel work):
+    default 50 % of peak, matching measured rocSOLVER/cuSOLVER fractions.
+    """
+    itemsize = precision.bytes_per_element * (2 if complex_data else 1)
+    return KernelSpec(
+        name=name,
+        flops=flops / efficiency,
+        bytes_read=float(2 * n * n * itemsize),
+        bytes_written=float(n * n * itemsize),
+        threads=max(n * n, 64),
+        precision=precision,
+        uses_matrix_engine=False,  # pivoted panels don't run on MFMA
+        registers_per_thread=64,  # vendor solver kernels stay occupancy-lean
+        workgroup_size=256,
+    )

@@ -1,0 +1,142 @@
+"""Charge equilibration (QEq) with separate or fused dual CG (§3.10.2).
+
+ReaxFF's partial-charge equilibration solves two linear systems with the
+*same* matrix H (shielded electrostatics plus atomic hardness):
+
+    H s = -χ        H t = -1
+
+then sets q = s - (Σs/Σt) t so charges sum to zero.  Aktulga's
+optimization, restored to the Kokkos backend during the Frontier work,
+fuses the two conjugate-gradient loops: each iteration reads H once for
+both right-hand sides (halving memory traffic) and shares one allreduce
+(halving the latency-bound communication), and the loop runs
+max(iter₁, iter₂) times instead of iter₁ + iter₂.
+
+Counters on both paths make the savings measurable and testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.md.neighbor import SimBox
+
+
+@dataclass
+class CgStats:
+    iterations: int = 0
+    matrix_reads: int = 0  # full passes over H
+    allreduces: int = 0  # global dot-product reductions
+
+
+def qeq_matrix(x: np.ndarray, box: SimBox, *, cutoff: float = 4.0,
+               hardness: float = 12.0) -> np.ndarray:
+    """Shielded-Coulomb QEq matrix: SPD by hardness-dominated diagonal."""
+    n = len(x)
+    xw = box.wrap(x)
+    H = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            d = box.minimum_image(xw[j] - xw[i])
+            r = float(np.linalg.norm(d))
+            if r < cutoff:
+                # tapered shielded interaction, smooth to zero at cutoff
+                taper = (1 - (r / cutoff) ** 2) ** 2
+                H[i, j] = H[j, i] = taper / np.sqrt(r**2 + 1.0)
+        H[i, i] = hardness
+    return H
+
+
+def cg(H: np.ndarray, b: np.ndarray, *, tol: float = 1e-10,
+       maxiter: int = 1000) -> tuple[np.ndarray, CgStats]:
+    """Plain conjugate gradients with work counters."""
+    stats = CgStats()
+    x = np.zeros_like(b)
+    r = b.copy()
+    p = r.copy()
+    rr = float(r @ r)
+    stats.allreduces += 1
+    bnorm = np.sqrt(float(b @ b)) or 1.0
+    for _ in range(maxiter):
+        if np.sqrt(rr) / bnorm <= tol:
+            break
+        Hp = H @ p
+        stats.matrix_reads += 1
+        alpha = rr / float(p @ Hp)
+        stats.allreduces += 1
+        x += alpha * p
+        r -= alpha * Hp
+        rr_new = float(r @ r)
+        stats.allreduces += 1
+        p = r + (rr_new / rr) * p
+        rr = rr_new
+        stats.iterations += 1
+    return x, stats
+
+
+def dual_cg(H: np.ndarray, b1: np.ndarray, b2: np.ndarray, *, tol: float = 1e-10,
+            maxiter: int = 1000) -> tuple[np.ndarray, np.ndarray, CgStats]:
+    """Fused dual-RHS conjugate gradients.
+
+    One pass over H serves both systems per iteration (a single matvec
+    with two columns), and the dot products of both systems share each
+    allreduce.  A converged system freezes while the other continues.
+    """
+    stats = CgStats()
+    n = b1.size
+    X = np.zeros((n, 2))
+    B = np.stack([b1, b2], axis=1)
+    R = B.copy()
+    P = R.copy()
+    rr = np.einsum("ij,ij->j", R, R)
+    stats.allreduces += 1  # both reductions share one message
+    bnorm = np.maximum(np.sqrt(np.einsum("ij,ij->j", B, B)), 1.0)
+    active = np.array([True, True])
+    for _ in range(maxiter):
+        active = np.sqrt(rr) / bnorm > tol
+        if not active.any():
+            break
+        HP = H @ P  # one read of H covers both columns
+        stats.matrix_reads += 1
+        pHp = np.einsum("ij,ij->j", P, HP)
+        stats.allreduces += 1
+        alpha = np.where(active, rr / np.where(pHp == 0, 1, pHp), 0.0)
+        X += alpha * P
+        R -= alpha * HP
+        rr_new = np.einsum("ij,ij->j", R, R)
+        stats.allreduces += 1
+        beta = np.where(active, rr_new / np.where(rr == 0, 1, rr), 0.0)
+        P = R + beta * P
+        rr = rr_new
+        stats.iterations += 1
+    return X[:, 0], X[:, 1], stats
+
+
+@dataclass
+class QeqResult:
+    charges: np.ndarray
+    stats: CgStats
+
+
+def equilibrate_charges(x: np.ndarray, box: SimBox, chi: np.ndarray, *,
+                        cutoff: float = 4.0, hardness: float = 12.0,
+                        fused: bool = True, tol: float = 1e-10) -> QeqResult:
+    """Full QEq: build H, solve both systems, combine to net-zero charges."""
+    if chi.shape != (len(x),):
+        raise ValueError("chi must have one electronegativity per atom")
+    H = qeq_matrix(x, box, cutoff=cutoff, hardness=hardness)
+    ones = np.ones(len(x))
+    if fused:
+        s, t, stats = dual_cg(H, -chi, -ones, tol=tol)
+    else:
+        s, s1 = cg(H, -chi, tol=tol)
+        t, s2 = cg(H, -ones, tol=tol)
+        stats = CgStats(
+            iterations=s1.iterations + s2.iterations,
+            matrix_reads=s1.matrix_reads + s2.matrix_reads,
+            allreduces=s1.allreduces + s2.allreduces,
+        )
+    q = s - t * (s.sum() / t.sum())
+    return QeqResult(charges=q, stats=stats)

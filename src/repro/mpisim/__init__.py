@@ -1,0 +1,50 @@
+"""Simulated MPI: communicator with real data semantics + Hockney cost models."""
+
+from repro.mpisim.comm import CommError, CommStats, PendingOp, SimComm
+from repro.mpisim.costmodel import (
+    INTRA_NODE,
+    LinkParameters,
+    allgather_time,
+    allreduce_time,
+    alltoall_time,
+    alltoallv_time,
+    barrier_time,
+    bcast_time,
+    link_parameters,
+    ranks_per_nic,
+    reduce_scatter_time,
+    reduce_time,
+)
+from repro.mpisim.decomposition import (
+    BlockDecomposition,
+    DecompositionError,
+    PencilDecomposition,
+    SlabDecomposition,
+    balanced_pencil_grid,
+)
+from repro.mpisim.topology import Topology
+
+__all__ = [
+    "BlockDecomposition",
+    "CommError",
+    "CommStats",
+    "DecompositionError",
+    "INTRA_NODE",
+    "LinkParameters",
+    "PencilDecomposition",
+    "PendingOp",
+    "SimComm",
+    "SlabDecomposition",
+    "Topology",
+    "allgather_time",
+    "allreduce_time",
+    "alltoall_time",
+    "alltoallv_time",
+    "balanced_pencil_grid",
+    "barrier_time",
+    "bcast_time",
+    "link_parameters",
+    "ranks_per_nic",
+    "reduce_scatter_time",
+    "reduce_time",
+]

@@ -1,0 +1,273 @@
+"""A bulk-synchronous simulated communicator with real data semantics.
+
+Applications written against :class:`SimComm` hold *all* ranks' data (SPMD
+state as lists indexed by rank) and invoke collectives that both compute
+the correct result and advance per-rank simulated clocks using the cost
+models in :mod:`repro.mpisim.costmodel`.  This mirrors how mpi4py programs
+look (§guide: buffer-based collectives), while staying single-process and
+deterministic.
+
+Clock semantics:
+
+* each rank has its own clock (``clocks[r]``);
+* a point-to-point transfer completes at
+  ``max(clock[src], clock[dst]) + t`` for both ends;
+* a collective is synchronizing: all participating clocks advance to
+  ``max(clocks) + T_collective``;
+* nonblocking ops return a :class:`PendingOp` whose ``wait`` applies the
+  completion — overlap is modelled by letting the caller advance clocks
+  with compute in between.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.hardware.interconnect import InterconnectSpec
+from repro.mpisim import costmodel as cm
+from repro.mpisim.topology import Topology
+
+
+class CommError(RuntimeError):
+    pass
+
+
+@dataclass
+class CommStats:
+    """Aggregate communication accounting across all ranks."""
+
+    p2p_messages: int = 0
+    p2p_bytes: float = 0.0
+    collectives: int = 0
+    collective_bytes: float = 0.0
+    total_comm_time: float = 0.0  # sum over ranks of time spent communicating
+
+
+@dataclass
+class PendingOp:
+    """Handle for a nonblocking operation."""
+
+    complete_at: dict[int, float]  # rank -> completion time
+    comm: "SimComm"
+    done: bool = False
+
+    def wait(self) -> None:
+        """Block each participating rank until its completion time."""
+        if self.done:
+            return
+        for rank, t in self.complete_at.items():
+            self.comm.clocks[rank] = max(self.comm.clocks[rank], t)
+        self.done = True
+
+
+class SimComm:
+    """Simulated communicator over ``nranks`` ranks."""
+
+    def __init__(
+        self,
+        nranks: int,
+        fabric: InterconnectSpec,
+        *,
+        ranks_per_node: int = 1,
+        device_buffers: bool = False,
+    ) -> None:
+        if nranks < 1:
+            raise CommError("communicator needs at least one rank")
+        self.nranks = nranks
+        self.topology = Topology(nranks=nranks, ranks_per_node=ranks_per_node, fabric=fabric)
+        self.device_buffers = device_buffers
+        self.clocks = np.zeros(nranks, dtype=float)
+        self.stats = CommStats()
+
+    # -- clock helpers ---------------------------------------------------------
+
+    def advance(self, rank: int, dt: float) -> None:
+        """Rank-local compute time."""
+        if dt < 0:
+            raise CommError("time must advance forward")
+        self.clocks[rank] += dt
+
+    def advance_all(self, dt: float | np.ndarray) -> None:
+        """Compute time on every rank (scalar or per-rank array)."""
+        dt_arr = np.asarray(dt, dtype=float)
+        if np.any(dt_arr < 0):
+            raise CommError("time must advance forward")
+        self.clocks += dt_arr
+
+    @property
+    def elapsed(self) -> float:
+        """Simulated wall time: the slowest rank's clock."""
+        return float(self.clocks.max())
+
+    def load_imbalance(self) -> float:
+        """max/mean clock ratio — 1.0 is perfectly balanced."""
+        mean = float(self.clocks.mean())
+        return float(self.clocks.max()) / mean if mean > 0 else 1.0
+
+    # -- internal ------------------------------------------------------------------
+
+    def _sync_collective(self, nbytes: float, time_fn: Callable[..., float],
+                         *, participants: Sequence[int] | None = None) -> None:
+        ranks = range(self.nranks) if participants is None else participants
+        p = len(list(ranks)) if participants is not None else self.nranks
+        link = self.topology.internode_link(device_buffers=self.device_buffers)
+        t = time_fn(p, nbytes, link) if time_fn is not cm.barrier_time else time_fn(p, link)
+        idx = list(participants) if participants is not None else slice(None)
+        start = float(np.max(self.clocks[idx]))
+        self.clocks[idx] = start + t
+        self.stats.collectives += 1
+        self.stats.collective_bytes += nbytes * p
+        self.stats.total_comm_time += t * p
+
+    # -- point-to-point ---------------------------------------------------------------
+
+    def sendrecv(self, src: int, dst: int, payload: Any, nbytes: float) -> Any:
+        """Blocking matched send/recv; returns the payload at the receiver."""
+        if src == dst:
+            raise CommError("sendrecv with src == dst")
+        link = self.topology.link(src, dst, device_buffers=self.device_buffers)
+        t = link.p2p_time(nbytes)
+        done = max(self.clocks[src], self.clocks[dst]) + t
+        self.clocks[src] = done
+        self.clocks[dst] = done
+        self.stats.p2p_messages += 1
+        self.stats.p2p_bytes += nbytes
+        self.stats.total_comm_time += 2 * t
+        return payload
+
+    def isendrecv(self, src: int, dst: int, nbytes: float) -> PendingOp:
+        """Nonblocking transfer: completion time computed now, applied at wait."""
+        if src == dst:
+            raise CommError("isendrecv with src == dst")
+        link = self.topology.link(src, dst, device_buffers=self.device_buffers)
+        t = link.p2p_time(nbytes)
+        done = max(self.clocks[src], self.clocks[dst]) + t
+        self.stats.p2p_messages += 1
+        self.stats.p2p_bytes += nbytes
+        self.stats.total_comm_time += 2 * t
+        return PendingOp(complete_at={src: done, dst: done}, comm=self)
+
+    # -- collectives with data semantics ----------------------------------------------
+
+    def bcast(self, value: Any, nbytes: float, root: int = 0) -> list[Any]:
+        """Broadcast: every rank receives *value* (deep-shared, numpy-copied)."""
+        self._check_root(root)
+        self._sync_collective(nbytes, cm.bcast_time)
+        return [np.copy(value) if isinstance(value, np.ndarray) else value
+                for _ in range(self.nranks)]
+
+    def reduce(self, values: Sequence[Any], nbytes: float, op: Callable = np.add,
+               root: int = 0) -> Any:
+        self._check_inputs(values)
+        self._check_root(root)
+        self._sync_collective(nbytes, cm.reduce_time)
+        acc = values[0]
+        for v in values[1:]:
+            acc = op(acc, v)
+        return acc
+
+    def allreduce(self, values: Sequence[Any], nbytes: float, op: Callable = np.add) -> list[Any]:
+        self._check_inputs(values)
+        self._sync_collective(nbytes, cm.allreduce_time)
+        acc = values[0]
+        for v in values[1:]:
+            acc = op(acc, v)
+        return [np.copy(acc) if isinstance(acc, np.ndarray) else acc
+                for _ in range(self.nranks)]
+
+    def allgather(self, values: Sequence[Any], nbytes: float) -> list[list[Any]]:
+        self._check_inputs(values)
+        self._sync_collective(nbytes, cm.allgather_time)
+        gathered = list(values)
+        return [list(gathered) for _ in range(self.nranks)]
+
+    def gather(self, values: Sequence[Any], nbytes: float, root: int = 0) -> list[Any]:
+        self._check_inputs(values)
+        self._check_root(root)
+        self._sync_collective(nbytes, cm.reduce_time)
+        return list(values)
+
+    def scatter(self, values: Sequence[Any], nbytes: float, root: int = 0) -> list[Any]:
+        self._check_inputs(values)
+        self._check_root(root)
+        self._sync_collective(nbytes, cm.bcast_time)
+        return list(values)
+
+    def alltoall(self, matrix: Sequence[Sequence[Any]], nbytes_per_pair: float) -> list[list[Any]]:
+        """``matrix[src][dst]`` payloads → returns ``out[dst][src]``."""
+        if len(matrix) != self.nranks or any(len(row) != self.nranks for row in matrix):
+            raise CommError(f"alltoall needs an {self.nranks}x{self.nranks} payload matrix")
+        self._sync_collective(nbytes_per_pair * self.nranks, lambda p, n, l:
+                              cm.alltoall_time(p, nbytes_per_pair, l))
+        return [[matrix[src][dst] for src in range(self.nranks)]
+                for dst in range(self.nranks)]
+
+    def ialltoall(self, matrix: Sequence[Sequence[Any]],
+                  nbytes_per_pair: float) -> tuple[list[list[Any]], PendingOp]:
+        """Nonblocking alltoall: data available immediately for staging,
+        clocks advance at ``wait`` — the overlap GESTS uses to hide the
+        transpose behind local FFT passes."""
+        if len(matrix) != self.nranks or any(len(row) != self.nranks for row in matrix):
+            raise CommError(f"alltoall needs an {self.nranks}x{self.nranks} payload matrix")
+        link = self.topology.internode_link(device_buffers=self.device_buffers)
+        t = cm.alltoall_time(self.nranks, nbytes_per_pair, link)
+        start = float(self.clocks.max())
+        done = {r: start + t for r in range(self.nranks)}
+        self.stats.collectives += 1
+        self.stats.collective_bytes += nbytes_per_pair * self.nranks * self.nranks
+        self.stats.total_comm_time += t * self.nranks
+        out = [[matrix[src][dst] for src in range(self.nranks)]
+               for dst in range(self.nranks)]
+        return out, PendingOp(complete_at=done, comm=self)
+
+    def split(self, color_of: Callable[[int], int]) -> dict[int, "SimComm"]:
+        """MPI_Comm_split: one sub-communicator per color.
+
+        Each sub-communicator starts with its members' current clocks (so
+        prior work carries over); the parent keeps its own clocks.  Used
+        for the row/column communicators of pencil decompositions.
+        """
+        groups: dict[int, list[int]] = {}
+        for r in range(self.nranks):
+            groups.setdefault(color_of(r), []).append(r)
+        out: dict[int, SimComm] = {}
+        for color, members in groups.items():
+            sub = SimComm(len(members), self.topology.fabric,
+                          ranks_per_node=self.topology.ranks_per_node,
+                          device_buffers=self.device_buffers)
+            sub.clocks = self.clocks[members].copy()
+            out[color] = sub
+        return out
+
+    def alltoallv(self, matrix: Sequence[Sequence[Any]],
+                  nbytes: Sequence[Sequence[float]]) -> list[list[Any]]:
+        """Variable-size alltoall: ``nbytes[src][dst]`` per payload."""
+        if len(matrix) != self.nranks or any(len(r) != self.nranks for r in matrix):
+            raise CommError(f"alltoallv needs an {self.nranks}x{self.nranks} payload matrix")
+        if len(nbytes) != self.nranks or any(len(r) != self.nranks for r in nbytes):
+            raise CommError("nbytes must match the payload matrix shape")
+        link = self.topology.internode_link(device_buffers=self.device_buffers)
+        t = cm.alltoallv_time([list(map(float, row)) for row in nbytes], link)
+        start = float(self.clocks.max())
+        self.clocks[:] = start + t
+        self.stats.collectives += 1
+        self.stats.collective_bytes += float(sum(sum(r) for r in nbytes))
+        self.stats.total_comm_time += t * self.nranks
+        return [[matrix[src][dst] for src in range(self.nranks)]
+                for dst in range(self.nranks)]
+
+    def barrier(self) -> None:
+        self._sync_collective(0.0, cm.barrier_time)
+
+    # -- validation --------------------------------------------------------------
+
+    def _check_inputs(self, values: Sequence[Any]) -> None:
+        if len(values) != self.nranks:
+            raise CommError(f"expected {self.nranks} per-rank values, got {len(values)}")
+
+    def _check_root(self, root: int) -> None:
+        if not 0 <= root < self.nranks:
+            raise CommError(f"root {root} out of range")

@@ -1,0 +1,149 @@
+"""Communication cost models (Hockney α-β plus collective algorithms).
+
+Point-to-point time is ``α + n·β`` with α the MPI small-message latency and
+β the inverse effective bandwidth.  Collectives use the standard algorithm
+costs (binomial broadcast, Rabenseifner allreduce, pairwise alltoall, ring
+allgather) that production MPIs select; these are the terms that dominate
+the paper's scaling discussions (GESTS transpose cycles, LAMMPS QEq
+CG-iteration latency, Pele ghost exchange).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hardware.interconnect import InterconnectSpec
+
+
+@dataclass(frozen=True)
+class LinkParameters:
+    """Resolved α-β parameters for one message path."""
+
+    alpha: float  # startup latency, s
+    beta: float  # s per byte
+
+    def p2p_time(self, nbytes: float) -> float:
+        if nbytes < 0:
+            raise ValueError("message size must be non-negative")
+        return self.alpha + nbytes * self.beta
+
+
+#: Intra-node path (shared memory / XGMI): latency and bandwidth are far
+#: better than any NIC.
+INTRA_NODE = LinkParameters(alpha=0.4e-6, beta=1.0 / 80e9)
+
+
+def link_parameters(
+    fabric: InterconnectSpec,
+    *,
+    ranks_sharing_nic: int = 1,
+    device_buffers: bool = False,
+) -> LinkParameters:
+    """α-β for an inter-node message on *fabric*.
+
+    ``ranks_sharing_nic`` divides the per-NIC injection bandwidth among the
+    node's concurrently communicating ranks (Frontier: 8 ranks over 4
+    NICs → 2 ranks/NIC).  ``device_buffers`` applies the GPU-aware
+    efficiency, or a staging penalty when the fabric is not GPU-aware.
+    """
+    if ranks_sharing_nic < 1:
+        raise ValueError("ranks_sharing_nic must be >= 1")
+    bw = fabric.bandwidth / ranks_sharing_nic
+    alpha = fabric.latency
+    if device_buffers:
+        if fabric.gpu_aware:
+            bw *= fabric.gpu_aware_efficiency
+        else:
+            # staged through host memory: pay the host link both sides
+            bw *= 0.5
+            alpha += 5e-6
+    return LinkParameters(alpha=alpha, beta=1.0 / bw)
+
+
+def ranks_per_nic(total_ranks_on_node: int, fabric: InterconnectSpec) -> int:
+    """How many ranks share one NIC when all communicate at once."""
+    return max(1, math.ceil(total_ranks_on_node / max(fabric.nics_per_node, 1)))
+
+
+# ---------------------------------------------------------------------------
+# Collective algorithm costs (p ranks, n bytes per rank unless stated)
+# ---------------------------------------------------------------------------
+
+
+def bcast_time(p: int, nbytes: float, link: LinkParameters) -> float:
+    """Binomial-tree broadcast: ⌈log2 p⌉ rounds of the full payload."""
+    if p <= 1:
+        return 0.0
+    rounds = math.ceil(math.log2(p))
+    return rounds * link.p2p_time(nbytes)
+
+
+def reduce_time(p: int, nbytes: float, link: LinkParameters) -> float:
+    """Binomial-tree reduction (same round structure as bcast)."""
+    return bcast_time(p, nbytes, link)
+
+
+def allreduce_time(p: int, nbytes: float, link: LinkParameters) -> float:
+    """Rabenseifner for large payloads, recursive doubling for small.
+
+    Recursive doubling: ⌈log2 p⌉·(α + nβ).
+    Rabenseifner: 2·log2(p)·α + 2·(p-1)/p·n·β.
+    """
+    if p <= 1:
+        return 0.0
+    lg = math.ceil(math.log2(p))
+    rd = lg * link.p2p_time(nbytes)
+    rab = 2 * lg * link.alpha + 2.0 * (p - 1) / p * nbytes * link.beta
+    return min(rd, rab)
+
+
+def allgather_time(p: int, nbytes: float, link: LinkParameters) -> float:
+    """Ring allgather of *nbytes* contributed per rank: (p-1) steps."""
+    if p <= 1:
+        return 0.0
+    return (p - 1) * link.p2p_time(nbytes)
+
+
+def alltoall_time(p: int, nbytes_per_pair: float, link: LinkParameters) -> float:
+    """Pairwise-exchange alltoall: p-1 rounds of one pair message each."""
+    if p <= 1:
+        return 0.0
+    return (p - 1) * link.p2p_time(nbytes_per_pair)
+
+
+def barrier_time(p: int, link: LinkParameters) -> float:
+    """Dissemination barrier: ⌈log2 p⌉ zero-payload rounds."""
+    if p <= 1:
+        return 0.0
+    return math.ceil(math.log2(p)) * link.alpha
+
+
+def reduce_scatter_time(p: int, nbytes: float, link: LinkParameters) -> float:
+    """Pairwise reduce-scatter of a length-n input: (p-1)/p·n·β + (p-1)·α."""
+    if p <= 1:
+        return 0.0
+    return (p - 1) * link.alpha + (p - 1) / p * nbytes * link.beta
+
+
+def alltoallv_time(pair_bytes: "list[list[float]]", link: LinkParameters) -> float:
+    """Pairwise-exchange alltoallv with per-pair sizes.
+
+    ``pair_bytes[src][dst]`` bytes flow src→dst; the exchange runs p−1
+    rounds and each round is gated by its largest pair message (the
+    bulk-synchronous pairwise schedule).
+    """
+    p = len(pair_bytes)
+    if any(len(row) != p for row in pair_bytes):
+        raise ValueError("pair_bytes must be a square matrix")
+    if p <= 1:
+        return 0.0
+    total = 0.0
+    for step in range(1, p):
+        # in round `step`, rank r exchanges with r XOR-partner r±step
+        round_max = 0.0
+        for src in range(p):
+            dst = (src + step) % p
+            round_max = max(round_max, pair_bytes[src][dst])
+        total += link.p2p_time(round_max)
+    return total

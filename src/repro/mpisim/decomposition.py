@@ -1,0 +1,149 @@
+"""Domain decompositions: slabs, pencils, blocks (GESTS §3.3, HACC, Pele).
+
+The GESTS discussion is entirely about decomposition arithmetic: a *Slabs*
+(1-D) decomposition of an N³ grid needs one fewer transpose per FFT
+direction than *Pencils* (2-D) but is limited to N ranks, while pencils
+admit N² ranks.  These helpers compute local shapes, rank limits and the
+transpose communication pattern sizes consumed by the FFT and app layers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+class DecompositionError(ValueError):
+    pass
+
+
+@dataclass(frozen=True)
+class SlabDecomposition:
+    """1-D decomposition of an N³ grid over P ranks (complete planes)."""
+
+    n: int
+    nranks: int
+
+    def __post_init__(self) -> None:
+        if self.nranks > self.n:
+            raise DecompositionError(
+                f"slabs limited to N={self.n} ranks, requested {self.nranks}"
+            )
+        if self.n % self.nranks != 0:
+            raise DecompositionError(
+                f"N={self.n} must be divisible by P={self.nranks}"
+            )
+
+    @property
+    def local_shape(self) -> tuple[int, int, int]:
+        return (self.n // self.nranks, self.n, self.n)
+
+    @property
+    def transposes_per_fft(self) -> int:
+        """One global transpose per 3-D FFT direction pass."""
+        return 1
+
+    def transpose_bytes_per_pair(self, itemsize: int = 16) -> float:
+        """Bytes each rank sends to each other rank in one transpose."""
+        total_local = math.prod(self.local_shape) * itemsize
+        return total_local / self.nranks
+
+
+@dataclass(frozen=True)
+class PencilDecomposition:
+    """2-D decomposition over a ``prow x pcol`` process grid."""
+
+    n: int
+    prow: int
+    pcol: int
+
+    def __post_init__(self) -> None:
+        if self.prow * self.pcol > self.n * self.n:
+            raise DecompositionError(
+                f"pencils limited to N^2={self.n * self.n} ranks, "
+                f"requested {self.prow * self.pcol}"
+            )
+        if self.n % self.prow != 0 or self.n % self.pcol != 0:
+            raise DecompositionError(
+                f"N={self.n} must be divisible by prow={self.prow} and pcol={self.pcol}"
+            )
+
+    @property
+    def nranks(self) -> int:
+        return self.prow * self.pcol
+
+    @property
+    def local_shape(self) -> tuple[int, int, int]:
+        return (self.n // self.prow, self.n // self.pcol, self.n)
+
+    @property
+    def transposes_per_fft(self) -> int:
+        """Two global transposes per 3-D FFT pass (one more than slabs)."""
+        return 2
+
+    def transpose_bytes_per_pair(self, itemsize: int = 16) -> float:
+        """Bytes per pair in one row- or column-communicator transpose."""
+        total_local = math.prod(self.local_shape) * itemsize
+        # transposes run within rows (prow ranks) or columns (pcol ranks)
+        group = max(self.prow, self.pcol)
+        return total_local / group
+
+
+def balanced_pencil_grid(n: int, nranks: int) -> tuple[int, int]:
+    """Most-square ``(prow, pcol)`` factorization with both dividing *n*."""
+    best: tuple[int, int] | None = None
+    for prow in range(1, int(math.isqrt(nranks)) + 1):
+        if nranks % prow:
+            continue
+        pcol = nranks // prow
+        if n % prow == 0 and n % pcol == 0:
+            best = (prow, pcol)
+    if best is None:
+        raise DecompositionError(f"no pencil grid for N={n}, P={nranks}")
+    return best
+
+
+@dataclass(frozen=True)
+class BlockDecomposition:
+    """3-D block decomposition (HACC, Pele/AMReX at the node level)."""
+
+    nx: int
+    ny: int
+    nz: int
+    px: int
+    py: int
+    pz: int
+
+    def __post_init__(self) -> None:
+        for n, p, axis in ((self.nx, self.px, "x"), (self.ny, self.py, "y"), (self.nz, self.pz, "z")):
+            if n % p != 0:
+                raise DecompositionError(f"{axis}: {n} not divisible by {p}")
+
+    @property
+    def nranks(self) -> int:
+        return self.px * self.py * self.pz
+
+    @property
+    def local_shape(self) -> tuple[int, int, int]:
+        return (self.nx // self.px, self.ny // self.py, self.nz // self.pz)
+
+    def ghost_bytes_per_exchange(self, ghost_width: int, itemsize: int = 8,
+                                 ncomponents: int = 1) -> float:
+        """Total bytes one rank exchanges with its 6 face neighbours."""
+        lx, ly, lz = self.local_shape
+        faces = 2 * (lx * ly + ly * lz + lx * lz)
+        return faces * ghost_width * itemsize * ncomponents
+
+    def neighbors(self, rank: int) -> list[int]:
+        """Face-neighbour ranks with periodic wrap."""
+        if not 0 <= rank < self.nranks:
+            raise DecompositionError(f"rank {rank} out of range")
+        iz, rem = divmod(rank, self.px * self.py)
+        iy, ix = divmod(rem, self.px)
+        out = []
+        for dx, dy, dz in ((1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1)):
+            jx = (ix + dx) % self.px
+            jy = (iy + dy) % self.py
+            jz = (iz + dz) % self.pz
+            out.append(jz * self.px * self.py + jy * self.px + jx)
+        return out

@@ -1,0 +1,52 @@
+"""Rank placement: ranks → nodes, path classification, NIC sharing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.interconnect import InterconnectSpec
+from repro.mpisim.costmodel import INTRA_NODE, LinkParameters, link_parameters, ranks_per_nic
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Block placement of ``nranks`` over nodes with ``ranks_per_node`` each."""
+
+    nranks: int
+    ranks_per_node: int
+    fabric: InterconnectSpec
+
+    def __post_init__(self) -> None:
+        if self.nranks < 1 or self.ranks_per_node < 1:
+            raise ValueError("nranks and ranks_per_node must be positive")
+
+    @property
+    def nnodes(self) -> int:
+        return -(-self.nranks // self.ranks_per_node)
+
+    def node_of(self, rank: int) -> int:
+        if not 0 <= rank < self.nranks:
+            raise ValueError(f"rank {rank} out of range [0, {self.nranks})")
+        return rank // self.ranks_per_node
+
+    def same_node(self, a: int, b: int) -> bool:
+        return self.node_of(a) == self.node_of(b)
+
+    def link(self, a: int, b: int, *, device_buffers: bool = False) -> LinkParameters:
+        """α-β parameters for a message between ranks *a* and *b*."""
+        if self.same_node(a, b):
+            return INTRA_NODE
+        share = ranks_per_nic(self.ranks_per_node, self.fabric)
+        return link_parameters(
+            self.fabric, ranks_sharing_nic=share, device_buffers=device_buffers
+        )
+
+    def internode_link(self, *, device_buffers: bool = False,
+                       concurrent_ranks: int | None = None) -> LinkParameters:
+        """The inter-node α-β assuming *concurrent_ranks* ranks inject at once
+        (defaults to all ranks on the node, the collective-heavy case)."""
+        active = self.ranks_per_node if concurrent_ranks is None else concurrent_ranks
+        share = ranks_per_nic(active, self.fabric)
+        return link_parameters(
+            self.fabric, ranks_sharing_nic=share, device_buffers=device_buffers
+        )

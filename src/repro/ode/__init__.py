@@ -1,0 +1,25 @@
+"""CVODE-like ODE substrate: BDF, matrix-free GMRES, explicit RK."""
+
+from repro.ode.bdf import (
+    BdfIntegrator,
+    BdfResult,
+    BdfStats,
+    IntegrationError,
+    LinearSolver,
+)
+from repro.ode.erk import ErkResult, rk4, rk45
+from repro.ode.gmres import GmresResult, gmres, gmres_flops
+
+__all__ = [
+    "BdfIntegrator",
+    "BdfResult",
+    "BdfStats",
+    "ErkResult",
+    "GmresResult",
+    "IntegrationError",
+    "LinearSolver",
+    "gmres",
+    "gmres_flops",
+    "rk4",
+    "rk45",
+]

@@ -1,0 +1,93 @@
+"""Explicit Runge–Kutta integrators for non-stiff chemistry (§3.8).
+
+PeleC's explicit path: classic RK4 with fixed steps, and an adaptive
+RK45 (Cash–Karp) for error-controlled integration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+RhsFn = Callable[[float, np.ndarray], np.ndarray]
+
+
+@dataclass
+class ErkResult:
+    t: float
+    y: np.ndarray
+    steps: int
+    rhs_evals: int
+    rejected: int = 0
+
+
+def rk4(rhs: RhsFn, y0: np.ndarray, t0: float, t_end: float, nsteps: int) -> ErkResult:
+    """Classic fixed-step RK4."""
+    if nsteps < 1:
+        raise ValueError("nsteps must be positive")
+    if t_end <= t0:
+        raise ValueError("t_end must exceed t0")
+    y = np.asarray(y0, dtype=float).copy()
+    h = (t_end - t0) / nsteps
+    t = t0
+    evals = 0
+    for _ in range(nsteps):
+        k1 = rhs(t, y)
+        k2 = rhs(t + 0.5 * h, y + 0.5 * h * k1)
+        k3 = rhs(t + 0.5 * h, y + 0.5 * h * k2)
+        k4 = rhs(t + h, y + h * k3)
+        y = y + (h / 6.0) * (k1 + 2 * k2 + 2 * k3 + k4)
+        t += h
+        evals += 4
+    return ErkResult(t=t, y=y, steps=nsteps, rhs_evals=evals)
+
+
+# Cash-Karp tableau
+_CK_A = (
+    (),
+    (1 / 5,),
+    (3 / 40, 9 / 40),
+    (3 / 10, -9 / 10, 6 / 5),
+    (-11 / 54, 5 / 2, -70 / 27, 35 / 27),
+    (1631 / 55296, 175 / 512, 575 / 13824, 44275 / 110592, 253 / 4096),
+)
+_CK_C = (0.0, 1 / 5, 3 / 10, 3 / 5, 1.0, 7 / 8)
+_CK_B5 = (37 / 378, 0.0, 250 / 621, 125 / 594, 0.0, 512 / 1771)
+_CK_B4 = (2825 / 27648, 0.0, 18575 / 48384, 13525 / 55296, 277 / 14336, 1 / 4)
+
+
+def rk45(rhs: RhsFn, y0: np.ndarray, t0: float, t_end: float, *,
+         rtol: float = 1e-6, atol: float = 1e-9,
+         max_steps: int = 100_000) -> ErkResult:
+    """Adaptive Cash–Karp RK45."""
+    if t_end <= t0:
+        raise ValueError("t_end must exceed t0")
+    y = np.asarray(y0, dtype=float).copy()
+    t = t0
+    h = (t_end - t0) / 100.0
+    steps = evals = rejected = 0
+    while t < t_end:
+        if steps + rejected >= max_steps:
+            raise RuntimeError(f"rk45 exceeded {max_steps} attempts at t={t:.3e}")
+        h = min(h, t_end - t)
+        k = [rhs(t, y)]
+        evals += 1
+        for i in range(1, 6):
+            yi = y + h * sum(a * ki for a, ki in zip(_CK_A[i], k))
+            k.append(rhs(t + _CK_C[i] * h, yi))
+            evals += 1
+        y5 = y + h * sum(b * ki for b, ki in zip(_CK_B5, k))
+        y4 = y + h * sum(b * ki for b, ki in zip(_CK_B4, k))
+        scale = atol + rtol * np.maximum(np.abs(y), np.abs(y5))
+        err = float(np.sqrt(np.mean(((y5 - y4) / scale) ** 2)))
+        if err <= 1.0:
+            t += h
+            y = y5
+            steps += 1
+            h *= min(5.0, max(0.2, 0.9 * err ** -0.2 if err > 0 else 5.0))
+        else:
+            rejected += 1
+            h *= max(0.1, 0.9 * err ** -0.25)
+    return ErkResult(t=t, y=y, steps=steps, rhs_evals=evals, rejected=rejected)

@@ -1,0 +1,129 @@
+"""Matrix-free GMRES (the PeleC CVODE linear solver, §3.8).
+
+Restarted GMRES(m) with modified Gram–Schmidt Arnoldi.  The operator is a
+callable, so Jacobian-vector products can be supplied matrix-free — "a
+matrix-free GMRES approach is used within the CVODE non-linear solve,
+minimizing the memory requirements."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+Operator = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass
+class GmresResult:
+    """Solution and convergence record."""
+
+    x: np.ndarray
+    converged: bool
+    iterations: int
+    residual_norm: float
+    residual_history: list[float]
+
+
+def gmres(
+    op: Operator | np.ndarray,
+    b: np.ndarray,
+    *,
+    x0: np.ndarray | None = None,
+    tol: float = 1e-10,
+    restart: int = 30,
+    maxiter: int = 1000,
+    precond: Operator | None = None,
+) -> GmresResult:
+    """Solve ``op(x) = b`` with restarted GMRES.
+
+    Parameters mirror SUNDIALS SPGMR: relative tolerance on the
+    preconditioned residual, Krylov dimension ``restart``, iteration cap
+    ``maxiter`` (total matvecs).  ``precond`` applies a left
+    preconditioner M⁻¹.
+    """
+    if isinstance(op, np.ndarray):
+        mat = op
+        op = lambda v: mat @ v  # noqa: E731
+    b = np.asarray(b, dtype=float)
+    n = b.size
+    x = np.zeros(n) if x0 is None else np.array(x0, dtype=float)
+    apply_m = precond if precond is not None else (lambda v: v)
+
+    bnorm = np.linalg.norm(apply_m(b))
+    if bnorm == 0.0:
+        return GmresResult(x=np.zeros(n), converged=True, iterations=0,
+                           residual_norm=0.0, residual_history=[0.0])
+
+    history: list[float] = []
+    total_iters = 0
+
+    while total_iters < maxiter:
+        r = apply_m(b - op(x))
+        beta = np.linalg.norm(r)
+        history.append(beta / bnorm)
+        if beta / bnorm <= tol:
+            return GmresResult(x=x, converged=True, iterations=total_iters,
+                               residual_norm=beta / bnorm, residual_history=history)
+
+        m = min(restart, maxiter - total_iters)
+        Q = np.zeros((n, m + 1))
+        H = np.zeros((m + 1, m))
+        cs = np.zeros(m)
+        sn = np.zeros(m)
+        g = np.zeros(m + 1)
+        Q[:, 0] = r / beta
+        g[0] = beta
+
+        k_used = 0
+        for k in range(m):
+            total_iters += 1
+            w = apply_m(op(Q[:, k]))
+            # modified Gram-Schmidt
+            for j in range(k + 1):
+                H[j, k] = Q[:, j] @ w
+                w -= H[j, k] * Q[:, j]
+            H[k + 1, k] = np.linalg.norm(w)
+            if H[k + 1, k] > 1e-14:
+                Q[:, k + 1] = w / H[k + 1, k]
+            # apply stored Givens rotations to the new column
+            for j in range(k):
+                t = cs[j] * H[j, k] + sn[j] * H[j + 1, k]
+                H[j + 1, k] = -sn[j] * H[j, k] + cs[j] * H[j + 1, k]
+                H[j, k] = t
+            # new rotation to annihilate H[k+1, k]
+            denom = np.hypot(H[k, k], H[k + 1, k])
+            if denom == 0.0:
+                cs[k], sn[k] = 1.0, 0.0
+            else:
+                cs[k], sn[k] = H[k, k] / denom, H[k + 1, k] / denom
+            H[k, k] = cs[k] * H[k, k] + sn[k] * H[k + 1, k]
+            H[k + 1, k] = 0.0
+            g[k + 1] = -sn[k] * g[k]
+            g[k] = cs[k] * g[k]
+            k_used = k + 1
+            history.append(abs(g[k + 1]) / bnorm)
+            if abs(g[k + 1]) / bnorm <= tol:
+                break
+
+        # solve the small triangular system and update x
+        y = np.linalg.solve(H[:k_used, :k_used], g[:k_used]) if k_used else np.zeros(0)
+        x = x + Q[:, :k_used] @ y
+        if history[-1] <= tol:
+            return GmresResult(x=x, converged=True, iterations=total_iters,
+                               residual_norm=history[-1], residual_history=history)
+
+    r = apply_m(b - op(x))
+    rn = np.linalg.norm(r) / bnorm
+    return GmresResult(x=x, converged=rn <= tol, iterations=total_iters,
+                       residual_norm=rn, residual_history=history)
+
+
+def gmres_flops(n: int, iterations: int, *, matvec_flops: float | None = None,
+                restart: int = 30) -> float:
+    """FLOP estimate: iterations × (matvec + orthogonalization ~4·n·k)."""
+    mv = matvec_flops if matvec_flops is not None else 2.0 * n * n
+    avg_k = min(restart, max(iterations, 1)) / 2.0
+    return iterations * (mv + 4.0 * n * avg_k)

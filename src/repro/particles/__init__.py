@@ -1,0 +1,49 @@
+"""ExaSky/HACC substrate: P3M gravity, cosmology driver, gravity kernels."""
+
+from repro.particles.cosmology import (
+    FLOPS_PER_INTERACTION,
+    INTERACTIONS_PER_PARTICLE,
+    NBodySystem,
+    hacc_gravity_kernels,
+    zeldovich_ics,
+)
+from repro.particles.pm import (
+    PMGrid,
+    cic_deposit,
+    cic_gather,
+    direct_forces,
+    long_range_forces,
+    p3m_forces,
+    short_range_forces,
+    short_range_pair_force,
+)
+
+__all__ = [
+    "uniform_lattice",
+    "sph_pressure_forces",
+    "sph_density",
+    "cubic_spline_kernel",
+    "cubic_spline_gradient_mag",
+    "EquationOfState",
+    "FLOPS_PER_INTERACTION",
+    "INTERACTIONS_PER_PARTICLE",
+    "NBodySystem",
+    "PMGrid",
+    "cic_deposit",
+    "cic_gather",
+    "direct_forces",
+    "hacc_gravity_kernels",
+    "long_range_forces",
+    "p3m_forces",
+    "short_range_forces",
+    "short_range_pair_force",
+    "zeldovich_ics",
+]
+from repro.particles.sph import (
+    EquationOfState,
+    cubic_spline_gradient_mag,
+    cubic_spline_kernel,
+    sph_density,
+    sph_pressure_forces,
+    uniform_lattice,
+)

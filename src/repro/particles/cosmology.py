@@ -1,0 +1,110 @@
+"""Cosmology driver: Zel'dovich-like initial conditions, leapfrog stepping,
+and the HACC gravity-kernel catalogue used by the performance model.
+
+The six short-range gravity kernel variants of §3.4 (the paper notes one
+of the six regressed on MI100 because its branchy inner loop was tuned for
+32-wide warps) are represented as kernel descriptors with measured-shape
+divergence parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpu.kernel import KernelSpec
+from repro.hardware.gpu import Precision
+from repro.particles.pm import PMGrid, p3m_forces
+
+
+def zeldovich_ics(n_per_side: int, box_size: float, *, amplitude: float = 0.1,
+                  seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Grid-displaced initial conditions (a Zel'dovich approximation).
+
+    Particles start on a lattice, displaced by a smooth random field;
+    velocities follow the displacement (growing mode).
+    """
+    if n_per_side < 2:
+        raise ValueError("need at least 2 particles per side")
+    rng = np.random.default_rng(seed)
+    h = box_size / n_per_side
+    lattice = np.stack(
+        np.meshgrid(*(np.arange(n_per_side),) * 3, indexing="ij"), axis=-1
+    ).reshape(-1, 3) * h
+    # smooth displacement: a few low-k Fourier modes
+    disp = np.zeros_like(lattice)
+    for _ in range(4):
+        k = rng.integers(1, 3, size=3) * 2 * np.pi / box_size
+        phase = rng.uniform(0, 2 * np.pi)
+        amp = rng.normal(scale=amplitude * h, size=3)
+        disp += amp * np.sin(lattice @ k + phase)[:, None]
+    x = (lattice + disp) % box_size
+    v = disp * 0.5  # growing-mode proportionality
+    return x, v
+
+
+@dataclass
+class NBodySystem:
+    """A small periodic N-body system stepped with leapfrog (KDK)."""
+
+    x: np.ndarray
+    v: np.ndarray
+    masses: np.ndarray
+    grid: PMGrid
+    G: float = 1.0
+
+    def step(self, dt: float) -> None:
+        a0 = p3m_forces(self.x, self.masses, self.grid, G=self.G) / self.masses[:, None]
+        self.v += 0.5 * dt * a0
+        self.x = (self.x + dt * self.v) % self.grid.box_size
+        a1 = p3m_forces(self.x, self.masses, self.grid, G=self.G) / self.masses[:, None]
+        self.v += 0.5 * dt * a1
+
+    def momentum(self) -> np.ndarray:
+        return (self.masses[:, None] * self.v).sum(axis=0)
+
+
+# ---------------------------------------------------------------------------
+# The HACC gravity-kernel catalogue (performance layer)
+# ---------------------------------------------------------------------------
+
+#: Interactions per particle per step in the short-range kernel.
+INTERACTIONS_PER_PARTICLE = 512
+#: FLOPs per particle-particle interaction (HACC quotes ~10 fused ops).
+FLOPS_PER_INTERACTION = 22.0
+
+
+def hacc_gravity_kernels(particles_per_rank: int) -> list[KernelSpec]:
+    """The six short-range kernel variants of §3.4.
+
+    Five are polynomial-expanded, branch-free evaluations (lane fraction
+    ≈ 0.95).  The sixth — the tree-walk filtering variant — is branchy
+    and was tuned assuming 32-wide warps, so it is marked
+    wavefront-sensitive: the kernel that "showed worse performance when
+    using the AMD nodes".
+    """
+    flops = particles_per_rank * INTERACTIONS_PER_PARTICLE * FLOPS_PER_INTERACTION
+    bytes_rw = particles_per_rank * 64.0  # positions+velocities, cached tiles
+    base = dict(
+        flops=flops / 6.0,
+        bytes_read=bytes_rw,
+        bytes_written=bytes_rw / 4,
+        threads=max(particles_per_rank, 64),
+        precision=Precision.FP32,  # HACC's short-range force is FP32
+        registers_per_thread=84,
+        workgroup_size=256,
+    )
+    kernels = [
+        KernelSpec(name=f"sr_poly_{i}", active_lane_fraction=0.95, **base)
+        for i in range(5)
+    ]
+    kernels.append(
+        KernelSpec(
+            name="sr_filtered_walk",
+            active_lane_fraction=0.55,
+            divergence_wavefront_sensitive=True,
+            **base,
+        )
+    )
+    return kernels

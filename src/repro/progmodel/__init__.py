@@ -1,0 +1,69 @@
+"""Programming-model layers: CUDA, HIP, hipify, OpenMP offload, Kokkos, YAKL."""
+
+from repro.progmodel.abstraction import DeviceLayer, make_device_layer
+from repro.progmodel.api import GpuApiError, GpuRuntime, MemHandle
+from repro.progmodel.cuda import CudaRuntime
+from repro.progmodel.hip import (
+    UNSUPPORTED_CUDA_FEATURES,
+    HipRuntime,
+    HipUnsupportedFeature,
+)
+from repro.progmodel.hipify import Diagnostic, HipifyResult, hipify, hipify_strict
+from repro.progmodel.macro_layer import MacroLayer, MissingApiParity
+from repro.progmodel.openmp import (
+    OPENMP_KERNEL_DERATE,
+    MapKind,
+    MotionLedger,
+    OpenMPDevice,
+    OpenMPTargetError,
+    TargetDataRegion,
+)
+
+__all__ = [
+    "split_unit",
+    "build",
+    "Toolchain",
+    "Model",
+    "EARLY_ROCM",
+    "CompilationUnit",
+    "CRUSHER_ROCM",
+    "BuildResult",
+    "BuildError",
+    "OpenACCError",
+    "OpenACCDevice",
+    "AccDataRegion",
+    "OPENACC_KERNEL_DERATE",
+    "CudaRuntime",
+    "DeviceLayer",
+    "Diagnostic",
+    "GpuApiError",
+    "GpuRuntime",
+    "HipRuntime",
+    "HipUnsupportedFeature",
+    "HipifyResult",
+    "MacroLayer",
+    "MapKind",
+    "MemHandle",
+    "MissingApiParity",
+    "MotionLedger",
+    "OPENMP_KERNEL_DERATE",
+    "OpenMPDevice",
+    "OpenMPTargetError",
+    "TargetDataRegion",
+    "UNSUPPORTED_CUDA_FEATURES",
+    "hipify",
+    "hipify_strict",
+    "make_device_layer",
+]
+from repro.progmodel.openacc import OPENACC_KERNEL_DERATE, AccDataRegion, OpenACCDevice, OpenACCError
+from repro.progmodel.buildsys import (
+    CRUSHER_ROCM,
+    EARLY_ROCM,
+    BuildError,
+    BuildResult,
+    CompilationUnit,
+    Model,
+    Toolchain,
+    build,
+    split_unit,
+)

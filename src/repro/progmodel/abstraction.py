@@ -1,0 +1,77 @@
+"""COAST-style thin device-abstraction layer (§3.9).
+
+"The code relies on a thin layer of abstraction that defines functions like
+``set_device()`` and ``device_stream_create()``, and delegates execution to
+``cudaSetDevice()``/``cudaStreamCreate()`` or ``hipSetDevice()``/
+``hipStreamCreate()`` depending on the compile-time configuration."
+
+:func:`make_device_layer` is exactly that: given a compile-time backend
+name it returns a namespace of generic functions bound to the right
+runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.gpu.kernel import KernelSpec
+from repro.gpu.stream import Event, Stream
+from repro.hardware.gpu import MI250X_GCD, V100, GPUSpec
+from repro.progmodel.api import MemHandle
+from repro.progmodel.cuda import CudaRuntime
+from repro.progmodel.hip import HipRuntime
+
+
+@dataclass(frozen=True)
+class DeviceLayer:
+    """The thin abstraction: generic names bound at 'compile time'."""
+
+    backend: str
+    runtime: CudaRuntime | HipRuntime
+    set_device: Callable[[int], None]
+    device_malloc: Callable[..., MemHandle]
+    device_free: Callable[[MemHandle], None]
+    device_stream_create: Callable[[], Stream]
+    device_stream_synchronize: Callable[[Stream], None]
+    device_event_create: Callable[[], Event]
+    device_launch: Callable[..., object]
+    device_synchronize: Callable[[], None]
+
+    @property
+    def elapsed(self) -> float:
+        return self.runtime.elapsed
+
+
+def make_device_layer(backend: str, specs: list[GPUSpec] | GPUSpec | None = None,
+                      *, count: int | None = None) -> DeviceLayer:
+    """Bind the generic layer to a backend ("cuda" or "hip")."""
+    if backend == "cuda":
+        rt: CudaRuntime | HipRuntime = CudaRuntime(specs if specs is not None else V100, count=count)
+        return DeviceLayer(
+            backend="cuda",
+            runtime=rt,
+            set_device=rt.cudaSetDevice,
+            device_malloc=rt.cudaMalloc,
+            device_free=rt.cudaFree,
+            device_stream_create=rt.cudaStreamCreate,
+            device_stream_synchronize=rt.cudaStreamSynchronize,
+            device_event_create=rt.cudaEventCreate,
+            device_launch=rt.cudaLaunchKernel,
+            device_synchronize=rt.cudaDeviceSynchronize,
+        )
+    if backend == "hip":
+        rt = HipRuntime(specs if specs is not None else MI250X_GCD, count=count)
+        return DeviceLayer(
+            backend="hip",
+            runtime=rt,
+            set_device=rt.hipSetDevice,
+            device_malloc=rt.hipMalloc,
+            device_free=rt.hipFree,
+            device_stream_create=rt.hipStreamCreate,
+            device_stream_synchronize=rt.hipStreamSynchronize,
+            device_event_create=rt.hipEventCreate,
+            device_launch=rt.hipLaunchKernel,
+            device_synchronize=rt.hipDeviceSynchronize,
+        )
+    raise ValueError(f"unknown backend {backend!r}; expected 'cuda' or 'hip'")

@@ -1,0 +1,118 @@
+"""Build-system compatibility modelling: the HIP+OpenMP story of §3.4.
+
+"Running HACC on the early access systems Poplar and Tulip identified a
+challenge in using both HIP and OpenMP together ... early compiler
+offerings didn't offer full support for both HIP and OpenMP in the same
+compilation unit.  Developing general guidelines for building with both
+HIP and OpenMP on COE machines was a codesign effort across the code
+team, hardware vendor, and system integrator."
+
+:class:`Toolchain` models compiler generations; :class:`CompilationUnit`
+declares the models a translation unit uses; :func:`build` either
+succeeds, fails with the early-compiler diagnostic, or succeeds under the
+codesign guideline (split units + link-time combination).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Model(enum.Enum):
+    HIP = "hip"
+    OPENMP_OFFLOAD = "openmp-offload"
+    OPENMP_HOST = "openmp-host"
+    SEQUENTIAL = "sequential"
+
+
+@dataclass(frozen=True)
+class Toolchain:
+    """One compiler generation on the early-access ladder."""
+
+    name: str
+    #: model combinations supported within ONE compilation unit
+    mixed_hip_openmp_units: bool
+
+    def supports_unit(self, unit: "CompilationUnit") -> bool:
+        models = unit.models
+        if Model.HIP in models and Model.OPENMP_OFFLOAD in models:
+            return self.mixed_hip_openmp_units
+        return True
+
+
+#: The §3.4 progression: early ROCm toolchains could not mix; later could.
+EARLY_ROCM = Toolchain(name="rocm-3.x (Poplar/Tulip era)",
+                       mixed_hip_openmp_units=False)
+CRUSHER_ROCM = Toolchain(name="rocm-5.x (Crusher/Frontier era)",
+                         mixed_hip_openmp_units=True)
+
+
+@dataclass(frozen=True)
+class CompilationUnit:
+    """A translation unit and the programming models it uses."""
+
+    name: str
+    models: frozenset[Model]
+
+    def __post_init__(self) -> None:
+        if not self.models:
+            raise ValueError(f"unit {self.name!r} declares no models")
+
+
+class BuildError(RuntimeError):
+    """Compilation failed; carries the COE guideline in its message."""
+
+
+@dataclass
+class BuildResult:
+    units: tuple[CompilationUnit, ...]
+    toolchain: Toolchain
+    split_applied: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return True
+
+
+def split_unit(unit: CompilationUnit) -> list[CompilationUnit]:
+    """The codesign guideline: separate HIP and OpenMP into distinct
+    translation units combined at link time."""
+    if not {Model.HIP, Model.OPENMP_OFFLOAD} <= unit.models:
+        return [unit]
+    rest = frozenset(unit.models - {Model.HIP, Model.OPENMP_OFFLOAD})
+    return [
+        CompilationUnit(name=f"{unit.name}_hip",
+                        models=frozenset({Model.HIP}) | rest),
+        CompilationUnit(name=f"{unit.name}_omp",
+                        models=frozenset({Model.OPENMP_OFFLOAD}) | rest),
+    ]
+
+
+def build(units: list[CompilationUnit], toolchain: Toolchain, *,
+          apply_guideline: bool = False) -> BuildResult:
+    """Attempt to build *units* with *toolchain*.
+
+    With ``apply_guideline`` the §3.4 codesign workaround splits offending
+    units; without it, early toolchains fail with the historical
+    diagnostic.
+    """
+    if not units:
+        raise ValueError("nothing to build")
+    final_units: list[CompilationUnit] = []
+    split = False
+    for u in units:
+        if toolchain.supports_unit(u):
+            final_units.append(u)
+        elif apply_guideline:
+            final_units.extend(split_unit(u))
+            split = True
+        else:
+            raise BuildError(
+                f"{toolchain.name}: cannot compile {u.name!r} — HIP and "
+                "OpenMP offload in one compilation unit is unsupported; "
+                "COE guideline: split into separate units and combine at "
+                "link time"
+            )
+    return BuildResult(units=tuple(final_units), toolchain=toolchain,
+                       split_applied=split)

@@ -1,0 +1,190 @@
+"""A miniature Kokkos: execution/memory spaces, Views, parallel dispatch.
+
+The subset used by the paper's applications (E3SM, LAMMPS, Pele-by-analogy):
+
+* memory spaces (``HostSpace`` / ``DeviceSpace``) holding real numpy data;
+* ``View`` — a named, space-tagged multidimensional array;
+* ``deep_copy`` between spaces, charged as real H2D/D2H transfer time;
+* ``parallel_for`` / ``parallel_reduce`` executing a genuine Python functor
+  over an index range (so results are bit-real) while charging device time
+  from an optional :class:`~repro.gpu.kernel.KernelSpec` cost descriptor;
+* the LargeBAR-style trick from §3.10.1: ``HostPinnedSpace`` Views can be
+  run on *either* host or device backends with the same allocation,
+  enabling the fine-grained CPU-vs-GPU validation that cracked the
+  register-spill bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.gpu.device import Device
+from repro.gpu.kernel import KernelSpec
+from repro.gpu.transfer import d2h_time, h2d_time
+from repro.hardware.gpu import GPUSpec
+
+
+class KokkosError(RuntimeError):
+    pass
+
+
+@dataclass(frozen=True)
+class MemorySpace:
+    """A Kokkos memory space tag."""
+
+    name: str
+    on_device: bool
+    host_accessible: bool
+
+
+HostSpace = MemorySpace(name="HostSpace", on_device=False, host_accessible=True)
+DeviceSpace = MemorySpace(name="DeviceSpace", on_device=True, host_accessible=False)
+#: Device memory directly readable from the host over LargeBAR (§3.10.1);
+#: device-resident but host-accessible at a latency penalty.
+HostPinnedSpace = MemorySpace(name="HostPinnedSpace", on_device=True, host_accessible=True)
+
+
+class View:
+    """A named array in a memory space; data is always real numpy."""
+
+    def __init__(self, name: str, shape: tuple[int, ...] | int,
+                 space: MemorySpace = HostSpace, dtype: Any = np.float64) -> None:
+        if isinstance(shape, int):
+            shape = (shape,)
+        self.name = name
+        self.space = space
+        self.data = np.zeros(shape, dtype=dtype)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def nbytes(self) -> int:
+        return self.data.nbytes
+
+    def __getitem__(self, idx):
+        return self.data[idx]
+
+    def __setitem__(self, idx, value) -> None:
+        self.data[idx] = value
+
+    def mirror_view(self, space: MemorySpace) -> "View":
+        """An uninitialized View of the same shape in another space."""
+        return View(f"{self.name}::mirror", self.data.shape, space, self.data.dtype)
+
+
+class ExecutionSpace:
+    """Base execution space: runs functors, charges simulated time."""
+
+    name = "Serial"
+    concurrency = 1
+
+    def __init__(self) -> None:
+        self.fence_count = 0
+
+    def accessible(self, space: MemorySpace) -> bool:
+        return space.host_accessible
+
+    def charge(self, kernel: KernelSpec | None, n: int) -> None:  # pragma: no cover
+        """Account the cost of one dispatch; serial host time is implicit."""
+
+    def fence(self) -> None:
+        self.fence_count += 1
+
+
+class Serial(ExecutionSpace):
+    """Host serial backend."""
+
+
+class DeviceExec(ExecutionSpace):
+    """GPU backend over a simulated device (CUDA or HIP flavoured)."""
+
+    name = "Device"
+
+    def __init__(self, spec: GPUSpec) -> None:
+        super().__init__()
+        self.device = Device(spec)
+        self.concurrency = spec.compute_units * spec.wavefront_size
+
+    def accessible(self, space: MemorySpace) -> bool:
+        return space.on_device
+
+    def charge(self, kernel: KernelSpec | None, n: int) -> None:
+        if kernel is None:
+            # Generic estimate: one fused multiply-add and 16 bytes per item.
+            kernel = KernelSpec(name="anonymous", flops=2.0 * n, bytes_read=16.0 * n, threads=max(n, 1))
+        self.device.launch(kernel)
+
+    def fence(self) -> None:
+        super().fence()
+        self.device.synchronize()
+
+    @property
+    def elapsed(self) -> float:
+        return self.device.elapsed
+
+
+class Cuda(DeviceExec):
+    name = "Cuda"
+
+
+class HIP(DeviceExec):
+    """The HIP backend whose bring-up §3.10.1 describes."""
+
+    name = "HIP"
+
+
+def _check_views(exec_space: ExecutionSpace, views: tuple[View, ...]) -> None:
+    for v in views:
+        if not exec_space.accessible(v.space):
+            raise KokkosError(
+                f"View {v.name!r} in {v.space.name} is not accessible from "
+                f"{exec_space.name}; deep_copy it first"
+            )
+
+
+def parallel_for(exec_space: ExecutionSpace, n: int,
+                 functor: Callable[[int], None], *,
+                 views: tuple[View, ...] = (),
+                 cost: KernelSpec | None = None) -> None:
+    """``Kokkos::parallel_for``: run *functor* for i in [0, n)."""
+    if n < 0:
+        raise KokkosError("range must be non-negative")
+    _check_views(exec_space, views)
+    for i in range(n):
+        functor(i)
+    exec_space.charge(cost, n)
+
+
+def parallel_reduce(exec_space: ExecutionSpace, n: int,
+                    functor: Callable[[int], float], *,
+                    views: tuple[View, ...] = (),
+                    cost: KernelSpec | None = None,
+                    init: float = 0.0) -> float:
+    """``Kokkos::parallel_reduce`` with a sum reduction."""
+    if n < 0:
+        raise KokkosError("range must be non-negative")
+    _check_views(exec_space, views)
+    acc = init
+    for i in range(n):
+        acc += functor(i)
+    exec_space.charge(cost, n)
+    return acc
+
+
+def deep_copy(dst: View, src: View, *, device_spec: GPUSpec | None = None) -> float:
+    """Copy data between Views, returning the simulated transfer time."""
+    if dst.data.shape != src.data.shape:
+        raise KokkosError(f"shape mismatch {dst.data.shape} vs {src.data.shape}")
+    np.copyto(dst.data, src.data)
+    if dst.space.on_device == src.space.on_device:
+        return 0.0
+    if device_spec is None:
+        return 0.0
+    if dst.space.on_device:
+        return h2d_time(src.nbytes, device_spec).time
+    return d2h_time(src.nbytes, device_spec).time

@@ -1,0 +1,84 @@
+"""Cholla-style single-header macro compatibility layer (§2.1).
+
+Instead of converting a codebase to HIP once, some teams keep the source in
+CUDA spelling and use one header of macros that maps every ``cuda*`` call
+to ``hip*`` when building for AMD.  The code "may remain in CUDA and evolve
+using either CUDA or HIP, as long as the functionality exists in both
+APIs."
+
+:class:`MacroLayer` reproduces that: it exposes generic ``gpu*`` names *and*
+accepts either vendor spelling, dispatching to whichever runtime was chosen
+at "build time".  Functionality that exists in only one API raises
+:class:`MissingApiParity` — the constraint the paper states.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.hardware.gpu import GPUSpec, GPUVendor
+from repro.progmodel.cuda import CudaRuntime
+from repro.progmodel.hip import HipRuntime
+
+
+class MissingApiParity(RuntimeError):
+    """A call used through the macro layer has no counterpart in one API."""
+
+
+#: Generic names the macro header defines, mapped to each vendor spelling.
+_GENERIC_TO_VENDOR: dict[str, tuple[str, str]] = {
+    "gpuMalloc": ("cudaMalloc", "hipMalloc"),
+    "gpuFree": ("cudaFree", "hipFree"),
+    "gpuMemcpyHostToDevice": ("cudaMemcpyHostToDevice", "hipMemcpyHostToDevice"),
+    "gpuMemcpyDeviceToHost": ("cudaMemcpyDeviceToHost", "hipMemcpyDeviceToHost"),
+    "gpuLaunchKernel": ("cudaLaunchKernel", "hipLaunchKernel"),
+    "gpuStreamCreate": ("cudaStreamCreate", "hipStreamCreate"),
+    "gpuStreamSynchronize": ("cudaStreamSynchronize", "hipStreamSynchronize"),
+    "gpuEventCreate": ("cudaEventCreate", "hipEventCreate"),
+    "gpuEventRecord": ("cudaEventRecord", "hipEventRecord"),
+    "gpuEventSynchronize": ("cudaEventSynchronize", "hipEventSynchronize"),
+    "gpuEventElapsedTime": ("cudaEventElapsedTime", "hipEventElapsedTime"),
+    "gpuDeviceSynchronize": ("cudaDeviceSynchronize", "hipDeviceSynchronize"),
+    "gpuSetDevice": ("cudaSetDevice", "hipSetDevice"),
+    "gpuGetDeviceCount": ("cudaGetDeviceCount", "hipGetDeviceCount"),
+}
+
+
+class MacroLayer:
+    """Build-time selected GPU backend behind one set of macro names."""
+
+    def __init__(self, specs: list[GPUSpec] | GPUSpec, *, count: int | None = None) -> None:
+        first = specs[0] if isinstance(specs, list) else specs
+        if first.vendor is GPUVendor.NVIDIA:
+            self.backend_name = "cuda"
+            self.runtime: CudaRuntime | HipRuntime = CudaRuntime(specs, count=count)
+        else:
+            self.backend_name = "hip"
+            self.runtime = HipRuntime(specs, count=count)
+
+    def _resolve(self, name: str) -> Any:
+        if name in _GENERIC_TO_VENDOR:
+            cuda_name, hip_name = _GENERIC_TO_VENDOR[name]
+            target = cuda_name if self.backend_name == "cuda" else hip_name
+        elif name.startswith("cuda") and self.backend_name == "hip":
+            target = "hip" + name[4:]
+        elif name.startswith("hip") and self.backend_name == "cuda":
+            target = "cuda" + name[3:]
+        else:
+            target = name
+        fn = getattr(self.runtime, target, None)
+        if fn is None:
+            raise MissingApiParity(
+                f"{name} has no {self.backend_name.upper()} counterpart ({target}); "
+                "the macro-layer strategy requires functionality in both APIs"
+            )
+        return fn
+
+    def __getattr__(self, name: str) -> Any:
+        if name.startswith(("gpu", "cuda", "hip")):
+            return self._resolve(name)
+        raise AttributeError(name)
+
+    @property
+    def elapsed(self) -> float:
+        return self.runtime.elapsed

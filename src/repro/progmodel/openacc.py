@@ -1,0 +1,158 @@
+"""OpenACC directives layer (the GAMESS/NuCCOR/PeleC-prototype path).
+
+Several teams' first GPU ports used OpenACC before converging on their
+final model (§3.1, §3.7, §3.8: "a prototype of PeleC was written in
+OpenACC ... found to be equivalent to a similar prototype written using
+the AMReX C++ performance portability library").  The semantics mirror
+OpenMP target offload with OpenACC spellings: structured ``data`` regions
+with copyin/copyout/create clauses, ``update`` directives, and
+``parallel loop`` kernels at a (slightly different) directive derate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.device import Device
+from repro.gpu.kernel import KernelSpec
+from repro.hardware.gpu import GPUSpec
+from repro.progmodel.openmp import MapKind, MotionLedger
+
+#: Fraction of native (HIP/CUDA) kernel throughput OpenACC achieves — on
+#: par with OpenMP offload; the §3.8 prototypes measured rough parity
+#: between OpenACC and the native-C++ path for simple loops.
+OPENACC_KERNEL_DERATE = 0.82
+
+
+class OpenACCError(RuntimeError):
+    pass
+
+
+@dataclass
+class _PresentArray:
+    name: str
+    nbytes: int
+    copyout: bool
+
+
+class OpenACCDevice:
+    """``#pragma acc`` semantics over one simulated GPU."""
+
+    def __init__(self, spec: GPUSpec) -> None:
+        self.device = Device(spec)
+        self.ledger = MotionLedger()
+        self._present: dict[str, _PresentArray] = {}
+
+    # -- data regions ------------------------------------------------------
+
+    def data(self, *, copyin: dict[str, int] | None = None,
+             copyout: dict[str, int] | None = None,
+             copy: dict[str, int] | None = None,
+             create: dict[str, int] | None = None) -> "AccDataRegion":
+        """``#pragma acc data copyin(...) copyout(...) copy(...) create(...)``."""
+        return AccDataRegion(self, copyin or {}, copyout or {}, copy or {},
+                             create or {})
+
+    def _enter(self, name: str, nbytes: int, *, to_device: bool,
+               copyout: bool) -> None:
+        if name in self._present:
+            raise OpenACCError(f"{name!r} is already present on the device")
+        if to_device:
+            t = self.device.memcpy_h2d(nbytes)
+            self.ledger.h2d_bytes += nbytes
+            self.ledger.h2d_transfers += 1
+            self.ledger.transfer_time += t
+        self._present[name] = _PresentArray(name=name, nbytes=nbytes,
+                                            copyout=copyout)
+
+    def _exit(self, name: str) -> None:
+        arr = self._present.pop(name, None)
+        if arr is None:
+            raise OpenACCError(f"{name!r} is not present on the device")
+        if arr.copyout:
+            t = self.device.memcpy_d2h(arr.nbytes)
+            self.ledger.d2h_bytes += arr.nbytes
+            self.ledger.d2h_transfers += 1
+            self.ledger.transfer_time += t
+
+    # -- update ------------------------------------------------------------
+
+    def update_device(self, name: str) -> None:
+        """``#pragma acc update device(name)``."""
+        arr = self._require(name)
+        t = self.device.memcpy_h2d(arr.nbytes)
+        self.ledger.h2d_bytes += arr.nbytes
+        self.ledger.h2d_transfers += 1
+        self.ledger.transfer_time += t
+
+    def update_self(self, name: str) -> None:
+        """``#pragma acc update self(name)`` (host)."""
+        arr = self._require(name)
+        t = self.device.memcpy_d2h(arr.nbytes)
+        self.ledger.d2h_bytes += arr.nbytes
+        self.ledger.d2h_transfers += 1
+        self.ledger.transfer_time += t
+
+    def _require(self, name: str) -> _PresentArray:
+        arr = self._present.get(name)
+        if arr is None:
+            raise OpenACCError(f"{name!r} is not in any data region")
+        return arr
+
+    # -- kernels -------------------------------------------------------------
+
+    def parallel_loop(self, kernel: KernelSpec, *, present: tuple[str, ...] = (),
+                      async_: bool = False) -> None:
+        """``#pragma acc parallel loop present(...) [async]``."""
+        for name in present:
+            self._require(name)
+        derated = KernelSpec(
+            name=kernel.name,
+            flops=kernel.flops / OPENACC_KERNEL_DERATE,
+            bytes_read=kernel.bytes_read,
+            bytes_written=kernel.bytes_written,
+            threads=kernel.threads,
+            precision=kernel.precision,
+            registers_per_thread=kernel.registers_per_thread,
+            workgroup_size=kernel.workgroup_size,
+            active_lane_fraction=kernel.active_lane_fraction,
+        )
+        if async_:
+            self.device.launch(derated)
+        else:
+            self.device.launch_sync(derated)
+
+    def wait(self) -> None:
+        """``#pragma acc wait``."""
+        self.device.synchronize()
+
+    @property
+    def elapsed(self) -> float:
+        return self.device.elapsed
+
+
+class AccDataRegion:
+    """Structured data region: transfers on entry/exit per clause."""
+
+    def __init__(self, acc: OpenACCDevice, copyin: dict[str, int],
+                 copyout: dict[str, int], copy: dict[str, int],
+                 create: dict[str, int]) -> None:
+        self._acc = acc
+        self._clauses = [
+            (copyin, True, False),
+            (copyout, False, True),
+            (copy, True, True),
+            (create, False, False),
+        ]
+
+    def __enter__(self) -> "AccDataRegion":
+        for arrays, to_device, copyout in self._clauses:
+            for name, nbytes in arrays.items():
+                self._acc._enter(name, nbytes, to_device=to_device,
+                                 copyout=copyout)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        for arrays, _, _ in self._clauses:
+            for name in arrays:
+                self._acc._exit(name)

@@ -1,0 +1,169 @@
+"""A miniature YAKL (Yet Another Kernel Launcher), §3.5.
+
+The two YAKL features E3SM-MMF depends on:
+
+* a **transparent pool allocator** for all device-resident allocations so
+  frequent allocate/deallocate patterns are non-blocking and very cheap —
+  modelled with the real :class:`repro.gpu.memory.PoolAllocator`;
+* an **interoperation layer** with Kokkos: an intermediate representation
+  of multi-dimensional arrays that lets Kokkos code and YAKL code exchange
+  data without either library owning the other's build.
+
+YAKL arrays support Fortran-style (1-based, column-major) or C-style
+indexing, since E3SM's Fortran heritage made that a real requirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.gpu.memory import DeviceAllocator, PoolAllocator
+from repro.hardware.gpu import GPUSpec
+from repro.progmodel import kokkos as _kokkos
+
+
+class YaklError(RuntimeError):
+    pass
+
+
+@dataclass(frozen=True)
+class ArrayIR:
+    """The intermediate representation exchanged with Kokkos (§3.5).
+
+    Carries everything needed to reconstruct the array in either library:
+    a data buffer, shape, element dtype, and the memory side it lives on.
+    """
+
+    label: str
+    data: np.ndarray
+    on_device: bool
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+
+class YaklContext:
+    """Library state: the device pool allocator. Call :func:`init` to make one."""
+
+    def __init__(self, spec: GPUSpec, *, pool_block: int = 1 << 28) -> None:
+        self.spec = spec
+        self.backing = DeviceAllocator(int(spec.mem_capacity))
+        self.pool = PoolAllocator(self.backing, initial_block=pool_block)
+        self.live_arrays = 0
+
+    @property
+    def pool_time(self) -> float:
+        """Simulated seconds spent in allocation calls (pool path)."""
+        return self.pool.simulated_time
+
+    @property
+    def native_time(self) -> float:
+        """Simulated seconds that native allocations would have cost."""
+        return (self.pool.alloc_calls + self.pool.free_calls) * self.backing.alloc_latency
+
+
+_context: YaklContext | None = None
+
+
+def init(spec: GPUSpec, *, pool_block: int = 1 << 28) -> YaklContext:
+    """``yakl::init()`` — create the pool. Returns the context."""
+    global _context
+    if _context is not None:
+        raise YaklError("yakl is already initialized; call finalize() first")
+    _context = YaklContext(spec, pool_block=pool_block)
+    return _context
+
+
+def finalize() -> None:
+    """``yakl::finalize()`` — verify no leaks and drop the pool."""
+    global _context
+    if _context is None:
+        raise YaklError("yakl is not initialized")
+    if _context.live_arrays:
+        raise YaklError(f"finalize with {_context.live_arrays} live arrays")
+    _context = None
+
+
+def is_initialized() -> bool:
+    return _context is not None
+
+
+def _require_context() -> YaklContext:
+    if _context is None:
+        raise YaklError("yakl.init() must be called before allocating arrays")
+    return _context
+
+
+class Array:
+    """A YAKL device array: pool-allocated, Fortran- or C-style indexed."""
+
+    def __init__(self, label: str, *dims: int, fortran_style: bool = False,
+                 dtype: Any = np.float64) -> None:
+        if not dims or any(d <= 0 for d in dims):
+            raise YaklError(f"array {label!r} needs positive dimensions, got {dims}")
+        ctx = _require_context()
+        self.label = label
+        self.fortran_style = fortran_style
+        order = "F" if fortran_style else "C"
+        self.data = np.zeros(dims, dtype=dtype, order=order)
+        self._handle = ctx.pool.malloc(self.data.nbytes, tag=label)
+        self._ctx = ctx
+        self._freed = False
+        ctx.live_arrays += 1
+
+    def _map_index(self, idx: tuple[int, ...] | int) -> tuple[int, ...]:
+        if not isinstance(idx, tuple):
+            idx = (idx,)
+        if not self.fortran_style:
+            return idx
+        mapped = []
+        for i, (k, n) in enumerate(zip(idx, self.data.shape)):
+            if not 1 <= k <= n:
+                raise IndexError(
+                    f"{self.label}: Fortran index {k} out of bounds [1, {n}] in dim {i}"
+                )
+            mapped.append(k - 1)
+        return tuple(mapped)
+
+    def __getitem__(self, idx):
+        return self.data[self._map_index(idx)]
+
+    def __setitem__(self, idx, value) -> None:
+        self.data[self._map_index(idx)] = value
+
+    def deallocate(self) -> None:
+        if self._freed:
+            raise YaklError(f"double free of array {self.label!r}")
+        self._ctx.pool.free(self._handle)
+        self._ctx.live_arrays -= 1
+        self._freed = True
+
+    # -- Kokkos interop ------------------------------------------------------
+
+    def to_ir(self) -> ArrayIR:
+        """Export as the intermediate representation Kokkos code consumes."""
+        return ArrayIR(label=self.label, data=self.data, on_device=True)
+
+    @classmethod
+    def from_ir(cls, ir: ArrayIR, *, fortran_style: bool = False) -> "Array":
+        """Wrap an IR produced by Kokkos (shares the data buffer)."""
+        arr = cls(ir.label, *ir.shape, fortran_style=fortran_style, dtype=ir.data.dtype)
+        arr.data = np.asfortranarray(ir.data) if fortran_style else ir.data
+        return arr
+
+
+def view_from_ir(ir: ArrayIR) -> _kokkos.View:
+    """Build a Kokkos View over a YAKL array's IR (zero-copy)."""
+    space = _kokkos.DeviceSpace if ir.on_device else _kokkos.HostSpace
+    view = _kokkos.View(ir.label, ir.data.shape, space, ir.data.dtype)
+    view.data = ir.data
+    return view
+
+
+def ir_from_view(view: _kokkos.View) -> ArrayIR:
+    """Export a Kokkos View as YAKL-consumable IR (zero-copy)."""
+    return ArrayIR(label=view.name, data=view.data, on_device=view.space.on_device)

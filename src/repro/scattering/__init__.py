@@ -1,0 +1,24 @@
+"""LSMS substrate: LIZ construction, structure constants, KKR assembly, tau solves."""
+
+from repro.scattering.kkr import (
+    LIZ,
+    assemble_kkr_matrix,
+    build_liz,
+    make_t_matrices,
+    structure_constant_block,
+    tau_central_block,
+)
+
+__all__ = [
+    "scf_iterate",
+    "density_moment",
+    "ScfResult",
+    "ScfHistory",
+    "LIZ",
+    "assemble_kkr_matrix",
+    "build_liz",
+    "make_t_matrices",
+    "structure_constant_block",
+    "tau_central_block",
+]
+from repro.scattering.scf import ScfHistory, ScfResult, density_moment, scf_iterate

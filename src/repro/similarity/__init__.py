@@ -1,0 +1,39 @@
+"""CoMet substrate: CCC similarity metrics via mixed-precision GEMM."""
+
+from repro.similarity.ccc import (
+    N_STATES,
+    ccc_from_counts,
+    ccc_gemm_flops,
+    ccc_kernel_spec,
+    ccc_similarity,
+    cooccurrence_counts_bruteforce,
+    cooccurrence_counts_gemm,
+    one_hot,
+    random_allele_data,
+)
+
+__all__ = [
+    "threeway_similarity",
+    "threeway_metric",
+    "threeway_kernel_spec",
+    "threeway_gemm_flops",
+    "threeway_counts_gemm",
+    "threeway_counts_bruteforce",
+    "N_STATES",
+    "ccc_from_counts",
+    "ccc_gemm_flops",
+    "ccc_kernel_spec",
+    "ccc_similarity",
+    "cooccurrence_counts_bruteforce",
+    "cooccurrence_counts_gemm",
+    "one_hot",
+    "random_allele_data",
+]
+from repro.similarity.threeway import (
+    threeway_counts_bruteforce,
+    threeway_counts_gemm,
+    threeway_gemm_flops,
+    threeway_kernel_spec,
+    threeway_metric,
+    threeway_similarity,
+)

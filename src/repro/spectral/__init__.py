@@ -1,0 +1,34 @@
+"""GESTS substrate: distributed 3-D FFTs and pseudo-spectral DNS."""
+
+from repro.spectral.fft3d import PencilFFT3D, SlabFFT3D, TransposeStats
+from repro.spectral.psdns import (
+    FFTS_PER_STEP,
+    PsdnsStepTime,
+    PseudoSpectralNS,
+    psdns_step_time,
+)
+
+__all__ = [
+    "total_kinetic_energy",
+    "taylor_microscale_reynolds",
+    "enstrophy",
+    "energy_spectrum",
+    "dissipation_rate",
+    "r2c_traffic_saving",
+    "SlabRFFT3D",
+    "FFTS_PER_STEP",
+    "PencilFFT3D",
+    "PsdnsStepTime",
+    "PseudoSpectralNS",
+    "SlabFFT3D",
+    "TransposeStats",
+    "psdns_step_time",
+]
+from repro.spectral.rfft3d import SlabRFFT3D, r2c_traffic_saving
+from repro.spectral.diagnostics import (
+    dissipation_rate,
+    energy_spectrum,
+    enstrophy,
+    taylor_microscale_reynolds,
+    total_kinetic_energy,
+)

@@ -1,0 +1,66 @@
+"""Turbulence diagnostics: energy spectra and dissipation (GESTS science).
+
+The scientific output of a DNS campaign: the shell-averaged kinetic-energy
+spectrum E(k), total energy and enstrophy, and the viscous dissipation
+rate.  Parseval consistency (∑ₖ E(k) equals the physical-space kinetic
+energy) is the correctness anchor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.spectral.psdns import PseudoSpectralNS
+
+
+def energy_spectrum(ns: PseudoSpectralNS) -> tuple[np.ndarray, np.ndarray]:
+    """Shell-averaged kinetic-energy spectrum.
+
+    Returns ``(k, E)`` with k = 0..n/2; Σ E(k) equals the mean kinetic
+    energy ½⟨|u|²⟩ (Parseval, with numpy's unnormalized FFT convention).
+    """
+    n = ns.n
+    # energy density per mode: |û|²/(2 N⁶) summed over components
+    mode_energy = 0.5 * np.sum(np.abs(ns.uh) ** 2, axis=0) / float(n) ** 6
+    k_mag = np.sqrt(ns.k2)
+    shells = np.arange(0, n // 2 + 1)
+    spectrum = np.zeros(len(shells))
+    shell_idx = np.clip(np.round(k_mag).astype(int), 0, n // 2)
+    np.add.at(spectrum, shell_idx.ravel(), mode_energy.ravel())
+    return shells.astype(float), spectrum
+
+
+def total_kinetic_energy(ns: PseudoSpectralNS) -> float:
+    """½⟨|u|²⟩ computed spectrally."""
+    _, spec = energy_spectrum(ns)
+    return float(spec.sum())
+
+
+def enstrophy(ns: PseudoSpectralNS) -> float:
+    """½⟨|ω|²⟩ from the spectral vorticity."""
+    n = ns.n
+    om = np.empty_like(ns.uh)
+    om[0] = 1j * (ns.ky * ns.uh[2] - ns.kz * ns.uh[1])
+    om[1] = 1j * (ns.kz * ns.uh[0] - ns.kx * ns.uh[2])
+    om[2] = 1j * (ns.kx * ns.uh[1] - ns.ky * ns.uh[0])
+    return float(0.5 * np.sum(np.abs(om) ** 2) / float(n) ** 6)
+
+
+def dissipation_rate(ns: PseudoSpectralNS) -> float:
+    """ε = 2ν · enstrophy (incompressible identity)."""
+    return 2.0 * ns.nu * enstrophy(ns)
+
+
+def taylor_microscale_reynolds(ns: PseudoSpectralNS) -> float:
+    """Re_λ = u' λ / ν with λ² = 15 ν u'²/ε (isotropic relations).
+
+    The headline parameter of DNS campaigns ("probe high Reynolds number
+    conditions").  Returns 0 for quiescent fields.
+    """
+    e = total_kinetic_energy(ns)
+    eps = dissipation_rate(ns)
+    if e <= 0 or eps <= 0 or ns.nu <= 0:
+        return 0.0
+    u_rms = np.sqrt(2.0 * e / 3.0)
+    lam = np.sqrt(15.0 * ns.nu * u_rms**2 / eps)
+    return float(u_rms * lam / ns.nu)

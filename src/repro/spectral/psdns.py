@@ -1,0 +1,234 @@
+"""Pseudo-spectral DNS of incompressible turbulence (GESTS, §3.3).
+
+Two layers:
+
+* :class:`PseudoSpectralNS` — a *real* single-array pseudo-spectral
+  incompressible Navier–Stokes solver (rotational form, 2/3-rule
+  dealiasing, RK2), verified on Taylor–Green decay and divergence-free
+  preservation.  This is the numerics GESTS runs, at test scale.
+* :func:`psdns_step_time` — the paper-scale performance model: per-step
+  cost on a machine from the per-rank FFT kernel work plus the
+  decomposition's transpose communication, yielding the GESTS FOM
+  ``N³ / t_wall``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpu.kernel import KernelSpec
+from repro.gpu.perfmodel import time_kernel
+from repro.hardware.gpu import Precision
+from repro.hardware.machine import MachineSpec
+from repro.linalg.fft import fft_flops
+from repro.mpisim import costmodel as cm
+from repro.mpisim.costmodel import link_parameters, ranks_per_nic
+from repro.mpisim.decomposition import PencilDecomposition, SlabDecomposition
+
+#: 3-D FFTs per time step in the rotational-form RK2 stepper: per stage,
+#: 3 inverse (velocity), 3 inverse (vorticity), 3 forward (nonlinear term).
+FFTS_PER_STEP = 2 * 9
+
+
+class PseudoSpectralNS:
+    """Incompressible NS in a 2π-periodic box, spectral space state."""
+
+    def __init__(self, n: int, *, viscosity: float = 0.01) -> None:
+        if n < 4 or n % 2:
+            raise ValueError("n must be an even integer >= 4")
+        self.n = n
+        self.nu = viscosity
+        k1 = np.fft.fftfreq(n, d=1.0 / n)
+        self.kx, self.ky, self.kz = np.meshgrid(k1, k1, k1, indexing="ij")
+        self.k2 = self.kx**2 + self.ky**2 + self.kz**2
+        self.k2_safe = np.where(self.k2 == 0, 1.0, self.k2)
+        kmax = n // 3  # 2/3 rule
+        self.dealias = (
+            (np.abs(self.kx) <= kmax)
+            & (np.abs(self.ky) <= kmax)
+            & (np.abs(self.kz) <= kmax)
+        )
+        self.uh = np.zeros((3, n, n, n), dtype=complex)
+
+    # -- setup -----------------------------------------------------------------
+
+    def set_taylor_green(self) -> None:
+        """Classic Taylor–Green vortex initial condition."""
+        n = self.n
+        x = np.linspace(0, 2 * np.pi, n, endpoint=False)
+        X, Y, Z = np.meshgrid(x, x, x, indexing="ij")
+        u = np.cos(X) * np.sin(Y) * np.sin(Z)
+        v = -np.sin(X) * np.cos(Y) * np.sin(Z)
+        w = np.zeros_like(u)
+        for i, f in enumerate((u, v, w)):
+            self.uh[i] = np.fft.fftn(f)
+        self._project()
+
+    def set_velocity(self, u: np.ndarray, v: np.ndarray, w: np.ndarray) -> None:
+        for i, f in enumerate((u, v, w)):
+            if f.shape != (self.n,) * 3:
+                raise ValueError(f"field shape {f.shape} != {(self.n,)*3}")
+            self.uh[i] = np.fft.fftn(f)
+        self._project()
+
+    # -- diagnostics ------------------------------------------------------------
+
+    def velocity(self) -> np.ndarray:
+        """Physical-space velocity, shape (3, n, n, n)."""
+        return np.real(np.fft.ifftn(self.uh, axes=(1, 2, 3)))
+
+    def energy(self) -> float:
+        """Mean kinetic energy ⟨|u|²⟩/2."""
+        u = self.velocity()
+        return float(0.5 * np.mean(np.sum(u**2, axis=0)))
+
+    def max_divergence(self) -> float:
+        div = (
+            1j * self.kx * self.uh[0]
+            + 1j * self.ky * self.uh[1]
+            + 1j * self.kz * self.uh[2]
+        )
+        return float(np.abs(np.fft.ifftn(div)).max())
+
+    # -- dynamics ---------------------------------------------------------------
+
+    def _project(self) -> None:
+        """Leray projection onto divergence-free fields."""
+        kdotu = (
+            self.kx * self.uh[0] + self.ky * self.uh[1] + self.kz * self.uh[2]
+        )
+        for i, k in enumerate((self.kx, self.ky, self.kz)):
+            self.uh[i] -= k * kdotu / self.k2_safe
+
+    def _nonlinear(self, uh: np.ndarray) -> np.ndarray:
+        """Rotational-form nonlinear term u × ω, dealiased, projected."""
+        u = np.real(np.fft.ifftn(uh, axes=(1, 2, 3)))
+        om = np.empty_like(uh)
+        om[0] = 1j * (self.ky * uh[2] - self.kz * uh[1])
+        om[1] = 1j * (self.kz * uh[0] - self.kx * uh[2])
+        om[2] = 1j * (self.kx * uh[1] - self.ky * uh[0])
+        w = np.real(np.fft.ifftn(om, axes=(1, 2, 3)))
+        cross = np.empty_like(u)
+        cross[0] = u[1] * w[2] - u[2] * w[1]
+        cross[1] = u[2] * w[0] - u[0] * w[2]
+        cross[2] = u[0] * w[1] - u[1] * w[0]
+        nh = np.fft.fftn(cross, axes=(1, 2, 3))
+        nh *= self.dealias
+        kdotn = self.kx * nh[0] + self.ky * nh[1] + self.kz * nh[2]
+        for i, k in enumerate((self.kx, self.ky, self.kz)):
+            nh[i] -= k * kdotn / self.k2_safe
+        return nh
+
+    def step(self, dt: float) -> None:
+        """One RK2 (Heun) step with integrating-factor viscosity."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        # integrating-factor Heun: terms decay from their evaluation time
+        ef = np.exp(-self.nu * self.k2 * dt)
+        n1 = self._nonlinear(self.uh)
+        mid = (self.uh + dt * n1) * ef
+        n2 = self._nonlinear(mid)
+        self.uh = self.uh * ef + 0.5 * dt * (n1 * ef + n2)
+        self.uh[:, ~self.dealias] = 0.0
+        self._project()
+
+
+# ---------------------------------------------------------------------------
+# Paper-scale performance model
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PsdnsStepTime:
+    """Breakdown of one simulated PSDNS time step."""
+
+    fft_time: float
+    transpose_time: float
+    pointwise_time: float
+
+    @property
+    def total(self) -> float:
+        return self.fft_time + self.transpose_time + self.pointwise_time
+
+    def fom(self, n: int) -> float:
+        """The GESTS figure of merit: N³ / t_wall."""
+        return float(n) ** 3 / self.total
+
+
+def psdns_step_time(
+    machine: MachineSpec,
+    n: int,
+    nranks: int,
+    *,
+    decomposition: str = "slabs",
+    ffts_per_step: int = FFTS_PER_STEP,
+    fft_efficiency: float = 0.35,
+) -> PsdnsStepTime:
+    """Per-step wall time of an N³ PSDNS on *machine* with *nranks* ranks.
+
+    One rank per GPU (GESTS binds one MPI rank per GCD).  Per 3-D FFT a
+    rank performs its share of the three 1-D FFT passes (device kernel)
+    and the decomposition's global transposes (alltoall model).
+    """
+    node = machine.node
+    if not node.has_gpus:
+        raise ValueError("psdns_step_time models the GPU production mode")
+    assert node.gpu is not None
+    if decomposition == "slabs":
+        decomp = SlabDecomposition(n=n, nranks=nranks)
+        group = nranks
+    elif decomposition == "pencils":
+        from repro.mpisim.decomposition import balanced_pencil_grid
+
+        prow, pcol = balanced_pencil_grid(n, nranks)
+        decomp = PencilDecomposition(n=n, prow=prow, pcol=pcol)
+        group = max(prow, pcol)
+    else:
+        raise ValueError(f"unknown decomposition {decomposition!r}")
+
+    # device kernel: this rank's share of 3 passes of 1-D FFTs
+    local_flops = 3 * fft_flops(n) * n * n / nranks
+    itemsize = 16
+    local_traffic = 3 * 2 * (n**3 // nranks) * itemsize
+    spec = KernelSpec(
+        name=f"fft3d_local_{n}",
+        flops=local_flops / fft_efficiency,
+        bytes_read=float(local_traffic),
+        bytes_written=float(local_traffic),
+        threads=max(n**3 // (4 * nranks), 64),
+        precision=Precision.FP64,
+        lds_per_workgroup=32 * 1024,
+        workgroup_size=256,
+    )
+    t_fft_local = time_kernel(spec, node.gpu).total_time
+
+    # transpose: bytes each rank exchanges per global transpose
+    fabric = node.interconnect
+    assert fabric is not None
+    active = min(node.gpus_per_node, nranks)
+    link = link_parameters(
+        fabric, ranks_sharing_nic=ranks_per_nic(active, fabric), device_buffers=True
+    )
+    bpp = decomp.transpose_bytes_per_pair(itemsize)
+    t_transpose = decomp.transposes_per_fft * cm.alltoall_time(group, bpp, link)
+
+    # pointwise work (projection, cross products): ~30 flops/point/step,
+    # memory bound
+    pw = KernelSpec(
+        name="psdns_pointwise",
+        flops=30.0 * n**3 / nranks,
+        bytes_read=float(6 * (n**3 // nranks) * itemsize),
+        bytes_written=float(3 * (n**3 // nranks) * itemsize),
+        threads=max(n**3 // nranks, 64),
+        precision=Precision.FP64,
+    )
+    t_pointwise = time_kernel(pw, node.gpu).total_time
+
+    return PsdnsStepTime(
+        fft_time=ffts_per_step * t_fft_local,
+        transpose_time=ffts_per_step * t_transpose,
+        pointwise_time=t_pointwise,
+    )

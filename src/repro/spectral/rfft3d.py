@@ -1,0 +1,97 @@
+"""Real-to-complex distributed 3-D FFT (the PSDNS production transform).
+
+Turbulence fields are real, so production pseudo-spectral codes (GESTS
+included) use R2C transforms: the last axis stores only n/2+1 complex
+modes, halving both memory and transpose traffic relative to the complex
+transform.  Implemented over the same slab machinery as
+:class:`repro.spectral.fft3d.SlabFFT3D` and verified against
+``numpy.fft.rfftn``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hardware.interconnect import InterconnectSpec
+from repro.mpisim import costmodel as cm
+from repro.mpisim.costmodel import link_parameters, ranks_per_nic
+from repro.mpisim.decomposition import SlabDecomposition
+from repro.spectral.fft3d import TransposeStats
+
+
+class SlabRFFT3D:
+    """Slab-decomposed real-to-complex 3-D FFT over P simulated ranks.
+
+    Forward layout: real input slabs (n/P, n, n) → spectrum distributed
+    over axis 1 with shape (n, n/P, n//2+1).
+    """
+
+    def __init__(self, n: int, nranks: int, *, fabric: InterconnectSpec,
+                 ranks_per_node: int = 8) -> None:
+        self.decomp = SlabDecomposition(n=n, nranks=nranks)
+        self.n = n
+        self.nranks = nranks
+        self.fabric = fabric
+        self.ranks_per_node = ranks_per_node
+        self.stats = TransposeStats()
+
+    @property
+    def n_half(self) -> int:
+        return self.n // 2 + 1
+
+    def _charge_transpose(self) -> None:
+        ln = self.n // self.nranks
+        # half-spectrum payload: the R2C saving vs the complex transform
+        bytes_per_pair = float(ln * ln * self.n_half * 16)
+        share = ranks_per_nic(min(self.ranks_per_node, self.nranks), self.fabric)
+        link = link_parameters(self.fabric, ranks_sharing_nic=share,
+                               device_buffers=True)
+        t = cm.alltoall_time(self.nranks, bytes_per_pair, link)
+        self.stats.transposes += 1
+        self.stats.comm_time += t
+        self.stats.bytes_per_rank += bytes_per_pair * (self.nranks - 1)
+
+    def scatter(self, x: np.ndarray) -> list[np.ndarray]:
+        if x.shape != (self.n,) * 3:
+            raise ValueError(f"expected ({self.n},)*3 real array, got {x.shape}")
+        if np.iscomplexobj(x):
+            raise ValueError("R2C input must be real")
+        ln = self.n // self.nranks
+        return [x[r * ln : (r + 1) * ln].astype(float) for r in range(self.nranks)]
+
+    def forward(self, slabs: list[np.ndarray]) -> list[np.ndarray]:
+        """R2C along axis 2, C2C along axis 1, transpose, C2C along axis 0."""
+        ln = self.n // self.nranks
+        staged = [np.fft.fft(np.fft.rfft(s, axis=2), axis=1) for s in slabs]
+        blocks = [[s[:, c * ln : (c + 1) * ln, :] for c in range(self.nranks)]
+                  for s in staged]
+        self._charge_transpose()
+        received = [
+            np.concatenate([blocks[r][c] for r in range(self.nranks)], axis=0)
+            for c in range(self.nranks)
+        ]
+        return [np.fft.fft(z, axis=0) for z in received]
+
+    def inverse(self, spectra: list[np.ndarray]) -> list[np.ndarray]:
+        ln = self.n // self.nranks
+        staged = [np.fft.ifft(z, axis=0) for z in spectra]
+        blocks = [[z[r * ln : (r + 1) * ln, :, :] for r in range(self.nranks)]
+                  for z in staged]
+        self._charge_transpose()
+        received = [
+            np.concatenate([blocks[c][r] for c in range(self.nranks)], axis=1)
+            for r in range(self.nranks)
+        ]
+        return [np.fft.irfft(np.fft.ifft(s, axis=1), n=self.n, axis=2)
+                for s in received]
+
+    def gather_spectrum(self, spectra: list[np.ndarray]) -> np.ndarray:
+        return np.concatenate(spectra, axis=1)
+
+    def gather_slabs(self, slabs: list[np.ndarray]) -> np.ndarray:
+        return np.concatenate(slabs, axis=0)
+
+
+def r2c_traffic_saving(n: int) -> float:
+    """Transpose-traffic ratio complex/R2C ≈ 2 for large n."""
+    return float(n) / (n // 2 + 1)

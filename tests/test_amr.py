@@ -1,0 +1,242 @@
+"""Tests for the AMReX-like substrate: boxes, MultiFab, ghosts, EB, hierarchy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.amr import (
+    AmrHierarchy,
+    Box,
+    BoxArray,
+    GhostExchangeSpec,
+    MultiFab,
+    asynchronous_step_time,
+    build_eb_geometry,
+    chop_domain,
+    eb_redistribution_weights,
+    fill_boundary_time,
+    sorted_cut_cells,
+    synchronous_step_time,
+)
+from repro.amr.eb import CellType
+from repro.mpisim.costmodel import LinkParameters
+
+DOMAIN = Box(lo=(0, 0, 0), hi=(31, 31, 31))
+
+
+class TestBox:
+    def test_shape_and_cells(self):
+        b = Box(lo=(0, 0, 0), hi=(7, 3, 1))
+        assert b.shape == (8, 4, 2)
+        assert b.ncells == 64
+
+    def test_empty_box_rejected(self):
+        with pytest.raises(ValueError):
+            Box(lo=(0, 0, 0), hi=(-1, 3, 3))
+
+    def test_grow(self):
+        b = Box(lo=(4, 4, 4), hi=(7, 7, 7)).grow(2)
+        assert b.lo == (2, 2, 2) and b.hi == (9, 9, 9)
+
+    def test_intersection(self):
+        a = Box(lo=(0, 0, 0), hi=(5, 5, 5))
+        b = Box(lo=(4, 4, 4), hi=(9, 9, 9))
+        c = a.intersection(b)
+        assert c == Box(lo=(4, 4, 4), hi=(5, 5, 5))
+        far = Box(lo=(10, 10, 10), hi=(12, 12, 12))
+        assert a.intersection(far) is None
+
+    def test_refine_coarsen_roundtrip(self):
+        b = Box(lo=(2, 4, 6), hi=(5, 7, 9))
+        assert b.refine(2).coarsen(2) == b
+        assert b.refine(2).ncells == 8 * b.ncells
+
+    def test_refine_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            Box(lo=(0, 0, 0), hi=(1, 1, 1)).refine(0)
+
+    def test_chop_covers_domain_exactly(self):
+        boxes = chop_domain(DOMAIN, 16)
+        assert len(boxes) == 8
+        assert sum(b.ncells for b in boxes) == DOMAIN.ncells
+
+    def test_chop_handles_remainders(self):
+        boxes = chop_domain(Box(lo=(0, 0, 0), hi=(9, 9, 9)), 4)
+        assert sum(b.ncells for b in boxes) == 1000
+        assert all(max(b.shape) <= 4 for b in boxes)
+
+
+class TestBoxArray:
+    def test_overlap_rejected(self):
+        a = Box(lo=(0, 0, 0), hi=(3, 3, 3))
+        b = Box(lo=(2, 2, 2), hi=(5, 5, 5))
+        with pytest.raises(ValueError, match="overlapping"):
+            BoxArray(boxes=(a, b))
+
+    def test_from_domain(self):
+        ba = BoxArray.from_domain(DOMAIN, 16)
+        assert ba.ncells == DOMAIN.ncells
+
+    def test_distribution_is_balanced(self):
+        ba = BoxArray.from_domain(DOMAIN, 8)
+        owner = ba.distribute(4)
+        loads = [0] * 4
+        for i, r in enumerate(owner):
+            loads[r] += ba.boxes[i].ncells
+        assert max(loads) - min(loads) <= max(b.ncells for b in ba.boxes)
+
+    def test_distribute_validates(self):
+        ba = BoxArray.from_domain(DOMAIN, 16)
+        with pytest.raises(ValueError):
+            ba.distribute(0)
+
+
+class TestMultiFab:
+    def test_ghost_fill_matches_periodic_neighbor_data(self):
+        ba = BoxArray.from_domain(DOMAIN, 16)
+        mf = MultiFab(ba, DOMAIN, ncomp=1, nghost=2)
+        mf.set_from_function(lambda x, y, z: (x + 32 * y + 32 * 32 * z).astype(float))
+        mf.fill_boundary()
+        # ghost cell values must equal the periodic global function
+        for i, b in enumerate(mf.ba):
+            fab = mf.fabs[i][..., 0]
+            g = mf.nghost
+            for axis_offset in ((-1, 0, 0), (0, -1, 0), (0, 0, -1)):
+                idx = tuple(
+                    g + o for o in axis_offset
+                )  # one cell outside the valid region
+                gx = (b.lo[0] + axis_offset[0]) % 32
+                gy = (b.lo[1] + axis_offset[1]) % 32
+                gz = (b.lo[2] + axis_offset[2]) % 32
+                expected = float(gx + 32 * gy + 32 * 32 * gz)
+                assert fab[idx[0] - g + g - (1 if axis_offset[0] else 0),
+                           idx[1] - g + g - (1 if axis_offset[1] else 0),
+                           idx[2] - g + g - (1 if axis_offset[2] else 0)] >= 0  # sanity
+            # direct check of the full grown region against the function
+            ix, iy, iz = mf._global_index(i)
+            expected_full = (ix[:, None, None] + 32 * iy[None, :, None]
+                             + 32 * 32 * iz[None, None, :]).astype(float)
+            np.testing.assert_array_equal(fab, expected_full)
+
+    def test_zero_ghost_fill_is_noop(self):
+        ba = BoxArray.from_domain(DOMAIN, 16)
+        mf = MultiFab(ba, DOMAIN, nghost=0)
+        assert mf.fill_boundary() == 0
+
+    def test_reductions(self):
+        ba = BoxArray.from_domain(DOMAIN, 16)
+        mf = MultiFab(ba, DOMAIN)
+        mf.set_from_function(lambda x, y, z: np.ones_like(x, dtype=float))
+        assert mf.sum() == pytest.approx(DOMAIN.ncells)
+        assert mf.norm0() == pytest.approx(1.0)
+
+    def test_multicomponent(self):
+        ba = BoxArray.from_domain(DOMAIN, 16)
+        mf = MultiFab(ba, DOMAIN, ncomp=3, nghost=1)
+        mf.fill_boundary()
+        assert mf.fabs[0].shape[-1] == 3
+
+    def test_stats_accumulate(self):
+        ba = BoxArray.from_domain(DOMAIN, 16)
+        mf = MultiFab(ba, DOMAIN, nghost=1)
+        mf.fill_boundary()
+        mf.fill_boundary()
+        assert mf.stats.exchanges == 2
+        assert mf.stats.bytes_moved > 0
+
+    def test_invalid_params(self):
+        ba = BoxArray.from_domain(DOMAIN, 16)
+        with pytest.raises(ValueError):
+            MultiFab(ba, DOMAIN, ncomp=0)
+
+
+class TestGhostTiming:
+    LINK = LinkParameters(alpha=2e-6, beta=1.0 / 25e9)
+
+    def test_async_beats_sync_when_compute_covers_comm(self):
+        spec = GhostExchangeSpec(neighbors=6, bytes_per_neighbor=1 << 20)
+        compute = 10 * fill_boundary_time(spec, self.LINK)
+        sync = synchronous_step_time(compute, spec, self.LINK)
+        async_ = asynchronous_step_time(compute, spec, self.LINK)
+        assert async_ < sync
+        # with full overlap, async ≈ compute
+        assert async_ == pytest.approx(compute, rel=0.05)
+
+    def test_async_degrades_to_comm_bound(self):
+        spec = GhostExchangeSpec(neighbors=6, bytes_per_neighbor=64 << 20)
+        compute = 1e-6
+        async_ = asynchronous_step_time(compute, spec, self.LINK)
+        assert async_ >= fill_boundary_time(spec, self.LINK)
+
+    def test_no_neighbors_is_free(self):
+        spec = GhostExchangeSpec(neighbors=0, bytes_per_neighbor=0)
+        assert fill_boundary_time(spec, self.LINK) == 0.0
+
+    def test_interior_fraction_validated(self):
+        spec = GhostExchangeSpec(neighbors=6, bytes_per_neighbor=1024)
+        with pytest.raises(ValueError):
+            asynchronous_step_time(1.0, spec, self.LINK, interior_fraction=1.5)
+
+
+class TestEmbeddedBoundaries:
+    def test_sphere_classification(self):
+        box = Box(lo=(0, 0, 0), hi=(15, 15, 15))
+        # fluid inside a sphere of radius 6 centred at 8
+        level_set = lambda x, y, z: np.sqrt((x - 8) ** 2 + (y - 8) ** 2 + (z - 8) ** 2) - 6.0
+        geom = build_eb_geometry(box, level_set)
+        assert geom.n_regular > 0
+        assert geom.n_cut > 0
+        assert geom.n_covered > 0
+        assert geom.n_regular + geom.n_cut + geom.n_covered == box.ncells
+
+    def test_volume_fractions_bounded(self):
+        box = Box(lo=(0, 0, 0), hi=(15, 15, 15))
+        geom = build_eb_geometry(box, lambda x, y, z: x - 8.0)
+        assert np.all(geom.volume_fraction >= 0.0)
+        assert np.all(geom.volume_fraction <= 1.0)
+        covered = geom.cell_type == CellType.COVERED.value
+        assert np.all(geom.volume_fraction[covered] == 0.0)
+
+    def test_sorted_cut_cells_deterministic_and_sorted(self):
+        box = Box(lo=(0, 0, 0), hi=(15, 15, 15))
+        geom = build_eb_geometry(
+            box, lambda x, y, z: np.sqrt((x - 8) ** 2 + (y - 8) ** 2 + (z - 8) ** 2) - 5.0
+        )
+        order1 = sorted_cut_cells(geom)
+        order2 = sorted_cut_cells(geom)
+        np.testing.assert_array_equal(order1, order2)
+        vf = geom.volume_fraction.ravel()[order1]
+        assert np.all(np.diff(vf) >= -1e-15)
+
+    def test_redistribution_weights_conserve(self):
+        box = Box(lo=(0, 0, 0), hi=(15, 15, 15))
+        geom = build_eb_geometry(
+            box, lambda x, y, z: np.sqrt((x - 8) ** 2 + (y - 8) ** 2 + (z - 8) ** 2) - 5.0
+        )
+        w = eb_redistribution_weights(geom)
+        assert w.sum() == pytest.approx(1.0)
+
+
+class TestHierarchy:
+    def test_regrid_creates_levels(self):
+        h = AmrHierarchy(DOMAIN, max_levels=3, max_grid_size=16)
+        h.regrid(lambda b: b.lo[0] < 16)
+        assert h.nlevels == 3
+        assert h.levels[1].ratio_to_coarser == 2
+
+    def test_no_tags_no_levels(self):
+        h = AmrHierarchy(DOMAIN, max_levels=3, max_grid_size=16)
+        h.regrid(lambda b: False)
+        assert h.nlevels == 1
+
+    def test_amr_saves_cells(self):
+        h = AmrHierarchy(DOMAIN, max_levels=3, max_grid_size=16)
+        h.regrid(lambda b: b.lo == (0, 0, 0))
+        assert h.savings_factor() > 1.0
+        assert h.composite_cells() < h.equivalent_uniform_cells()
+
+    def test_full_tagging_matches_uniform(self):
+        h = AmrHierarchy(DOMAIN, max_levels=2, max_grid_size=16)
+        h.regrid(lambda b: True)
+        # refining everything: fine level alone equals the uniform fine grid
+        assert h.levels[1].ncells == DOMAIN.refine(2).ncells

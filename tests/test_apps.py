@@ -1,0 +1,187 @@
+"""Tests for the ten application modules (Table 2 bands + app stories)."""
+
+import pytest
+
+from repro.apps import (
+    TABLE2_APPS,
+    coast,
+    comet,
+    e3sm,
+    exasky,
+    gamess,
+    gests,
+    lammps,
+    lsms,
+    nuccor,
+    pele,
+)
+from repro.core.speedup import TABLE2_EXPECTED, within_band
+from repro.hardware.catalog import FRONTIER, SUMMIT
+
+
+class TestTable2Bands:
+    @pytest.mark.parametrize("name", sorted(TABLE2_EXPECTED))
+    def test_speedup_in_band(self, name):
+        """Every Table 2 row reproduces within ±35 %."""
+        measured = TABLE2_APPS[name].speedup()
+        assert within_band(measured, TABLE2_EXPECTED[name]), (
+            f"{name}: measured {measured:.2f} vs paper {TABLE2_EXPECTED[name]}"
+        )
+
+    def test_speedups_all_exceed_threeish(self):
+        """§6: '5x to 7x vs OLCF Summit being typical'."""
+        values = [m.speedup() for m in TABLE2_APPS.values()]
+        assert min(values) > 3.0
+        assert max(values) < 9.0
+
+
+class TestGamess:
+    def test_transfer_optimization_helps(self):
+        assert gamess.transfer_optimization_gain() > 1.2
+
+    def test_mbe_scaling_near_ideal_to_2048(self):
+        eff = gamess.mbe_scaling(935, [128, 512, 1024, 2048])
+        assert all(e > 0.95 for e in eff.values())
+
+    def test_scaling_degrades_for_tiny_problems(self):
+        eff = gamess.mbe_scaling(10, [2048])
+        assert eff[2048] < 0.1
+
+
+class TestLsms:
+    def test_direct_lu_beats_block_inversion_on_frontier(self):
+        """§3.2: 'better performance for the direct solution'."""
+        assert lsms.solver_choice_gain_on_frontier() > 1.0
+
+    def test_index_math_fix_improves(self):
+        assert lsms.index_math_fix_gain() > 1.0
+
+    def test_solve_time_validates_method(self):
+        from repro.hardware.gpu import V100
+
+        with pytest.raises(ValueError):
+            lsms.solve_time(V100, lsms.LsmsConfig(), method="qr")
+
+
+class TestGests:
+    def test_fom_target_met(self):
+        fom = gests.reference_fom()
+        frontier_value = gests.frontier_step().fom(gests.GestsConfig().frontier_n)
+        assert fom.meets_target(frontier_value)
+        assert fom.achieved_factor(frontier_value) > 4.0
+
+    def test_slabs_beat_pencils(self):
+        r = gests.slabs_vs_pencils()
+        assert r["slabs"].total < r["pencils"].total
+
+    def test_pencils_scale_past_slab_limit(self):
+        t = gests.pencil_only_scale()
+        assert t.total > 0
+
+
+class TestExasky:
+    def test_wavefront_fix_is_material(self):
+        assert exasky.wavefront_fix_gain() > 1.1
+
+    def test_theta_baseline_factor(self):
+        assert 150 < exasky.fom_vs_theta_baseline() < 320
+
+
+class TestComet:
+    def test_exaflops_band(self):
+        assert 5.0 < comet.system_exaflops() < 8.5
+
+    def test_weak_scaling_near_perfect(self):
+        eff = comet.weak_scaling_efficiency([1, 16, 256, 4096, 9074])
+        vals = list(eff.values())
+        assert all(v > 0.99 for v in vals)
+        assert all(a >= b - 1e-12 for a, b in zip(vals, vals[1:]))
+
+    def test_node_count_validated(self):
+        with pytest.raises(ValueError):
+            comet.weak_scaling_efficiency([0])
+
+
+class TestNuccor:
+    def test_plugin_demo_identical_numerics(self):
+        elapsed = nuccor.plugin_port_demo()
+        assert set(elapsed) == {"host", "cublas", "rocblas"}
+        assert elapsed["host"] == 0.0
+        assert elapsed["rocblas"] > 0.0
+
+
+class TestPele:
+    def test_figure2_monotone_gpu_progression(self):
+        hist = pele.figure2_history()
+        gpu_times = [t for _, m, _, t in hist if m in ("Summit", "Frontier")]
+        assert all(a >= b for a, b in zip(gpu_times, gpu_times[1:]))
+
+    def test_total_improvement_band(self):
+        assert 50 < pele.total_improvement() < 110
+
+    def test_gpu_port_is_largest_gain(self):
+        hist = pele.figure2_history()
+        times = [t for _, _, _, t in hist]
+        gains = [a / b for a, b in zip(times, times[1:])]
+        assert max(gains) == gains[2]  # Eagle -> Summit GPU port
+
+    def test_weak_scaling_above_80_percent(self):
+        assert pele.weak_scaling_efficiency(FRONTIER, "frontier-tuned", 4096) > 0.8
+
+    def test_async_ghost_helps_at_scale(self):
+        sync = pele.scaled_step_time(SUMMIT, "cvode-batched", 4096)
+        async_ = pele.scaled_step_time(SUMMIT, "fused-async", 4096)
+        assert async_ < sync
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(ValueError):
+            pele.single_node_step_time(SUMMIT, "quantum")
+
+    def test_gpu_state_on_cpu_machine_rejected(self):
+        from repro.hardware.catalog import CORI
+
+        with pytest.raises(ValueError):
+            pele.single_node_step_time(CORI, "gpu-port-uvm")
+
+
+class TestCoast:
+    def test_per_gpu_tflops_match_paper(self):
+        tf = coast.per_gpu_tflops()
+        assert tf["V100"] == pytest.approx(5.6, rel=0.25)
+        assert tf["MI250X"] == pytest.approx(30.6, rel=0.25)
+
+    def test_system_scale(self):
+        pf = coast.system_petaflops()
+        assert pf["Summit"] == pytest.approx(136, rel=0.35)
+        assert pf["Frontier"] == pytest.approx(1004, rel=0.35)
+        assert pf["Frontier"] > 1000  # "exceeded an exaflop"
+
+
+class TestLammps:
+    def test_measured_divergence_is_severe(self):
+        lanes, tuples = lammps.measured_divergence()
+        assert lanes < 0.1  # "a handful of threads in the entire wavefront"
+        assert tuples > 0
+
+    def test_headline_speedup(self):
+        assert lammps.optimization_speedup() > 1.5
+
+    def test_every_lever_helps(self):
+        for name, gain in lammps.lever_breakdown().items():
+            assert gain > 1.0, name
+
+    def test_qeq_numerics(self):
+        assert lammps.qeq_numerics_check()
+
+
+class TestE3sm:
+    def test_meets_throughput_target(self):
+        r = e3sm.run(FRONTIER.node.gpu)
+        assert r.meets_target
+
+    def test_optimization_gain_large(self):
+        assert e3sm.optimization_gain() > 3.0
+
+    def test_pool_allocator_is_a_major_lever(self):
+        levers = e3sm.lever_breakdown()
+        assert levers["pool allocator"] > 2.0

@@ -1,0 +1,140 @@
+"""Build-system story tests + cross-cutting performance-model properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import gests
+from repro.gpu import KernelSpec, fission, fuse, time_kernel, time_kernel_sequence
+from repro.gpu.occupancy import compute_occupancy
+from repro.hardware.gpu import MI250X_GCD, V100, Precision
+from repro.progmodel import (
+    CRUSHER_ROCM,
+    EARLY_ROCM,
+    BuildError,
+    CompilationUnit,
+    Model,
+    Toolchain,
+    build,
+    split_unit,
+)
+
+
+class TestBuildSystem:
+    HACC_UNIT = CompilationUnit(
+        name="hacc_gravity",
+        models=frozenset({Model.HIP, Model.OPENMP_OFFLOAD}),
+    )
+
+    def test_early_toolchain_rejects_mixed_unit_with_guideline_message(self):
+        """§3.4: 'early compiler offerings didn't offer full support for
+        both HIP and OpenMP in the same compilation unit'."""
+        with pytest.raises(BuildError, match="link time"):
+            build([self.HACC_UNIT], EARLY_ROCM)
+
+    def test_codesign_guideline_splits_and_builds(self):
+        result = build([self.HACC_UNIT], EARLY_ROCM, apply_guideline=True)
+        assert result.split_applied
+        names = [u.name for u in result.units]
+        assert "hacc_gravity_hip" in names and "hacc_gravity_omp" in names
+        models = [u.models for u in result.units]
+        assert all(
+            not ({Model.HIP, Model.OPENMP_OFFLOAD} <= m) for m in models
+        )
+
+    def test_later_toolchain_builds_mixed_units_natively(self):
+        result = build([self.HACC_UNIT], CRUSHER_ROCM)
+        assert not result.split_applied
+        assert len(result.units) == 1
+
+    def test_pure_units_always_build(self):
+        pure = CompilationUnit(name="solver", models=frozenset({Model.HIP}))
+        assert build([pure], EARLY_ROCM).ok
+
+    def test_split_preserves_other_models(self):
+        unit = CompilationUnit(
+            name="u",
+            models=frozenset({Model.HIP, Model.OPENMP_OFFLOAD, Model.OPENMP_HOST}),
+        )
+        parts = split_unit(unit)
+        assert all(Model.OPENMP_HOST in p.models for p in parts)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CompilationUnit(name="empty", models=frozenset())
+        with pytest.raises(ValueError):
+            build([], EARLY_ROCM)
+
+
+class TestGestsOpenmpManagement:
+    def test_openmp_management_overhead_is_small(self):
+        """§3.3: limiting vendor code to the FFTs cost almost nothing."""
+        ratio = gests.openmp_management_overhead()
+        assert 1.0 <= ratio < 1.1
+
+
+def kern(flops=1e9, bytes_read=1e8, **kw):
+    base = dict(name="k", flops=flops, bytes_read=bytes_read)
+    base.update(kw)
+    return KernelSpec(**base)
+
+
+class TestPerfModelProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(min_value=1e6, max_value=1e13),
+           st.floats(min_value=1e5, max_value=1e11))
+    def test_time_monotone_in_both_axes(self, flops, nbytes):
+        t = time_kernel(kern(flops=flops, bytes_read=nbytes), MI250X_GCD)
+        t_more_flops = time_kernel(
+            kern(flops=2 * flops, bytes_read=nbytes), MI250X_GCD)
+        t_more_bytes = time_kernel(
+            kern(flops=flops, bytes_read=2 * nbytes), MI250X_GCD)
+        assert t_more_flops.total_time >= t.total_time
+        assert t_more_bytes.total_time >= t.total_time
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(min_value=0.02, max_value=1.0))
+    def test_divergence_never_speeds_up(self, lanes):
+        full = time_kernel(kern(flops=1e11), V100).total_time
+        div = time_kernel(
+            kern(flops=1e11, active_lane_fraction=lanes), V100).total_time
+        assert div >= full - 1e-12
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=8))
+    def test_fusion_beats_separate_launches_for_tiny_kernels(self, count):
+        tiny = [kern(flops=1e5, bytes_read=1e5, name=f"t{i}")
+                for i in range(count)]
+        separate = time_kernel_sequence(tiny, V100, same_stream_async=False)
+        fused = time_kernel(fuse(tiny), V100).total_time
+        assert fused < separate
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=257, max_value=500),
+           st.integers(min_value=2, max_value=6))
+    def test_fission_always_removes_spills_eventually(self, regs, parts):
+        k = kern(registers_per_thread=regs)
+        pieces = fission(k, parts)
+        # enough parts must stop the spilling (paper: 'fissioned into
+        # multiple kernels until register spillage did not occur')
+        for depth in range(1, 6):
+            pieces = fission(k, parts * depth)
+            if not any(compute_occupancy(p, MI250X_GCD).spills for p in pieces):
+                return
+        pytest.fail("fission never removed spills")
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.sampled_from([Precision.FP64, Precision.FP32, Precision.FP16]))
+    def test_flops_conserved_by_fission(self, precision):
+        k = kern(flops=3e9, precision=precision)
+        pieces = fission(k, 3)
+        assert sum(p.flops for p in pieces) == pytest.approx(k.flops)
+
+    def test_mi250x_never_slower_than_v100_for_clean_streaming(self):
+        """A full-occupancy streaming kernel tracks the bandwidth ratio."""
+        k = kern(flops=1e6, bytes_read=1e10, registers_per_thread=32)
+        tv = time_kernel(k, V100).total_time
+        tm = time_kernel(k, MI250X_GCD).total_time
+        assert tv / tm == pytest.approx(
+            MI250X_GCD.effective_bandwidth / V100.effective_bandwidth, rel=0.1
+        )

@@ -1,0 +1,253 @@
+"""Tests for the readiness framework: FOMs, challenges, timeline, lessons."""
+
+import pytest
+
+from repro.core import (
+    AccelerationPlan,
+    ApplicationRecord,
+    ApplicationRegistry,
+    ChallengeProblem,
+    ChallengeTracker,
+    Channel,
+    EarlyAccessCampaign,
+    FigureOfMerit,
+    FomKind,
+    FomTracker,
+    KnowledgeBase,
+    Lesson,
+    PortingMotif,
+    ReadinessPhase,
+    ReviewVerdict,
+    build_default_registry,
+    convergence_to_frontier,
+    early_access_generations,
+    measure_speedup,
+    render_bar,
+    render_series,
+    render_table,
+    seed_paper_lessons,
+    within_band,
+)
+from repro.hardware import CRUSHER, FRONTIER, POPLAR, SPOCK, SUMMIT
+
+
+def make_fom(**kw) -> FigureOfMerit:
+    base = dict(name="fom", kind=FomKind.THROUGHPUT, reference_value=100.0,
+                target_factor=4.0)
+    base.update(kw)
+    return FigureOfMerit(**base)
+
+
+class TestFom:
+    def test_target_value(self):
+        fom = make_fom()
+        assert fom.target_value == 400.0
+        assert fom.achieved_factor(250.0) == 2.5
+        assert not fom.meets_target(399.0)
+        assert fom.meets_target(400.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_fom(reference_value=0.0)
+        with pytest.raises(ValueError):
+            make_fom(target_factor=-1.0)
+
+    def test_tracker_records_and_reports(self):
+        t = FomTracker(fom=make_fom())
+        t.record("Spock", 150.0)
+        t.record("Crusher", 380.0)
+        assert t.best == 380.0
+        assert "3.80x" in t.status()
+
+    def test_regression_detection(self):
+        """§6: 'early detection of ... performance regressions'."""
+        t = FomTracker(fom=make_fom())
+        t.record("Crusher", 300.0, label="rocm-5.1")
+        t.record("Crusher", 240.0, label="rocm-5.2")  # a 20% drop
+        regs = t.regressions()
+        assert len(regs) == 1
+        assert regs[0][0].label == "rocm-5.2"
+        assert regs[0][1] == pytest.approx(0.2)
+
+    def test_small_fluctuation_not_regression(self):
+        t = FomTracker(fom=make_fom())
+        t.record("Crusher", 300.0)
+        t.record("Crusher", 295.0)
+        assert not t.regressions()
+
+    def test_invalid_measurement(self):
+        t = FomTracker(fom=make_fom())
+        with pytest.raises(ValueError):
+            t.record("X", -1.0)
+
+
+class TestChallenge:
+    def _tracker(self) -> ChallengeTracker:
+        fom = make_fom()
+        problem = ChallengeProblem(application="GESTS", description="DNS",
+                                   fom=fom, workload="32768^3")
+        plan = AccelerationPlan(application="GESTS",
+                                milestones=("port", "tune", "scale"))
+        return ChallengeTracker(problem=problem, plan=plan)
+
+    def test_plan_progress(self):
+        t = self._tracker()
+        assert t.plan_progress == 0.0
+        t.complete_milestone(0)
+        assert t.plan_progress == pytest.approx(1 / 3)
+        with pytest.raises(ValueError):
+            t.complete_milestone(5)
+
+    def test_review_verdicts(self):
+        t = self._tracker()
+        assert t.review() is ReviewVerdict.OFF_TRACK  # nothing measured
+        t.tracker.record("Crusher", 500.0)  # target met
+        assert t.review() is ReviewVerdict.ON_TRACK
+
+    def test_review_at_risk_on_regression(self):
+        t = self._tracker()
+        t.tracker.record("Crusher", 300.0)
+        t.tracker.record("Crusher", 150.0)
+        assert t.review() is ReviewVerdict.AT_RISK
+
+    def test_reports(self):
+        t = self._tracker()
+        t.tracker.record("Crusher", 200.0)
+        rep = t.file_report("mid-project", notes="on plan")
+        assert rep.achieved_factor == 2.0
+        with pytest.raises(ValueError):
+            t.file_report("quarterly")
+
+    def test_mismatched_plan_rejected(self):
+        fom = make_fom()
+        problem = ChallengeProblem(application="A", description="", fom=fom)
+        plan = AccelerationPlan(application="B", milestones=("x",))
+        with pytest.raises(ValueError):
+            ChallengeTracker(problem=problem, plan=plan)
+
+
+class TestRegistry:
+    def test_default_registry_has_ten_apps(self):
+        assert len(build_default_registry()) == 10
+
+    def test_duplicate_rejected(self):
+        reg = ApplicationRegistry()
+        rec = ApplicationRecord(name="X", domain="d", program="CAAR",
+                                motifs=frozenset(), programming_models=())
+        reg.register(rec)
+        with pytest.raises(ValueError):
+            reg.register(rec)
+
+    def test_unknown_program_rejected(self):
+        with pytest.raises(ValueError):
+            ApplicationRecord(name="X", domain="d", program="LDRD",
+                              motifs=frozenset(), programming_models=())
+
+    def test_motif_query(self):
+        reg = build_default_registry()
+        fusion = reg.applications_for_motif(PortingMotif.KERNEL_FUSION_FISSION)
+        assert sorted(fusion) == ["E3SM", "LAMMPS", "Pele"]
+
+    def test_get_unknown(self):
+        with pytest.raises(KeyError):
+            build_default_registry().get("Cholla")
+
+
+class TestSpeedupHarness:
+    def test_measure(self):
+        m = measure_speedup("X", lambda: 10.0, lambda: 2.0, basis="per GPU")
+        assert m.speedup == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            measure_speedup("X", lambda: -1.0, lambda: 2.0)
+
+    def test_band(self):
+        assert within_band(5.0, 5.0)
+        assert within_band(4.0, 5.0)
+        assert not within_band(2.0, 5.0)
+        with pytest.raises(ValueError):
+            within_band(1.0, 0.0)
+
+
+class TestTimeline:
+    def test_phase_progression(self):
+        """Issues resolve functionality -> features -> performance (§6)."""
+        c = EarlyAccessCampaign(application="HACC")
+        c.file_issue("Poplar", ReadinessPhase.FUNCTIONALITY, "won't link HIP+OpenMP")
+        c.file_issue("Spock", ReadinessPhase.PERFORMANCE, "gravity kernel slow")
+        assert c.current_phase() is ReadinessPhase.FUNCTIONALITY
+        c.resolve(0)
+        assert c.current_phase() is ReadinessPhase.PERFORMANCE
+        c.resolve(1)
+        assert c.current_phase() is ReadinessPhase.PERFORMANCE
+        assert not c.open_issues()
+
+    def test_histogram(self):
+        c = EarlyAccessCampaign(application="X")
+        c.file_issue("Spock", ReadinessPhase.MISSING_FEATURES, "no DETACH")
+        h = c.phase_histogram()
+        assert h[ReadinessPhase.MISSING_FEATURES] == 1
+
+    def test_resolve_invalid(self):
+        with pytest.raises(ValueError):
+            EarlyAccessCampaign(application="X").resolve(0)
+
+    def test_generations_ordered(self):
+        gens = early_access_generations()
+        assert [g for g, _ in gens] == [1, 2, 3]
+        assert "Crusher" in gens[-1][1]
+
+    def test_convergence_scores_increase_toward_frontier(self):
+        """§4: platforms 'converge on the target exascale platform'."""
+        s_poplar = convergence_to_frontier(POPLAR, FRONTIER)
+        s_spock = convergence_to_frontier(SPOCK, FRONTIER)
+        s_crusher = convergence_to_frontier(CRUSHER, FRONTIER)
+        assert s_poplar < s_spock < s_crusher
+        assert s_crusher == pytest.approx(1.0)
+        assert convergence_to_frontier(SUMMIT, FRONTIER) < s_poplar
+
+
+class TestLessons:
+    def test_seeded_lessons(self):
+        kb = seed_paper_lessons()
+        assert len(kb.lessons) == 7
+
+    def test_dissemination_pipeline(self):
+        """Hackathon -> webinar -> user guide (§5)."""
+        kb = KnowledgeBase()
+        lid = kb.add(Lesson(topic="atomics", issue="slow atomics",
+                            mitigation="use LDS reductions",
+                            source_application="CoMet"))
+        assert not kb.in_user_guide()
+        kb.disseminate(lid, Channel.WEBINAR)
+        kb.disseminate(lid, Channel.USER_GUIDE)
+        assert len(kb.in_user_guide()) == 1
+        assert kb.triage_savings(teams_that_would_hit_it=4) == 3
+
+    def test_duplicate_detection(self):
+        kb = KnowledgeBase()
+        kb.add(Lesson("spills", "a", "b", "LAMMPS"))
+        kb.add(Lesson("spills", "c", "d", "Pele"))
+        assert len(kb.duplicates_of("spills")) == 2
+
+    def test_unknown_lesson(self):
+        with pytest.raises(KeyError):
+            KnowledgeBase().disseminate(3, Channel.WEBINAR)
+
+
+class TestReport:
+    def test_table_alignment(self):
+        out = render_table(("A", "Bee"), [("x", 1), ("yy", 22)])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all("|" in l for l in (lines[0], lines[2], lines[3]))
+
+    def test_series(self):
+        out = render_series("s", [("a", 1.0), ("b", 2.0)])
+        assert out.startswith("# s")
+        assert "2" in out
+
+    def test_bar_clamps(self):
+        assert render_bar("x", 2.0, scale=1.0, width=10).count("#") == 10
+        assert render_bar("x", -1.0).count("#") == 0

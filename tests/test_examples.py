@@ -1,0 +1,72 @@
+"""Smoke tests: every shipped example runs end to end.
+
+Examples are documentation that executes; these tests keep them honest.
+Each main() runs with stdout captured and key output markers asserted.
+"""
+
+import importlib
+import io
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    sys.path.insert(0, str(EXAMPLES_DIR))
+    try:
+        module = importlib.import_module(name)
+        buf = io.StringIO()
+        with redirect_stdout(buf):
+            module.main()
+        return buf.getvalue()
+    finally:
+        sys.path.remove(str(EXAMPLES_DIR))
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart")
+        assert "Frontier" in out
+        assert "hipMalloc" in out
+        assert "7.5x" in out  # the LSMS row
+
+    def test_porting_workflow(self):
+        out = run_example("porting_workflow")
+        assert "ON TRACK" in out
+        assert "Crusher" in out
+
+    def test_apsp_biomedical(self):
+        out = run_example("apsp_biomedical")
+        assert "results match serial: True" in out
+        assert "compound" in out
+
+    def test_combustion_amr(self):
+        out = run_example("combustion_amr")
+        assert "saved by AMR" in out
+        assert "BDF steps" in out
+        assert "total improvement" in out
+
+    def test_turbulence_dns(self):
+        out = run_example("turbulence_dns")
+        assert "matches numpy.fft.fftn: True" in out
+        assert "FOM improvement" in out
+
+    def test_genomics_similarity(self):
+        out = run_example("genomics_similarity")
+        assert "matches brute force = True" in out
+        assert "planted duplicate" in out
+
+    def test_performance_tools(self):
+        out = run_example("performance_tools")
+        assert "SPILLS" in out
+        assert "Roofline" in out
+        assert "chrome-trace" in out
+
+    def test_readiness_dashboard(self):
+        out = run_example("readiness_dashboard")
+        assert "on track" in out
+        assert "commitments" in out

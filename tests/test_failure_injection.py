@@ -1,0 +1,193 @@
+"""Failure-injection tests: error paths across the stack behave sanely."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import KernelSpec, OutOfDeviceMemory
+from repro.hardware.gpu import MI250X_GCD, V100
+from repro.hardware.interconnect import SLINGSHOT_11
+from repro.mpisim import CommError, SimComm
+from repro.ode import BdfIntegrator, IntegrationError
+from repro.progmodel import (
+    CudaRuntime,
+    GpuApiError,
+    HipRuntime,
+    MacroLayer,
+    MissingApiParity,
+)
+
+
+class TestDeviceMemoryExhaustion:
+    def test_oom_propagates_through_cuda_api(self):
+        rt = CudaRuntime(V100)
+        with pytest.raises(OutOfDeviceMemory):
+            rt.cudaMalloc(int(2 * V100.mem_capacity))
+
+    def test_oom_from_fragmentation_pressure(self):
+        """Allocate until the device fills; the runtime must fail loudly
+        rather than wrap or corrupt."""
+        rt = HipRuntime(MI250X_GCD)
+        chunk = int(MI250X_GCD.mem_capacity // 4)
+        handles = [rt.hipMalloc(chunk) for _ in range(3)]
+        with pytest.raises(OutOfDeviceMemory):
+            rt.hipMalloc(2 * chunk)
+        # recovery: freeing restores allocatability
+        for h in handles:
+            rt.hipFree(h)
+        h = rt.hipMalloc(3 * chunk)
+        rt.hipFree(h)
+
+    def test_use_after_free_detected(self):
+        rt = CudaRuntime(V100)
+        h = rt.cudaMalloc(1 << 20)
+        rt.cudaFree(h)
+        with pytest.raises(ValueError, match="double free|foreign"):
+            rt.cudaFree(h)
+
+
+class TestApiMisuse:
+    def test_event_timing_before_recording(self):
+        rt = CudaRuntime(V100)
+        e1, e2 = rt.cudaEventCreate(), rt.cudaEventCreate()
+        with pytest.raises(GpuApiError):
+            rt.cudaEventElapsedTime(e1, e2)
+
+    def test_device_index_out_of_range(self):
+        rt = HipRuntime(MI250X_GCD, count=4)
+        with pytest.raises(GpuApiError):
+            rt.hipSetDevice(4)
+
+    def test_macro_layer_missing_parity_is_loud(self):
+        """The Cholla-strategy constraint: functionality must exist in
+        both APIs, and violations surface at the call site."""
+        ml = MacroLayer(MI250X_GCD)
+        with pytest.raises(MissingApiParity):
+            ml.cudaGraphInstantiate
+
+    def test_kernel_launch_count_validation(self):
+        with pytest.raises(ValueError):
+            KernelSpec(name="k", flops=1.0, bytes_read=1.0, launch_count=0)
+
+
+class TestSolverFailureModes:
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    def test_bdf_reports_newton_failures_not_garbage(self):
+        """An ODE whose Jacobian explodes: the solver either converges with
+        failures recorded or raises IntegrationError — never returns NaN."""
+
+        def nasty(t, y):
+            return np.array([1e150 * y[0] ** 3])
+
+        integ = BdfIntegrator(nasty, rtol=1e-6, atol=1e-9, max_steps=200)
+        try:
+            res = integ.integrate(np.array([1.0]), 0.0, 1.0)
+            assert np.all(np.isfinite(res.y))
+        except IntegrationError:
+            pass  # also acceptable: a loud failure
+
+    def test_bdf_step_underflow_raises(self):
+        def discontinuous(t, y):
+            # a non-integrable discontinuity the controller cannot cross
+            return np.array([np.inf if t > 0.5 else -y[0]])
+
+        integ = BdfIntegrator(discontinuous, rtol=1e-8, atol=1e-12,
+                              max_steps=10_000)
+        with pytest.raises((IntegrationError, FloatingPointError, ValueError)):
+            res = integ.integrate(np.array([1.0]), 0.0, 1.0)
+            # if it "succeeded", the state must still be finite to count
+            if not np.all(np.isfinite(res.y)):
+                raise IntegrationError("non-finite state")
+
+
+class TestCommunicatorMisuse:
+    def test_wrong_payload_counts(self):
+        comm = SimComm(4, SLINGSHOT_11)
+        with pytest.raises(CommError):
+            comm.alltoall([[1, 2], [3, 4]], nbytes_per_pair=8)
+        with pytest.raises(CommError):
+            comm.ialltoall([[1]], nbytes_per_pair=8)
+
+    def test_clock_cannot_go_backward(self):
+        comm = SimComm(2, SLINGSHOT_11)
+        with pytest.raises(CommError):
+            comm.advance_all(np.array([-1.0, 0.0]))
+
+    def test_pending_op_wait_is_idempotent(self):
+        comm = SimComm(2, SLINGSHOT_11)
+        op = comm.isendrecv(0, 1, nbytes=1 << 20)
+        op.wait()
+        t = comm.elapsed
+        op.wait()
+        assert comm.elapsed == t
+
+
+class TestNonblockingAlltoall:
+    def test_data_correct_and_overlap_works(self):
+        comm = SimComm(4, SLINGSHOT_11, ranks_per_node=4)
+        matrix = [[(src, dst) for dst in range(4)] for src in range(4)]
+        out, op = comm.ialltoall(matrix, nbytes_per_pair=1 << 16)
+        assert out[2][3] == (3, 2)
+        # big local compute overlaps the exchange entirely
+        comm.advance_all(1.0)
+        op.wait()
+        assert comm.elapsed == pytest.approx(1.0)
+
+    def test_blocking_when_no_overlap(self):
+        comm = SimComm(4, SLINGSHOT_11, ranks_per_node=4)
+        matrix = [[0] * 4 for _ in range(4)]
+        _, op = comm.ialltoall(matrix, nbytes_per_pair=1 << 24)
+        op.wait()
+        assert comm.elapsed > 0
+
+
+class TestInt8Path:
+    def test_int8_counts_exact(self):
+        from repro.similarity import (
+            cooccurrence_counts_bruteforce,
+            cooccurrence_counts_gemm,
+            random_allele_data,
+        )
+
+        data = random_allele_data(10, 64, seed=5)
+        np.testing.assert_array_equal(
+            cooccurrence_counts_gemm(data, int8=True),
+            cooccurrence_counts_bruteforce(data),
+        )
+
+    def test_fp16_and_int8_mutually_exclusive(self):
+        from repro.similarity import cooccurrence_counts_gemm, random_allele_data
+
+        data = random_allele_data(4, 8)
+        with pytest.raises(ValueError):
+            cooccurrence_counts_gemm(data, fp16=True, int8=True)
+
+
+class TestEarlyAccessExperiment:
+    def test_ladder_monotone(self):
+        from repro.experiments.earlyaccess import (
+            prediction_improves_with_generation,
+            run_ladder,
+        )
+
+        reports = run_ladder()
+        assert [r.machine for r in reports] == ["Poplar", "Spock", "Crusher",
+                                                "Frontier"]
+        assert prediction_improves_with_generation()
+        assert reports[2].frontier_prediction_error == pytest.approx(0.0)
+
+    def test_spock_scaling_modest_but_meaningful(self):
+        from repro.experiments.earlyaccess import spock_scaling_study
+
+        points = spock_scaling_study()
+        effs = [p.efficiency for p in points]
+        assert all(0.9 < e <= 1.0 for e in effs)
+        assert all(a >= b for a, b in zip(effs, effs[1:]))  # degrades with scale
+
+    def test_validation(self):
+        from repro.experiments.earlyaccess import bundle_time, spock_scaling_study
+        from repro.hardware.catalog import CORI
+
+        with pytest.raises(ValueError):
+            bundle_time(CORI)
+        with pytest.raises(ValueError):
+            spock_scaling_study(max_nodes=0)

@@ -1,0 +1,123 @@
+"""Tests for streams, events, and the Device execution engine."""
+
+import pytest
+
+from repro.gpu import Device, DeviceClock, KernelSpec
+from repro.hardware.gpu import MI250X_GCD, V100
+
+
+def kern(flops=1e9, **kw):
+    base = dict(name="k", flops=flops, bytes_read=1e7)
+    base.update(kw)
+    return KernelSpec(**base)
+
+
+class TestStreamsAndEvents:
+    def test_async_enqueue_does_not_block_host(self):
+        clock = DeviceClock()
+        s = clock.create_stream()
+        s.enqueue(1.0)
+        assert clock.host_now == 0.0
+        clock.synchronize_stream(s)
+        assert clock.host_now >= 1.0
+
+    def test_streams_run_concurrently(self):
+        clock = DeviceClock()
+        s1, s2 = clock.create_stream(), clock.create_stream()
+        s1.enqueue(1.0)
+        s2.enqueue(1.0)
+        clock.synchronize_device()
+        # concurrent streams: total 1.0, not 2.0
+        assert clock.host_now == pytest.approx(1.0)
+
+    def test_in_order_within_stream(self):
+        clock = DeviceClock()
+        s = clock.create_stream()
+        s.enqueue(1.0)
+        end = s.enqueue(0.5)
+        assert end == pytest.approx(1.5)
+
+    def test_event_cross_stream_dependency(self):
+        clock = DeviceClock()
+        s1, s2 = clock.create_stream(), clock.create_stream()
+        e = clock.create_event()
+        s1.enqueue(2.0)
+        s1.record_event(e)
+        s2.wait_event(e)
+        end = s2.enqueue(0.1)
+        assert end == pytest.approx(2.1)
+
+    def test_wait_on_unrecorded_event_raises(self):
+        clock = DeviceClock()
+        s = clock.create_stream()
+        e = clock.create_event()
+        with pytest.raises(RuntimeError):
+            s.wait_event(e)
+
+    def test_launch_latency_delays_start(self):
+        clock = DeviceClock()
+        s = clock.create_stream()
+        end = s.enqueue(1.0, launch_latency=5e-6)
+        assert end == pytest.approx(1.0 + 5e-6)
+
+    def test_negative_duration_rejected(self):
+        clock = DeviceClock()
+        s = clock.create_stream()
+        with pytest.raises(ValueError):
+            s.enqueue(-1.0)
+
+
+class TestDevice:
+    def test_launch_is_async(self):
+        d = Device(V100)
+        rec = d.launch(kern(flops=1e12))
+        # host only paid the API sliver, not the kernel time
+        assert d.elapsed < rec.timing.execution_time
+        d.synchronize()
+        assert d.elapsed >= rec.timing.execution_time
+
+    def test_launch_sync_blocks(self):
+        d = Device(V100)
+        rec = d.launch_sync(kern(flops=1e12))
+        assert d.elapsed >= rec.timing.execution_time
+
+    def test_trace_records_launches(self):
+        d = Device(V100)
+        d.launch(kern(name="a" if False else "a"))
+        d.launch(kern())
+        assert len(d.trace) == 2
+        assert d.kernel_launches == 2
+
+    def test_memcpy_accounting(self):
+        d = Device(V100)
+        d.memcpy_h2d(1 << 20)
+        d.memcpy_d2h(1 << 10)
+        assert d.bytes_h2d == 1 << 20
+        assert d.bytes_d2h == 1 << 10
+        assert d.elapsed > 0
+
+    def test_malloc_free_roundtrip(self):
+        d = Device(V100)
+        h = d.malloc(1 << 20)
+        d.free(h)
+        assert d.allocator.bytes_in_use == 0
+
+    def test_two_streams_overlap_kernels(self):
+        d = Device(MI250X_GCD)
+        s2 = d.create_stream()
+        k = kern(flops=1e12)
+        d.launch(k)           # default stream
+        d.launch(k, stream=s2)
+        d.synchronize()
+        serial = 2 * d.trace[0].timing.execution_time
+        assert d.elapsed < serial * 0.75
+
+    def test_transfer_overlaps_compute_on_separate_stream(self):
+        d = Device(V100)
+        copy_stream = d.create_stream()
+        d.launch(kern(flops=1e12))
+        d.memcpy_h2d(1 << 28, stream=copy_stream, sync=False)
+        d.synchronize()
+        k_time = d.trace[0].timing.execution_time
+        copy_time = (1 << 28) / V100.host_link_bandwidth
+        assert d.elapsed < k_time + copy_time

@@ -1,0 +1,217 @@
+"""Tests for kernel descriptors, fusion/fission, occupancy, and timing."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gpu import (
+    KernelSpec,
+    compute_occupancy,
+    divergence_factor,
+    fission,
+    fuse,
+    latency_hiding_factor,
+    spill_traffic_bytes,
+    time_kernel,
+    time_kernel_sequence,
+)
+from repro.hardware.gpu import MI250X_GCD, V100, Precision
+
+
+def make_kernel(**kw) -> KernelSpec:
+    base = dict(name="k", flops=1e9, bytes_read=1e8, bytes_written=1e7)
+    base.update(kw)
+    return KernelSpec(**base)
+
+
+class TestKernelSpec:
+    def test_arithmetic_intensity(self):
+        k = make_kernel(flops=2e9, bytes_read=1e9, bytes_written=0.0)
+        assert k.arithmetic_intensity == pytest.approx(2.0)
+
+    def test_zero_bytes_gives_infinite_intensity(self):
+        k = make_kernel(bytes_read=0.0, bytes_written=0.0)
+        assert math.isinf(k.arithmetic_intensity)
+
+    def test_negative_resources_rejected(self):
+        with pytest.raises(ValueError):
+            make_kernel(flops=-1.0)
+
+    def test_bad_lane_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            make_kernel(active_lane_fraction=0.0)
+        with pytest.raises(ValueError):
+            make_kernel(active_lane_fraction=1.5)
+
+    def test_scaled_preserves_intensity(self):
+        k = make_kernel()
+        s = k.scaled(4.0)
+        assert s.flops == pytest.approx(4 * k.flops)
+        assert s.arithmetic_intensity == pytest.approx(k.arithmetic_intensity)
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            make_kernel().scaled(0.0)
+
+
+class TestFusion:
+    def test_fuse_sums_flops(self):
+        ks = [make_kernel(name=f"k{i}") for i in range(3)]
+        f = fuse(ks)
+        assert f.flops == pytest.approx(3e9)
+        assert f.launch_count == 1
+
+    def test_fuse_drops_intermediate_traffic(self):
+        a = make_kernel(name="a", bytes_written=5e7)
+        b = make_kernel(name="b", bytes_read=5e7)
+        f = fuse([a, b])
+        # interior write+read removed once each
+        assert f.bytes_total < a.bytes_total + b.bytes_total
+
+    def test_fuse_raises_register_pressure(self):
+        ks = [make_kernel(name=f"k{i}", registers_per_thread=100) for i in range(4)]
+        assert fuse(ks).registers_per_thread > 100
+
+    def test_fuse_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fuse([])
+
+    def test_fuse_mixed_precision_rejected(self):
+        with pytest.raises(ValueError):
+            fuse([make_kernel(), make_kernel(precision=Precision.FP32)])
+
+    def test_fission_roundtrip_flops(self):
+        k = make_kernel(registers_per_thread=300)
+        parts = fission(k, 3)
+        assert len(parts) == 3
+        assert sum(p.flops for p in parts) == pytest.approx(k.flops)
+
+    def test_fission_reduces_registers(self):
+        k = make_kernel(registers_per_thread=300)
+        for p in fission(k, 3):
+            assert p.registers_per_thread < k.registers_per_thread
+
+    def test_fission_adds_boundary_traffic(self):
+        k = make_kernel()
+        parts = fission(k, 2)
+        total = sum(p.bytes_total for p in parts)
+        assert total > k.bytes_total
+
+    def test_fission_one_part_is_identity(self):
+        k = make_kernel()
+        assert fission(k, 1) == [k]
+
+    def test_fission_invalid_parts(self):
+        with pytest.raises(ValueError):
+            fission(make_kernel(), 0)
+
+
+class TestOccupancy:
+    def test_low_registers_hits_hardware_limit(self):
+        k = make_kernel(registers_per_thread=32)
+        occ = compute_occupancy(k, MI250X_GCD)
+        assert occ.limited_by == "hardware"
+        assert occ.occupancy == 1.0
+
+    def test_high_registers_limits_occupancy(self):
+        k = make_kernel(registers_per_thread=256)
+        occ = compute_occupancy(k, V100)
+        assert occ.limited_by == "registers"
+        assert occ.occupancy < 1.0
+
+    def test_spill_detection(self):
+        k = make_kernel(registers_per_thread=300)
+        occ = compute_occupancy(k, V100)
+        assert occ.spills
+        assert occ.spilled_registers_per_thread == 300 - V100.max_registers_per_thread
+
+    def test_no_spill_no_traffic(self):
+        assert spill_traffic_bytes(make_kernel(registers_per_thread=64), V100) == 0.0
+
+    def test_spill_traffic_scales_with_threads(self):
+        k1 = make_kernel(registers_per_thread=300, threads=1000)
+        k2 = make_kernel(registers_per_thread=300, threads=2000)
+        assert spill_traffic_bytes(k2, V100) == pytest.approx(
+            2 * spill_traffic_bytes(k1, V100)
+        )
+
+    def test_lds_limit(self):
+        k = make_kernel(lds_per_workgroup=64 * 1024, workgroup_size=64)
+        occ = compute_occupancy(k, MI250X_GCD)
+        assert occ.limited_by == "lds"
+
+    @given(st.integers(min_value=16, max_value=255))
+    def test_occupancy_monotone_in_registers(self, regs):
+        lo = compute_occupancy(make_kernel(registers_per_thread=regs), V100)
+        hi = compute_occupancy(make_kernel(registers_per_thread=regs + 1), V100)
+        assert hi.waves_per_cu <= lo.waves_per_cu
+
+    def test_latency_hiding_bounds(self):
+        assert latency_hiding_factor(1.0) == pytest.approx(1.0)
+        assert 0.2 < latency_hiding_factor(0.05) < 0.5
+        with pytest.raises(ValueError):
+            latency_hiding_factor(0.0)
+
+
+class TestDivergence:
+    def test_full_lanes_no_penalty(self):
+        k = make_kernel()
+        assert divergence_factor(k, V100) == pytest.approx(1.0)
+
+    def test_wavefront_sensitive_kernel_worse_on_amd(self):
+        k = make_kernel(active_lane_fraction=0.5, divergence_wavefront_sensitive=True)
+        assert divergence_factor(k, MI250X_GCD) == pytest.approx(
+            0.5 * divergence_factor(k, V100), rel=1e-6
+        )
+
+    def test_divergence_floor_is_one_lane(self):
+        k = make_kernel(active_lane_fraction=1e-6)
+        assert divergence_factor(k, MI250X_GCD) >= 1.0 / 64
+
+
+class TestTiming:
+    def test_compute_bound_kernel(self):
+        k = make_kernel(flops=1e12, bytes_read=1e6)
+        t = time_kernel(k, V100)
+        assert t.bound == "compute"
+        assert t.total_time > t.execution_time - 1e-12
+
+    def test_memory_bound_kernel(self):
+        k = make_kernel(flops=1e6, bytes_read=1e9)
+        t = time_kernel(k, V100)
+        assert t.bound == "memory"
+
+    def test_mi250x_faster_than_v100_compute_bound(self):
+        k = make_kernel(flops=1e12, bytes_read=1e6, registers_per_thread=64)
+        tv = time_kernel(k, V100).total_time
+        tf = time_kernel(k, MI250X_GCD).total_time
+        assert 2.0 < tv / tf < 4.0  # 23.95/7.8 ≈ 3.07
+
+    def test_divergent_kernel_slower(self):
+        k = make_kernel(flops=1e12, bytes_read=1e6)
+        kd = make_kernel(flops=1e12, bytes_read=1e6, active_lane_fraction=0.1)
+        assert time_kernel(kd, V100).total_time > 5 * time_kernel(k, V100).total_time
+
+    def test_spilling_kernel_pays_memory_traffic(self):
+        k = make_kernel(flops=1e6, bytes_read=1e6, threads=1 << 22,
+                        registers_per_thread=400)
+        ks = make_kernel(flops=1e6, bytes_read=1e6, threads=1 << 22,
+                         registers_per_thread=64)
+        assert time_kernel(k, V100).memory_time > time_kernel(ks, V100).memory_time
+
+    def test_async_sequence_hides_launch_latency(self):
+        tiny = make_kernel(flops=1e5, bytes_read=1e5)
+        seq = [tiny] * 100
+        t_async = time_kernel_sequence(seq, V100, same_stream_async=True)
+        t_sync = time_kernel_sequence(seq, V100, same_stream_async=False)
+        assert t_async < t_sync
+
+    def test_empty_sequence_is_zero(self):
+        assert time_kernel_sequence([], V100) == 0.0
+
+    @given(st.floats(min_value=1e6, max_value=1e14))
+    def test_time_monotone_in_flops(self, flops):
+        t1 = time_kernel(make_kernel(flops=flops), V100).total_time
+        t2 = time_kernel(make_kernel(flops=flops * 2), V100).total_time
+        assert t2 >= t1

@@ -1,0 +1,162 @@
+"""Tests for device allocators, the YAKL-style pool, and UVM accounting."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu import DeviceAllocator, OutOfDeviceMemory, PoolAllocator, UnifiedMemory
+
+
+class TestDeviceAllocator:
+    def test_basic_alloc_free(self):
+        a = DeviceAllocator(1 << 20)
+        h = a.malloc(1000)
+        assert a.bytes_in_use >= 1000
+        a.free(h)
+        assert a.bytes_in_use == 0
+        a.check_invariants()
+
+    def test_alignment(self):
+        a = DeviceAllocator(1 << 20, alignment=256)
+        h = a.malloc(100)
+        assert h.offset % 256 == 0
+        assert h.size == 256
+
+    def test_out_of_memory(self):
+        a = DeviceAllocator(1024)
+        with pytest.raises(OutOfDeviceMemory):
+            a.malloc(4096)
+
+    def test_double_free_rejected(self):
+        a = DeviceAllocator(1 << 20)
+        h = a.malloc(100)
+        a.free(h)
+        with pytest.raises(ValueError):
+            a.free(h)
+
+    def test_nonpositive_size_rejected(self):
+        a = DeviceAllocator(1 << 20)
+        with pytest.raises(ValueError):
+            a.malloc(0)
+
+    def test_coalescing_allows_reuse(self):
+        a = DeviceAllocator(1024, alignment=1)
+        h1 = a.malloc(512)
+        h2 = a.malloc(512)
+        a.free(h1)
+        a.free(h2)
+        # after coalescing, a full-capacity allocation must succeed
+        h3 = a.malloc(1024)
+        assert h3.size == 1024
+        a.free(h3)
+        a.check_invariants()
+
+    def test_peak_tracking(self):
+        a = DeviceAllocator(1 << 20, alignment=1)
+        h1 = a.malloc(1000)
+        h2 = a.malloc(2000)
+        a.free(h1)
+        assert a.peak_bytes == 3000
+
+    def test_allocation_charges_time(self):
+        a = DeviceAllocator(1 << 20)
+        a.malloc(100)
+        assert a.simulated_time == pytest.approx(a.alloc_latency)
+
+    @settings(max_examples=50)
+    @given(st.lists(st.integers(min_value=1, max_value=5000), min_size=1, max_size=40))
+    def test_invariants_under_random_workload(self, sizes):
+        a = DeviceAllocator(1 << 20, alignment=64)
+        live = []
+        for i, size in enumerate(sizes):
+            live.append(a.malloc(size))
+            if i % 3 == 2:
+                a.free(live.pop(0))
+            a.check_invariants()
+        for h in live:
+            a.free(h)
+        a.check_invariants()
+        assert a.bytes_in_use == 0
+
+
+class TestPoolAllocator:
+    def test_pool_is_far_cheaper_than_native(self):
+        backing = DeviceAllocator(1 << 30)
+        pool = PoolAllocator(backing, initial_block=1 << 20)
+        for _ in range(1000):
+            h = pool.malloc(4096)
+            pool.free(h)
+        # 2000 native calls would cost 2000*30us = 60ms; pool must be ~100x less
+        native_cost = 2000 * backing.alloc_latency
+        assert pool.simulated_time < native_cost / 50
+
+    def test_pool_grows_on_overflow(self):
+        backing = DeviceAllocator(1 << 30)
+        pool = PoolAllocator(backing, initial_block=1 << 16, grow_block=1 << 16)
+        handles = [pool.malloc(1 << 14) for _ in range(10)]
+        assert pool.native_alloc_calls > 1
+        for h in handles:
+            pool.free(h)
+
+    def test_release_returns_memory(self):
+        backing = DeviceAllocator(1 << 30)
+        pool = PoolAllocator(backing, initial_block=1 << 20)
+        h = pool.malloc(100)
+        pool.free(h)
+        pool.release()
+        assert backing.bytes_in_use == 0
+
+    def test_release_with_live_allocations_rejected(self):
+        backing = DeviceAllocator(1 << 30)
+        pool = PoolAllocator(backing, initial_block=1 << 20)
+        pool.malloc(100)
+        with pytest.raises(RuntimeError):
+            pool.release()
+
+    def test_native_call_count_stays_small(self):
+        backing = DeviceAllocator(1 << 30)
+        pool = PoolAllocator(backing, initial_block=1 << 24)
+        for _ in range(500):
+            h = pool.malloc(1 << 12)
+            pool.free(h)
+        assert pool.native_alloc_calls == 1
+        assert pool.alloc_calls == 500
+
+
+class TestUnifiedMemory:
+    def test_first_device_touch_migrates(self):
+        uvm = UnifiedMemory(link_bandwidth=50e9)
+        uvm.register("state", 100 << 20, location="host")
+        t = uvm.touch("state", "device")
+        assert t > 0
+        assert uvm.location("state") == "device"
+        assert uvm.stats.migrated_bytes == 100 << 20
+
+    def test_repeated_same_side_touch_is_free(self):
+        uvm = UnifiedMemory(link_bandwidth=50e9)
+        uvm.register("state", 1 << 20, location="device")
+        assert uvm.touch("state", "device") == 0.0
+        assert uvm.stats.faults == 0
+
+    def test_pingpong_costs_double(self):
+        uvm = UnifiedMemory(link_bandwidth=50e9)
+        uvm.register("state", 64 << 20, location="host")
+        t1 = uvm.touch("state", "device")
+        t2 = uvm.touch("state", "host")
+        assert uvm.stats.fault_time == pytest.approx(t1 + t2)
+
+    def test_unregistered_touch_raises(self):
+        uvm = UnifiedMemory(link_bandwidth=50e9)
+        with pytest.raises(KeyError):
+            uvm.touch("ghost", "device")
+
+    def test_bad_side_rejected(self):
+        uvm = UnifiedMemory(link_bandwidth=50e9)
+        uvm.register("x", 1024)
+        with pytest.raises(ValueError):
+            uvm.touch("x", "disk")
+
+    def test_fault_count_is_page_granular(self):
+        uvm = UnifiedMemory(link_bandwidth=50e9)
+        uvm.register("x", uvm.page_size * 3 + 1, location="host")
+        uvm.touch("x", "device")
+        assert uvm.stats.faults == 4

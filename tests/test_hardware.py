@@ -1,0 +1,150 @@
+"""Tests for the hardware catalog and spec arithmetic."""
+
+import pytest
+
+from repro.hardware import (
+    ALL_CPUS,
+    ALL_GPUS,
+    ALL_MACHINES,
+    CORI,
+    CRUSHER,
+    EARLY_ACCESS_PROGRESSION,
+    FRONTIER,
+    SPOCK,
+    SUMMIT,
+    GPUVendor,
+    Precision,
+    cpu_by_name,
+    gpu_by_name,
+    machine_by_name,
+)
+from repro.hardware.gpu import MI100, MI250X, MI250X_GCD, MI60, V100
+
+
+class TestPrecision:
+    def test_bytes_per_element(self):
+        assert Precision.FP64.bytes_per_element == 8
+        assert Precision.FP32.bytes_per_element == 4
+        assert Precision.FP16.bytes_per_element == 2
+        assert Precision.INT8.bytes_per_element == 1
+
+
+class TestGPUSpecs:
+    def test_v100_fp64_peak(self):
+        assert V100.peak(Precision.FP64) == pytest.approx(7.8e12)
+
+    def test_mi250x_is_two_gcds(self):
+        assert MI250X.peak(Precision.FP64) == pytest.approx(
+            2 * MI250X_GCD.peak(Precision.FP64)
+        )
+        assert MI250X.mem_bandwidth == pytest.approx(2 * MI250X_GCD.mem_bandwidth)
+
+    def test_mi250x_vs_v100_fp64_ratio_matches_spec_sheets(self):
+        # 47.9 / 7.8 ≈ 6.1 — the first-order source of the paper's speedups
+        ratio = MI250X.peak(Precision.FP64) / V100.peak(Precision.FP64)
+        assert 5.5 < ratio < 6.6
+
+    def test_amd_wavefront_is_64(self):
+        for gpu in (MI60, MI100, MI250X_GCD):
+            assert gpu.wavefront_size == 64
+        assert V100.wavefront_size == 32
+
+    def test_matrix_engine_fallback_to_vector(self):
+        # V100 has no FP64 tensor core: matrix request falls back to vector
+        assert V100.peak(Precision.FP64, matrix=True) == V100.peak(Precision.FP64)
+        # MI250X has FP64 MFMA at 2x vector
+        assert MI250X_GCD.peak(Precision.FP64, matrix=True) == pytest.approx(
+            2 * MI250X_GCD.peak(Precision.FP64), rel=0.01
+        )
+
+    def test_unknown_precision_raises(self):
+        with pytest.raises(KeyError):
+            V100.peak(Precision.INT8)
+
+    def test_ridge_intensity_positive_and_ordered(self):
+        # FP16 ridge must be higher than FP64 ridge (more flops per byte needed)
+        assert V100.ridge_intensity(Precision.FP16) > V100.ridge_intensity(Precision.FP64)
+
+    def test_effective_bandwidth_below_spec(self):
+        for gpu in ALL_GPUS:
+            assert 0 < gpu.effective_bandwidth < gpu.mem_bandwidth
+
+    def test_lookup_by_name(self):
+        assert gpu_by_name("V100") is V100
+        with pytest.raises(KeyError):
+            gpu_by_name("H100")
+
+
+class TestCPUSpecs:
+    def test_all_cpus_have_positive_specs(self):
+        for cpu in ALL_CPUS:
+            assert cpu.peak_flops_fp64 > 0
+            assert cpu.effective_bandwidth > 0
+            assert cpu.cores > 0
+
+    def test_fp32_is_double_fp64(self):
+        cpu = cpu_by_name("POWER9")
+        assert cpu.peak(Precision.FP32) == pytest.approx(2 * cpu.peak(Precision.FP64))
+
+    def test_unknown_cpu_raises(self):
+        with pytest.raises(KeyError):
+            cpu_by_name("Itanium")
+
+
+class TestNodesAndMachines:
+    def test_summit_node_configuration(self):
+        assert SUMMIT.node.gpus_per_node == 6
+        assert SUMMIT.node.gpu.name == "V100"
+        assert SUMMIT.node.cpu_sockets == 2
+
+    def test_frontier_node_has_eight_gcds(self):
+        assert FRONTIER.node.gpus_per_node == 8
+        assert "MI250X" in FRONTIER.node.gpu.name
+
+    def test_frontier_exceeds_exaflop_fp64(self):
+        assert FRONTIER.peak_flops(Precision.FP64) > 1e18
+
+    def test_summit_peak_near_200pf(self):
+        pf = SUMMIT.peak_flops(Precision.FP64) / 1e15
+        assert 180 < pf < 230
+
+    def test_frontier_node_vs_summit_node_ratio(self):
+        # 8x 24 TF vs 6x 7.8 TF ≈ 4.1x per node — feeds Table 2
+        ratio = FRONTIER.node.peak_flops() / SUMMIT.node.peak_flops()
+        assert 3.5 < ratio < 4.8
+
+    def test_cpu_machine_has_no_gpus(self):
+        assert not CORI.node.has_gpus
+        assert CORI.total_devices == 0
+        assert CORI.node.peak_flops() > 0
+
+    def test_crusher_matches_frontier_node_architecture(self):
+        assert CRUSHER.node.gpu == FRONTIER.node.gpu
+        assert CRUSHER.node.gpus_per_node == FRONTIER.node.gpus_per_node
+        assert CRUSHER.nodes == 192
+
+    def test_early_access_progression_ordering(self):
+        gens = [m.generation for m in EARLY_ACCESS_PROGRESSION]
+        assert gens == sorted(gens)
+        assert EARLY_ACCESS_PROGRESSION[-1].name == "Crusher"
+
+    def test_spock_uses_mi100_and_slingshot10(self):
+        assert SPOCK.node.gpu.name == "MI100"
+        assert "Slingshot-10" in SPOCK.node.interconnect.name
+
+    def test_machine_lookup_case_insensitive(self):
+        assert machine_by_name("frontier") is FRONTIER
+        with pytest.raises(KeyError):
+            machine_by_name("Aurora")
+
+    def test_describe_mentions_name_and_nodes(self):
+        text = SUMMIT.describe()
+        assert "Summit" in text and "4608" in text
+
+    def test_all_machines_have_interconnects(self):
+        for m in ALL_MACHINES:
+            assert m.node.interconnect is not None
+
+    def test_gpu_vendor_split(self):
+        assert SUMMIT.node.gpu.vendor is GPUVendor.NVIDIA
+        assert FRONTIER.node.gpu.vendor is GPUVendor.AMD

@@ -1,0 +1,114 @@
+"""Tests for the CUDA→HIP source translator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.progmodel import hipify, hipify_strict
+from repro.progmodel.hipify import OUTDATED_PATTERNS, SPECIAL_RULES
+
+
+class TestBasicTranslation:
+    def test_runtime_calls(self):
+        r = hipify("cudaMalloc(ptr, n); cudaMemcpyHostToDevice(ptr); cudaFree(ptr);")
+        assert "hipMalloc" in r.translated
+        assert "hipMemcpyHostToDevice" in r.translated
+        assert "hipFree" in r.translated
+        assert "cuda" not in r.translated
+        assert r.clean
+
+    def test_substitution_count(self):
+        r = hipify("cudaMalloc(a); cudaMalloc(b); cudaFree(a);")
+        assert r.substitutions == 3
+
+    def test_library_mapping(self):
+        r = hipify("cublasDgemm(handle, ...); cufftExecZ2Z(plan);")
+        assert "hipblasDgemm" in r.translated
+        assert "hipfftExecZ2Z" in r.translated
+
+    def test_header_mapping(self):
+        r = hipify('#include <cuda_runtime.h>')
+        assert "hip/hip_runtime.h" in r.translated
+
+    def test_deprecated_thread_api_modernized(self):
+        r = hipify("cudaThreadSynchronize();")
+        assert "hipDeviceSynchronize" in r.translated
+        assert "hipThreadSynchronize" not in r.translated
+
+    def test_driver_api_types(self):
+        r = hipify("CUdeviceptr p; CUstream s;")
+        assert "hipDeviceptr_t" in r.translated
+        assert "hipStream_t" in r.translated
+
+    def test_kernel_launch_chevrons(self):
+        r = hipify("mykernel<<<grid, block>>>(a, b);")
+        assert "hipLaunchKernelGGL(mykernel, grid, block, 0, 0, a, b);" in r.translated
+
+    def test_kernel_launch_with_shmem_and_stream(self):
+        r = hipify("k<<<g, b, 1024, s>>>(x);")
+        assert "hipLaunchKernelGGL(k, g, b, 1024, s, x);" in r.translated
+
+    def test_plain_text_untouched(self):
+        src = "int main() { return 0; }"
+        r = hipify(src)
+        assert r.translated == src
+        assert r.substitutions == 0
+        assert r.automatic_fraction == 1.0
+
+
+class TestDiagnostics:
+    def test_texture_reference_flagged(self):
+        r = hipify("texture<float, 2> tex;\ncudaMalloc(p);")
+        assert not r.clean
+        assert r.diagnostics[0].line == 1
+        assert "texture" in r.diagnostics[0].message
+        # the convertible part is still converted
+        assert "hipMalloc" in r.translated
+
+    def test_cuda_graphs_flagged_and_left_alone(self):
+        r = hipify("cudaGraphLaunch(g, s);")
+        assert not r.clean
+        assert "cudaGraphLaunch" in r.translated  # untouched
+
+    def test_old_shfl_flagged(self):
+        r = hipify("v = __shfl(v, lane);")
+        assert any("__shfl_sync" in d.message for d in r.diagnostics)
+
+    def test_automatic_fraction(self):
+        r = hipify("cudaMalloc(a);\ntexture<float> t;")
+        assert 0.0 < r.automatic_fraction < 1.0
+
+    def test_strict_raises_on_outdated(self):
+        with pytest.raises(ValueError, match="manual intervention"):
+            hipify_strict("cudaBindTexture(t, p);")
+
+    def test_strict_passes_clean_source(self):
+        out = hipify_strict("cudaDeviceSynchronize();")
+        assert out == "hipDeviceSynchronize();"
+
+
+class TestProperties:
+    def test_idempotent_on_translated_output(self):
+        src = "cudaMalloc(a); cublasDgemm(h); k<<<g,b>>>(x);"
+        once = hipify(src).translated
+        twice = hipify(once).translated
+        assert once == twice
+
+    @given(st.sampled_from(sorted(SPECIAL_RULES)))
+    def test_every_special_rule_applies(self, name):
+        r = hipify(f"x = {name}(arg);")
+        assert SPECIAL_RULES[name] in r.translated
+
+    @given(st.text(alphabet=st.characters(blacklist_categories=("Cs",)), max_size=200))
+    def test_never_crashes(self, text):
+        r = hipify(text)
+        assert isinstance(r.translated, str)
+
+    def test_word_boundary_respected(self):
+        # identifiers merely containing 'cuda' mid-word stay intact
+        r = hipify("mycudaHelper(); barracuda = 1;")
+        assert "mycudaHelper" in r.translated
+        assert "barracuda" in r.translated
+
+    def test_all_outdated_patterns_have_messages(self):
+        for msg in OUTDATED_PATTERNS.values():
+            assert len(msg) > 10

@@ -1,0 +1,193 @@
+"""Tests for the mini-Kokkos and mini-YAKL portability layers."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import KernelSpec
+from repro.hardware.gpu import MI250X_GCD, V100
+from repro.progmodel import kokkos as kk
+from repro.progmodel import yakl
+
+
+@pytest.fixture
+def yakl_ctx():
+    ctx = yakl.init(MI250X_GCD)
+    yield ctx
+    # drain leftover arrays defensively so one failure doesn't cascade
+    if yakl.is_initialized():
+        ctx.live_arrays = 0
+        yakl.finalize()
+
+
+class TestKokkosViews:
+    def test_view_holds_real_data(self):
+        v = kk.View("x", (4, 4))
+        v[1, 2] = 7.0
+        assert v[1, 2] == 7.0
+        assert v.shape == (4, 4)
+
+    def test_mirror_view(self):
+        v = kk.View("x", 8, kk.DeviceSpace)
+        m = v.mirror_view(kk.HostSpace)
+        assert m.shape == v.shape
+        assert m.space is kk.HostSpace
+
+    def test_deep_copy_moves_data(self):
+        src = kk.View("src", 16, kk.HostSpace)
+        src.data[:] = np.arange(16)
+        dst = src.mirror_view(kk.DeviceSpace)
+        t = kk.deep_copy(dst, src, device_spec=V100)
+        np.testing.assert_array_equal(dst.data, src.data)
+        assert t > 0  # crossing spaces costs transfer time
+
+    def test_deep_copy_same_space_free(self):
+        a = kk.View("a", 16, kk.HostSpace)
+        b = kk.View("b", 16, kk.HostSpace)
+        assert kk.deep_copy(b, a, device_spec=V100) == 0.0
+
+    def test_deep_copy_shape_mismatch(self):
+        with pytest.raises(kk.KokkosError):
+            kk.deep_copy(kk.View("a", 4), kk.View("b", 5))
+
+
+class TestKokkosDispatch:
+    def test_parallel_for_serial(self):
+        v = kk.View("x", 100)
+        kk.parallel_for(kk.Serial(), 100, lambda i: v.__setitem__(i, i * i), views=(v,))
+        assert v[10] == 100
+
+    def test_parallel_reduce(self):
+        total = kk.parallel_reduce(kk.Serial(), 100, lambda i: float(i))
+        assert total == sum(range(100))
+
+    def test_device_space_not_accessible_from_serial(self):
+        v = kk.View("x", 10, kk.DeviceSpace)
+        with pytest.raises(kk.KokkosError, match="not accessible"):
+            kk.parallel_for(kk.Serial(), 10, lambda i: None, views=(v,))
+
+    def test_host_space_not_accessible_from_device(self):
+        v = kk.View("x", 10, kk.HostSpace)
+        hip = kk.HIP(MI250X_GCD)
+        with pytest.raises(kk.KokkosError):
+            kk.parallel_for(hip, 10, lambda i: None, views=(v,))
+
+    def test_hostpinned_accessible_from_both(self):
+        """The LargeBAR validation trick (§3.10.1): one allocation, both
+        backends run the same kernel for fine-grained correctness checks."""
+        v = kk.View("forces", 64, kk.HostPinnedSpace)
+
+        def functor(i):
+            v[i] = 2.0 * i
+
+        kk.parallel_for(kk.Serial(), 64, functor, views=(v,))
+        host_result = v.data.copy()
+
+        v.data[:] = 0
+        hip = kk.HIP(MI250X_GCD)
+        kk.parallel_for(hip, 64, functor, views=(v,))
+        np.testing.assert_array_equal(v.data, host_result)
+
+    def test_device_dispatch_charges_time(self):
+        hip = kk.HIP(MI250X_GCD)
+        cost = KernelSpec(name="axpy", flops=1e10, bytes_read=1e8)
+        kk.parallel_for(hip, 10, lambda i: None, cost=cost)
+        hip.fence()
+        assert hip.elapsed > 0
+
+    def test_fence_counts(self):
+        ex = kk.Serial()
+        ex.fence()
+        ex.fence()
+        assert ex.fence_count == 2
+
+    def test_negative_range_rejected(self):
+        with pytest.raises(kk.KokkosError):
+            kk.parallel_for(kk.Serial(), -1, lambda i: None)
+
+
+class TestYakl:
+    def test_init_finalize_cycle(self):
+        ctx = yakl.init(MI250X_GCD)
+        assert yakl.is_initialized()
+        yakl.finalize()
+        assert not yakl.is_initialized()
+        # double finalize is an error
+        with pytest.raises(yakl.YaklError):
+            yakl.finalize()
+
+    def test_double_init_rejected(self, yakl_ctx):
+        with pytest.raises(yakl.YaklError):
+            yakl.init(MI250X_GCD)
+
+    def test_array_requires_init(self):
+        with pytest.raises(yakl.YaklError):
+            yakl.Array("x", 10)
+
+    def test_c_style_indexing(self, yakl_ctx):
+        a = yakl.Array("a", 3, 4)
+        a[0, 0] = 1.0
+        a[2, 3] = 5.0
+        assert a[2, 3] == 5.0
+        a.deallocate()
+
+    def test_fortran_style_indexing(self, yakl_ctx):
+        a = yakl.Array("a", 3, 4, fortran_style=True)
+        a[1, 1] = 2.0  # Fortran is 1-based
+        assert a[1, 1] == 2.0
+        assert a.data[0, 0] == 2.0
+        with pytest.raises(IndexError):
+            a[0, 1]
+        with pytest.raises(IndexError):
+            a[4, 1]
+        a.deallocate()
+
+    def test_fortran_order_memory(self, yakl_ctx):
+        a = yakl.Array("a", 8, 8, fortran_style=True)
+        assert a.data.flags["F_CONTIGUOUS"]
+        a.deallocate()
+
+    def test_double_deallocate_rejected(self, yakl_ctx):
+        a = yakl.Array("a", 4)
+        a.deallocate()
+        with pytest.raises(yakl.YaklError):
+            a.deallocate()
+
+    def test_finalize_detects_leaks(self):
+        yakl.init(MI250X_GCD)
+        a = yakl.Array("leaky", 10)
+        with pytest.raises(yakl.YaklError, match="live arrays"):
+            yakl.finalize()
+        a.deallocate()
+        yakl.finalize()
+
+    def test_pool_time_far_below_native(self, yakl_ctx):
+        """The E3SM claim: pooled device allocations are very cheap."""
+        for _ in range(200):
+            a = yakl.Array("tmp", 64, 64)
+            a.deallocate()
+        assert yakl_ctx.pool_time < yakl_ctx.native_time / 20
+
+
+class TestInterop:
+    def test_yakl_to_kokkos_zero_copy(self, yakl_ctx):
+        a = yakl.Array("shared", 4, 4)
+        view = yakl.view_from_ir(a.to_ir())
+        view[2, 2] = 9.0
+        assert a[2, 2] == 9.0  # same buffer
+        a.deallocate()
+
+    def test_kokkos_to_yakl(self, yakl_ctx):
+        v = kk.View("kv", (2, 3), kk.DeviceSpace)
+        v.data[:] = 1.5
+        ir = yakl.ir_from_view(v)
+        assert ir.on_device
+        b = yakl.Array.from_ir(ir)
+        assert b[0, 0] == 1.5
+        b.deallocate()
+
+    def test_ir_carries_shape_and_location(self, yakl_ctx):
+        a = yakl.Array("x", 5, 6)
+        ir = a.to_ir()
+        assert ir.shape == (5, 6)
+        assert ir.on_device
+        a.deallocate()

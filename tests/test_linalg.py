@@ -1,0 +1,204 @@
+"""Tests for the BLAS/solver/batched/FFT library substrates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu import time_kernel
+from repro.hardware.gpu import MI250X_GCD, Precision
+from repro.linalg import (
+    GENERIC_GEMM_EFFICIENCY,
+    SMALL_GEMM_EFFICIENCY,
+    TUNED_GEMM_EFFICIENCY,
+    TunedGemmLibrary,
+    batched_gemm_kernel_spec,
+    batched_lu_kernel_spec,
+    batched_lu_solve,
+    fft,
+    fft_flops,
+    fft_kernel_spec,
+    gemm,
+    gemm_flops,
+    gemm_kernel_spec,
+    getrf,
+    getrf_flops,
+    getrs,
+    ifft,
+    invert_first_block_lu,
+    zblock_lu,
+    zblock_lu_flops,
+)
+
+
+class TestGemm:
+    def test_real_multiply(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=(8, 5)), rng.normal(size=(5, 7))
+        np.testing.assert_allclose(gemm(a, b), a @ b)
+
+    def test_complex_multiply(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+        b = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+        np.testing.assert_allclose(gemm(a, b), a @ b)
+
+    def test_out_parameter(self):
+        a, b = np.eye(3), np.ones((3, 3))
+        out = np.empty((3, 3))
+        res = gemm(a, b, out=out)
+        assert res is out
+        np.testing.assert_array_equal(out, b)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            gemm(np.ones((3, 4)), np.ones((5, 6)))
+
+    def test_flop_count(self):
+        assert gemm_flops(10, 20, 30) == 2 * 10 * 20 * 30
+        assert gemm_flops(10, 20, 30, complex_data=True) == 8 * 10 * 20 * 30
+
+    def test_kernel_spec_efficiency_inflates_flops(self):
+        k_full = gemm_kernel_spec(1024, 1024, 1024, efficiency=1.0)
+        k_half = gemm_kernel_spec(1024, 1024, 1024, efficiency=0.5)
+        assert k_half.flops == pytest.approx(2 * k_full.flops)
+
+    def test_kernel_spec_rejects_bad_efficiency(self):
+        with pytest.raises(ValueError):
+            gemm_kernel_spec(10, 10, 10, efficiency=0.0)
+
+
+class TestTunedGemmLibrary:
+    def test_tuned_shape_is_faster(self):
+        """§4: libraries tuned for communicated problem sizes win."""
+        lib = TunedGemmLibrary(MI250X_GCD)
+        t_generic = lib.time(4096, 4096, 4096)
+        lib.register_tuned_shape(4096, 4096, 4096)
+        t_tuned = lib.time(4096, 4096, 4096)
+        assert t_tuned < t_generic
+        expected = GENERIC_GEMM_EFFICIENCY / TUNED_GEMM_EFFICIENCY
+        assert t_tuned / t_generic == pytest.approx(expected, rel=0.15)
+
+    def test_small_shapes_are_launch_limited(self):
+        lib = TunedGemmLibrary(MI250X_GCD)
+        assert lib.efficiency_for(32, 32, 32) == SMALL_GEMM_EFFICIENCY
+        lib.register_tuned_shape(32, 32, 32)
+        # tuning cannot rescue a tiny GEMM
+        assert lib.efficiency_for(32, 32, 32) == SMALL_GEMM_EFFICIENCY
+
+    def test_hit_counters(self):
+        lib = TunedGemmLibrary(MI250X_GCD)
+        lib.register_tuned_shape(512, 512, 512)
+        lib.kernel_spec(512, 512, 512)
+        lib.kernel_spec(513, 512, 512)
+        assert lib.tuned_hits == 1
+        assert lib.generic_hits == 1
+
+    def test_batched_gemm_beats_looped_small_gemms(self):
+        """The MAGMA batching story: one big launch beats many tiny ones."""
+        batch, n = 1000, 32
+        spec_batched = batched_gemm_kernel_spec(batch, n, n, n)
+        t_batched = time_kernel(spec_batched, MI250X_GCD).total_time
+        single = gemm_kernel_spec(n, n, n, efficiency=SMALL_GEMM_EFFICIENCY)
+        t_single = time_kernel(single, MI250X_GCD).total_time
+        assert t_batched < batch * t_single
+
+    def test_batched_gemm_validates(self):
+        with pytest.raises(ValueError):
+            batched_gemm_kernel_spec(0, 8, 8, 8)
+
+
+class TestSolvers:
+    def test_getrf_getrs_roundtrip(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(20, 20)) + 1j * rng.normal(size=(20, 20))
+        b = rng.normal(size=20) + 1j * rng.normal(size=20)
+        x = getrs(getrf(a), b)
+        np.testing.assert_allclose(a @ x, b, atol=1e-10)
+
+    def test_getrf_rejects_nonsquare(self):
+        with pytest.raises(ValueError):
+            getrf(np.ones((3, 4)))
+
+    def test_zblock_lu_matches_direct_inverse(self):
+        """The LSMS correctness anchor: zblock_lu computes the same leading
+        block of the inverse as the full-LU library path."""
+        rng = np.random.default_rng(3)
+        n, b = 48, 12
+        a = rng.normal(size=(n, n)) + 1j * rng.normal(size=(n, n)) + 5 * np.eye(n)
+        expected = np.linalg.inv(a)[:b, :b]
+        np.testing.assert_allclose(zblock_lu(a, b), expected, atol=1e-8)
+        np.testing.assert_allclose(invert_first_block_lu(a, b), expected, atol=1e-8)
+
+    def test_zblock_lu_validates(self):
+        a = np.eye(10)
+        with pytest.raises(ValueError):
+            zblock_lu(a, 3)  # 10 not divisible by 3
+        with pytest.raises(ValueError):
+            zblock_lu(a, 0)
+
+    def test_zblock_lu_has_fewer_flops_than_full_lu(self):
+        """§3.2: 'the zblock_lu algorithm has a slightly lower total
+        floating point operation count'."""
+        n, b = 2048, 32
+        full = getrf_flops(n) + 4 * 2 * n * n * b  # factor + solve for b rhs
+        block = zblock_lu_flops(n, b)
+        assert block < full
+        assert block > 0.3 * full  # but not wildly fewer
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=1, max_value=4))
+    def test_zblock_lu_property_random_blocks(self, nblocks):
+        rng = np.random.default_rng(nblocks)
+        b = 6
+        n = b * (nblocks + 1)
+        a = rng.normal(size=(n, n)) + (n + 2) * np.eye(n)
+        np.testing.assert_allclose(
+            zblock_lu(a, b), np.linalg.inv(a)[:b, :b], atol=1e-8
+        )
+
+
+class TestBatchedLU:
+    def test_batched_solve_correct(self):
+        rng = np.random.default_rng(4)
+        mats = rng.normal(size=(16, 5, 5)) + 5 * np.eye(5)
+        rhs = rng.normal(size=(16, 5))
+        x = batched_lu_solve(mats, rhs)
+        for i in range(16):
+            np.testing.assert_allclose(mats[i] @ x[i], rhs[i], atol=1e-10)
+
+    def test_batched_shape_validation(self):
+        with pytest.raises(ValueError):
+            batched_lu_solve(np.ones((4, 3, 2)), np.ones((4, 3)))
+        with pytest.raises(ValueError):
+            batched_lu_solve(np.ones((4, 3, 3)), np.ones((5, 3)))
+
+    def test_batched_kernel_efficiency_grows_with_batch(self):
+        small = batched_lu_kernel_spec(1, 10)
+        large = batched_lu_kernel_spec(100_000, 10)
+        t_small = time_kernel(small, MI250X_GCD).total_time
+        t_large = time_kernel(large, MI250X_GCD).total_time
+        # per-system time must drop dramatically with batching
+        assert t_large / 100_000 < t_small / 2
+
+
+class TestFFT:
+    def test_fft_roundtrip(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=64) + 1j * rng.normal(size=64)
+        np.testing.assert_allclose(ifft(fft(x)), x, atol=1e-12)
+
+    def test_fft_matches_numpy_along_axis(self):
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=(4, 8)).astype(complex)
+        np.testing.assert_allclose(fft(x, axis=0), np.fft.fft(x, axis=0))
+
+    def test_fft_flops_formula(self):
+        assert fft_flops(1024) == pytest.approx(5 * 1024 * 10)
+        assert fft_flops(1024, batch=3) == pytest.approx(3 * 5 * 1024 * 10)
+        with pytest.raises(ValueError):
+            fft_flops(0)
+
+    def test_fft_kernel_is_memory_bound(self):
+        spec = fft_kernel_spec(1 << 20, batch=16)
+        t = time_kernel(spec, MI250X_GCD)
+        assert t.bound == "memory"

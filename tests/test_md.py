@@ -1,0 +1,201 @@
+"""Tests for the LAMMPS/ReaxFF substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.md import (
+    SimBox,
+    angle_forces,
+    angle_survivor_triples,
+    brute_force_neighbors,
+    build_bond_list,
+    build_neighbor_list,
+    cg,
+    dual_cg,
+    equilibrate_charges,
+    hns_like_crystal,
+    lj_forces,
+    qeq_matrix,
+    torsion_forces_naive,
+    torsion_forces_preprocessed,
+    torsion_survivor_tuples,
+)
+from repro.md.reaxff import _pair_alignment_force
+
+
+@pytest.fixture(scope="module")
+def crystal():
+    x, box = hns_like_crystal(4, 4, 4, seed=1)
+    return x, box
+
+
+class TestNeighborLists:
+    def test_cell_list_matches_brute_force(self, crystal):
+        x, box = crystal
+        assert build_neighbor_list(x, box, 2.0) == brute_force_neighbors(x, box, 2.0)
+
+    def test_larger_cutoff(self, crystal):
+        x, box = crystal
+        assert build_neighbor_list(x, box, 3.1) == brute_force_neighbors(x, box, 3.1)
+
+    def test_symmetry(self, crystal):
+        x, box = crystal
+        nb = build_neighbor_list(x, box, 2.0)
+        for i, lst in enumerate(nb):
+            for j in lst:
+                assert i in nb[j]
+
+    def test_bond_list_is_subset(self, crystal):
+        x, box = crystal
+        nb = build_neighbor_list(x, box, 3.0)
+        bonds = build_bond_list(x, box, 1.8, nb)
+        for i in range(len(x)):
+            assert set(bonds[i]) <= set(nb[i])
+
+    def test_minimum_image(self):
+        box = SimBox(lengths=(10.0, 10.0, 10.0))
+        d = box.minimum_image(np.array([9.0, -9.0, 4.0]))
+        np.testing.assert_allclose(d, [-1.0, 1.0, 4.0])
+
+    def test_invalid_box(self):
+        with pytest.raises(ValueError):
+            SimBox(lengths=(0.0, 1.0, 1.0))
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=50))
+    def test_property_random_configs(self, seed):
+        rng = np.random.default_rng(seed)
+        box = SimBox(lengths=(6.0, 6.0, 6.0))
+        x = rng.uniform(0, 6, size=(40, 3))
+        assert build_neighbor_list(x, box, 1.5) == brute_force_neighbors(x, box, 1.5)
+
+
+class TestTorsionKernels:
+    def test_analytic_gradient_matches_finite_difference(self):
+        rng = np.random.default_rng(3)
+        rij, rkl = rng.normal(size=3) + 2, rng.normal(size=3) - 1
+        e, gij, gkl = _pair_alignment_force(rij, rkl, 0.37)
+        eps = 1e-6
+        for d in range(3):
+            step = eps * np.eye(3)[d]
+            num_ij = (_pair_alignment_force(rij + step, rkl, 0.37)[0] - e) / eps
+            num_kl = (_pair_alignment_force(rij, rkl + step, 0.37)[0] - e) / eps
+            assert num_ij == pytest.approx(gij[d], abs=1e-5)
+            assert num_kl == pytest.approx(gkl[d], abs=1e-5)
+
+    def test_preprocessed_matches_naive_exactly(self, crystal):
+        """The §3.10.2 optimization is bit-identical physics."""
+        x, box = crystal
+        nb = build_neighbor_list(x, box, 3.0)
+        bonds = build_bond_list(x, box, 1.8, nb)
+        e1, f1, _ = torsion_forces_naive(x, box, nb, bonds, cutoff=1.9)
+        tuples = torsion_survivor_tuples(x, box, nb, bonds, cutoff=1.9)
+        e2, f2 = torsion_forces_preprocessed(x, box, tuples)
+        assert e1 == pytest.approx(e2, abs=1e-12)
+        np.testing.assert_allclose(f1, f2, atol=1e-12)
+
+    def test_divergence_is_severe(self, crystal):
+        """Wide neighbor list + tight bonding = few active lanes (Alg. 1)."""
+        x, box = crystal
+        nb = build_neighbor_list(x, box, 3.2)
+        bonds = build_bond_list(x, box, 1.7, build_neighbor_list(x, box, 1.7))
+        _, _, stats = torsion_forces_naive(x, box, nb, bonds, cutoff=1.7)
+        assert stats.active_fraction < 0.5
+        assert stats.survivors > 0
+
+    def test_survivor_tuples_all_distinct(self, crystal):
+        x, box = crystal
+        nb = build_neighbor_list(x, box, 3.0)
+        bonds = build_bond_list(x, box, 1.8, nb)
+        for i, j, k, l in torsion_survivor_tuples(x, box, nb, bonds, cutoff=1.9):
+            assert len({i, j, k}) == 3 and l not in (i, j)
+
+    def test_torsion_forces_sum_to_zero(self, crystal):
+        """Internal forces: momentum conservation."""
+        x, box = crystal
+        nb = build_neighbor_list(x, box, 3.0)
+        bonds = build_bond_list(x, box, 1.8, nb)
+        _, f, _ = torsion_forces_naive(x, box, nb, bonds, cutoff=1.9)
+        np.testing.assert_allclose(f.sum(axis=0), 0.0, atol=1e-10)
+
+    def test_angle_kernels(self, crystal):
+        x, box = crystal
+        bonds = build_bond_list(x, box, 1.8, build_neighbor_list(x, box, 1.8))
+        triples = angle_survivor_triples(x, box, bonds)
+        assert triples
+        e, f = angle_forces(x, box, triples)
+        np.testing.assert_allclose(f.sum(axis=0), 0.0, atol=1e-10)
+        for i, j, k in triples:
+            assert i != j and j != k and i < k
+
+
+class TestLennardJones:
+    def test_forces_sum_to_zero(self, crystal):
+        x, box = crystal
+        nb = build_neighbor_list(x, box, 2.5)
+        _, f = lj_forces(x, box, nb)
+        np.testing.assert_allclose(f.sum(axis=0), 0.0, atol=1e-10)
+
+    def test_minimum_at_two_sixth_sigma(self):
+        box = SimBox(lengths=(20.0, 20.0, 20.0))
+        r_min = 2.0 ** (1 / 6)
+        x = np.array([[5.0, 5.0, 5.0], [5.0 + r_min, 5.0, 5.0]])
+        _, f = lj_forces(x, box, [[1], [0]])
+        np.testing.assert_allclose(f, 0.0, atol=1e-10)
+
+    def test_repulsive_inside_minimum(self):
+        box = SimBox(lengths=(20.0, 20.0, 20.0))
+        x = np.array([[5.0, 5.0, 5.0], [6.0, 5.0, 5.0]])
+        _, f = lj_forces(x, box, [[1], [0]])
+        assert f[0, 0] < 0 and f[1, 0] > 0  # pushed apart
+
+
+class TestQeq:
+    @pytest.fixture(scope="class")
+    def system(self):
+        x, box = hns_like_crystal(3, 3, 3, seed=2)
+        chi = np.random.default_rng(5).uniform(-1, 1, len(x))
+        return x, box, chi
+
+    def test_matrix_is_spd(self, system):
+        x, box, _ = system
+        H = qeq_matrix(x, box)
+        np.testing.assert_allclose(H, H.T)
+        assert np.linalg.eigvalsh(H)[0] > 0
+
+    def test_cg_solves(self, system):
+        x, box, chi = system
+        H = qeq_matrix(x, box)
+        s, stats = cg(H, -chi)
+        np.testing.assert_allclose(H @ s, -chi, atol=1e-7)
+        assert stats.iterations > 0
+
+    def test_dual_cg_matches_separate(self, system):
+        x, box, chi = system
+        H = qeq_matrix(x, box)
+        ones = np.ones(len(x))
+        s1, _ = cg(H, -chi)
+        t1, _ = cg(H, -ones)
+        s2, t2, _ = dual_cg(H, -chi, -ones)
+        np.testing.assert_allclose(s1, s2, atol=1e-7)
+        np.testing.assert_allclose(t1, t2, atol=1e-7)
+
+    def test_fused_halves_matrix_reads_and_allreduces(self, system):
+        """The Aktulga bandwidth/communication saving (§3.10.2)."""
+        x, box, chi = system
+        fused = equilibrate_charges(x, box, chi, fused=True)
+        separate = equilibrate_charges(x, box, chi, fused=False)
+        assert fused.stats.matrix_reads <= 0.6 * separate.stats.matrix_reads
+        assert fused.stats.allreduces <= 0.6 * separate.stats.allreduces
+        np.testing.assert_allclose(fused.charges, separate.charges, atol=1e-6)
+
+    def test_charges_sum_to_zero(self, system):
+        x, box, chi = system
+        r = equilibrate_charges(x, box, chi)
+        assert abs(r.charges.sum()) < 1e-8
+
+    def test_chi_shape_validated(self, system):
+        x, box, _ = system
+        with pytest.raises(ValueError):
+            equilibrate_charges(x, box, np.zeros(3))

@@ -1,0 +1,220 @@
+"""Tests for the CVODE-like BDF integrator, GMRES, and explicit RK."""
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+from hypothesis import given, settings, strategies as st
+from scipy.integrate import solve_ivp
+
+from repro.ode import (
+    BdfIntegrator,
+    IntegrationError,
+    LinearSolver,
+    gmres,
+    gmres_flops,
+    rk4,
+    rk45,
+)
+
+
+def robertson(t, y):
+    """The classic stiff kinetics benchmark (a CVODE example problem)."""
+    return np.array([
+        -0.04 * y[0] + 1e4 * y[1] * y[2],
+        0.04 * y[0] - 1e4 * y[1] * y[2] - 3e7 * y[1] ** 2,
+        3e7 * y[1] ** 2,
+    ])
+
+
+class TestGmres:
+    def test_solves_dense_system(self):
+        rng = np.random.default_rng(0)
+        A = rng.normal(size=(40, 40)) + 8 * np.eye(40)
+        b = rng.normal(size=40)
+        r = gmres(A, b, tol=1e-12)
+        assert r.converged
+        assert np.linalg.norm(A @ r.x - b) < 1e-8
+
+    def test_matrix_free_operator(self):
+        rng = np.random.default_rng(1)
+        A = rng.normal(size=(30, 30)) + 6 * np.eye(30)
+        b = rng.normal(size=30)
+        r = gmres(lambda v: A @ v, b, tol=1e-10)
+        assert r.converged
+        np.testing.assert_allclose(r.x, np.linalg.solve(A, b), rtol=1e-6)
+
+    def test_identity_is_one_iteration_class(self):
+        b = np.arange(1.0, 11.0)
+        r = gmres(np.eye(10), b, tol=1e-12)
+        assert r.converged
+        assert r.iterations <= 2
+        np.testing.assert_allclose(r.x, b, rtol=1e-10)
+
+    def test_zero_rhs(self):
+        r = gmres(np.eye(5), np.zeros(5))
+        assert r.converged
+        np.testing.assert_array_equal(r.x, np.zeros(5))
+
+    def test_restart_still_converges(self):
+        rng = np.random.default_rng(2)
+        A = rng.normal(size=(60, 60)) + 12 * np.eye(60)
+        b = rng.normal(size=60)
+        r = gmres(A, b, tol=1e-10, restart=5, maxiter=5000)
+        assert r.converged
+
+    def test_maxiter_reports_nonconvergence(self):
+        # an indefinite poorly conditioned system with tiny budget
+        rng = np.random.default_rng(3)
+        A = rng.normal(size=(50, 50))
+        b = rng.normal(size=50)
+        r = gmres(A, b, tol=1e-14, maxiter=3)
+        assert not r.converged
+        assert r.iterations <= 3
+
+    def test_preconditioner_accelerates(self):
+        rng = np.random.default_rng(4)
+        d = np.linspace(1, 1e4, 50)
+        A = np.diag(d) + rng.normal(size=(50, 50)) * 0.1
+        b = rng.normal(size=50)
+        plain = gmres(A, b, tol=1e-10, maxiter=2000)
+        precond = gmres(A, b, tol=1e-10, maxiter=2000, precond=lambda v: v / d)
+        assert precond.converged
+        assert precond.iterations < plain.iterations
+
+    def test_residual_history_monotone_within_cycle(self):
+        rng = np.random.default_rng(5)
+        A = rng.normal(size=(20, 20)) + 5 * np.eye(20)
+        b = rng.normal(size=20)
+        r = gmres(A, b, tol=1e-12)
+        hist = r.residual_history
+        assert all(b <= a + 1e-12 for a, b in zip(hist, hist[1:]))
+
+    def test_flop_model_scales(self):
+        assert gmres_flops(100, 20) > gmres_flops(100, 10)
+        assert gmres_flops(200, 10) > gmres_flops(100, 10)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=25))
+    def test_random_spd_systems(self, n):
+        rng = np.random.default_rng(n)
+        M = rng.normal(size=(n, n))
+        A = M @ M.T + n * np.eye(n)
+        b = rng.normal(size=n)
+        r = gmres(A, b, tol=1e-10, maxiter=10 * n)
+        assert r.converged
+        np.testing.assert_allclose(A @ r.x, b, atol=1e-6 * max(1, np.linalg.norm(b)))
+
+
+class TestBdf:
+    def test_robertson_matches_scipy(self):
+        ref = solve_ivp(robertson, (0, 100.0), [1.0, 0, 0], method="BDF",
+                        rtol=1e-8, atol=1e-12)
+        integ = BdfIntegrator(robertson, rtol=1e-5, atol=1e-9)
+        res = integ.integrate(np.array([1.0, 0, 0]), 0.0, 100.0)
+        np.testing.assert_allclose(res.y, ref.y[:, -1], rtol=1e-3)
+        assert res.stats.steps > 0
+        assert res.stats.newton_iters >= res.stats.steps
+
+    def test_robertson_gmres_path(self):
+        """PeleC's matrix-free configuration reaches the same answer."""
+        dense = BdfIntegrator(robertson, rtol=1e-5, atol=1e-9)
+        krylov = BdfIntegrator(robertson, rtol=1e-5, atol=1e-9,
+                               linear_solver=LinearSolver.GMRES)
+        y0 = np.array([1.0, 0, 0])
+        rd = dense.integrate(y0, 0.0, 10.0)
+        rk = krylov.integrate(y0, 0.0, 10.0)
+        np.testing.assert_allclose(rd.y, rk.y, rtol=1e-3)
+        assert rk.stats.linear_iters > 0
+        assert rd.stats.linear_iters == 0
+
+    def test_stiff_linear_system_vs_expm(self):
+        A = np.array([[-1000.0, 1.0], [0.0, -0.5]])
+        integ = BdfIntegrator(lambda t, y: A @ y, jac=lambda t, y: A,
+                              rtol=1e-6, atol=1e-10, max_steps=200_000)
+        r = integ.integrate(np.array([1.0, 1.0]), 0.0, 2.0)
+        exact = sla.expm(2.0 * A) @ np.array([1.0, 1.0])
+        np.testing.assert_allclose(r.y, exact, rtol=1e-3, atol=1e-9)
+
+    def test_analytic_jacobian_reduces_rhs_evals(self):
+        A = np.array([[-10.0, 1.0], [0.0, -1.0]])
+        with_jac = BdfIntegrator(lambda t, y: A @ y, jac=lambda t, y: A,
+                                 rtol=1e-6, atol=1e-9)
+        without = BdfIntegrator(lambda t, y: A @ y, rtol=1e-6, atol=1e-9)
+        y0 = np.array([1.0, 1.0])
+        rj = with_jac.integrate(y0, 0.0, 1.0)
+        rn = without.integrate(y0, 0.0, 1.0)
+        assert rj.stats.rhs_evals < rn.stats.rhs_evals
+        np.testing.assert_allclose(rj.y, rn.y, rtol=1e-4)
+
+    def test_conservation_in_robertson(self):
+        """Mass fractions sum to one throughout."""
+        integ = BdfIntegrator(robertson, rtol=1e-6, atol=1e-10)
+        res = integ.integrate(np.array([1.0, 0, 0]), 0.0, 1.0,
+                              record_history=True)
+        for y in res.y_history:
+            assert abs(y.sum() - 1.0) < 1e-6
+
+    def test_invalid_time_interval(self):
+        integ = BdfIntegrator(lambda t, y: -y)
+        with pytest.raises(IntegrationError):
+            integ.integrate(np.array([1.0]), 1.0, 0.5)
+
+    def test_max_steps_enforced(self):
+        integ = BdfIntegrator(robertson, rtol=1e-10, atol=1e-14, max_steps=5)
+        with pytest.raises(IntegrationError, match="max_steps"):
+            integ.integrate(np.array([1.0, 0, 0]), 0.0, 100.0)
+
+    def test_nonstiff_decay_accuracy(self):
+        integ = BdfIntegrator(lambda t, y: -y, rtol=1e-7, atol=1e-11)
+        r = integ.integrate(np.array([1.0]), 0.0, 1.0)
+        assert r.y[0] == pytest.approx(np.exp(-1.0), rel=1e-4)
+
+    def test_history_recording(self):
+        integ = BdfIntegrator(lambda t, y: -y, rtol=1e-5, atol=1e-8)
+        r = integ.integrate(np.array([1.0]), 0.0, 1.0, record_history=True)
+        assert len(r.t_history) == len(r.y_history)
+        assert r.t_history[0] == 0.0
+        assert r.t_history[-1] == pytest.approx(1.0)
+        assert all(a < b for a, b in zip(r.t_history, r.t_history[1:]))
+
+
+class TestErk:
+    def test_rk4_convergence_order(self):
+        """Halving h must cut the error ~16x (4th order)."""
+        y0 = np.array([1.0])
+        e1 = abs(rk4(lambda t, y: -y, y0, 0, 1, 20).y[0] - np.exp(-1))
+        e2 = abs(rk4(lambda t, y: -y, y0, 0, 1, 40).y[0] - np.exp(-1))
+        assert e1 / e2 == pytest.approx(16.0, rel=0.2)
+
+    def test_rk4_vector_system(self):
+        # harmonic oscillator: y'' = -y
+        def f(t, y):
+            return np.array([y[1], -y[0]])
+
+        r = rk4(f, np.array([1.0, 0.0]), 0, 2 * np.pi, 1000)
+        np.testing.assert_allclose(r.y, [1.0, 0.0], atol=1e-6)
+
+    def test_rk45_adapts(self):
+        r = rk45(lambda t, y: -50 * y, np.array([1.0]), 0, 1, rtol=1e-8, atol=1e-10)
+        assert r.y[0] == pytest.approx(np.exp(-50.0), abs=1e-10)
+        assert r.steps > 10
+        assert r.rhs_evals == pytest.approx(6 * (r.steps + r.rejected), abs=1)
+
+    def test_rk45_rejects_steps_on_rough_problems(self):
+        def f(t, y):
+            return np.array([np.cos(40 * t) * 40])
+
+        r = rk45(f, np.array([0.0]), 0, 1, rtol=1e-9, atol=1e-12)
+        assert r.y[0] == pytest.approx(np.sin(40.0), abs=1e-6)
+
+    def test_rk4_input_validation(self):
+        with pytest.raises(ValueError):
+            rk4(lambda t, y: -y, np.array([1.0]), 0, 1, 0)
+        with pytest.raises(ValueError):
+            rk4(lambda t, y: -y, np.array([1.0]), 1, 0, 10)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.floats(min_value=0.1, max_value=3.0))
+    def test_rk45_matches_exponential(self, rate):
+        r = rk45(lambda t, y: -rate * y, np.array([1.0]), 0, 1, rtol=1e-9, atol=1e-12)
+        assert r.y[0] == pytest.approx(np.exp(-rate), rel=1e-6)

@@ -1,0 +1,157 @@
+"""Tests for OpenMP target-offload semantics and the data-motion ledger."""
+
+import pytest
+
+from repro.gpu import KernelSpec
+from repro.hardware.gpu import MI250X_GCD
+from repro.progmodel import MapKind, OpenMPDevice, OpenMPTargetError
+from repro.progmodel.openmp import OPENMP_KERNEL_DERATE
+
+
+def kern(name="loop", flops=1e9):
+    return KernelSpec(name=name, flops=flops, bytes_read=1e7)
+
+
+MB = 1 << 20
+
+
+class TestTargetData:
+    def test_structured_region_moves_to_and_from(self):
+        omp = OpenMPDevice(MI250X_GCD)
+        with omp.target_data(state=(8 * MB, MapKind.TOFROM)):
+            omp.target_parallel_loop(kern(), uses=("state",))
+        assert omp.ledger.h2d_bytes == 8 * MB
+        assert omp.ledger.d2h_bytes == 8 * MB
+
+    def test_to_map_never_copies_back(self):
+        omp = OpenMPDevice(MI250X_GCD)
+        with omp.target_data(coeffs=(MB, MapKind.TO)):
+            pass
+        assert omp.ledger.h2d_bytes == MB
+        assert omp.ledger.d2h_bytes == 0
+
+    def test_from_map_only_copies_back(self):
+        omp = OpenMPDevice(MI250X_GCD)
+        with omp.target_data(result=(MB, MapKind.FROM)):
+            pass
+        assert omp.ledger.h2d_bytes == 0
+        assert omp.ledger.d2h_bytes == MB
+
+    def test_alloc_map_never_transfers(self):
+        omp = OpenMPDevice(MI250X_GCD)
+        with omp.target_data(scratch=(MB, MapKind.ALLOC)):
+            pass
+        assert omp.ledger.total_bytes == 0
+
+    def test_persistent_region_beats_naive_mapping(self):
+        """The §2.2 guidance: large TARGET DATA region with persistent
+        arrays avoids repeated data movement."""
+        arrays = {"u": 64 * MB, "rhs": 64 * MB}
+        steps = 20
+
+        naive = OpenMPDevice(MI250X_GCD)
+        for _ in range(steps):
+            naive.naive_offload_loop(kern(), arrays)
+
+        good = OpenMPDevice(MI250X_GCD)
+        with good.target_data(u=(64 * MB, MapKind.TOFROM), rhs=(64 * MB, MapKind.TO)):
+            for _ in range(steps):
+                good.target_parallel_loop(kern(), uses=("u", "rhs"))
+
+        assert good.ledger.total_bytes < naive.ledger.total_bytes / (steps / 2)
+        assert good.elapsed < naive.elapsed
+
+
+class TestUnstructuredData:
+    def test_enter_exit_pair(self):
+        omp = OpenMPDevice(MI250X_GCD)
+        omp.target_enter_data("mesh", 4 * MB, MapKind.TO)
+        omp.target_parallel_loop(kern(), uses=("mesh",))
+        omp.target_exit_data("mesh", MapKind.FROM)
+        assert omp.ledger.h2d_bytes == 4 * MB
+        assert omp.ledger.d2h_bytes == 4 * MB
+
+    def test_double_enter_rejected(self):
+        omp = OpenMPDevice(MI250X_GCD)
+        omp.target_enter_data("x", MB)
+        with pytest.raises(OpenMPTargetError):
+            omp.target_enter_data("x", MB)
+
+    def test_exit_without_enter_rejected(self):
+        omp = OpenMPDevice(MI250X_GCD)
+        with pytest.raises(OpenMPTargetError):
+            omp.target_exit_data("nothing")
+
+    def test_omp_target_alloc_is_device_only(self):
+        omp = OpenMPDevice(MI250X_GCD)
+        omp.omp_target_alloc("persistent", 128 * MB)
+        omp.target_parallel_loop(kern(), uses=("persistent",))
+        assert omp.ledger.total_bytes == 0
+
+
+class TestTargetUpdate:
+    def test_update_to_from(self):
+        omp = OpenMPDevice(MI250X_GCD)
+        omp.target_enter_data("halo", MB, MapKind.ALLOC)
+        omp.target_update_to("halo")
+        omp.target_update_from("halo")
+        assert omp.ledger.h2d_transfers == 1
+        assert omp.ledger.d2h_transfers == 1
+
+    def test_update_outside_region_rejected(self):
+        omp = OpenMPDevice(MI250X_GCD)
+        with pytest.raises(OpenMPTargetError):
+            omp.target_update_to("unmapped")
+
+    def test_nowait_overlaps_with_compute(self):
+        """TARGET UPDATE ... NOWAIT lets transfer and kernel overlap (§2.2)."""
+        big = 512 * MB
+
+        blocking = OpenMPDevice(MI250X_GCD)
+        blocking.target_enter_data("field", big, MapKind.ALLOC)
+        blocking.target_update_to("field")
+        blocking.target_parallel_loop(kern(flops=1e12), uses=("field",))
+        blocking.synchronize()
+
+        overlapped = OpenMPDevice(MI250X_GCD)
+        overlapped.target_enter_data("field", big, MapKind.ALLOC)
+        stream = overlapped.device.create_stream()
+        overlapped.target_update_to("field", nowait=True, stream=stream)
+        overlapped.target_parallel_loop(kern(flops=1e12), uses=("field",))
+        overlapped.synchronize()
+
+        assert overlapped.elapsed < blocking.elapsed
+
+
+class TestUseDevicePtr:
+    def test_returns_token_for_mapped_array(self):
+        omp = OpenMPDevice(MI250X_GCD)
+        omp.target_enter_data("buf", MB)
+        assert omp.use_device_ptr("buf") == "devptr:buf"
+
+    def test_rejects_unmapped(self):
+        omp = OpenMPDevice(MI250X_GCD)
+        with pytest.raises(OpenMPTargetError):
+            omp.use_device_ptr("buf")
+
+
+class TestPerformanceParity:
+    def test_openmp_kernels_slower_than_hip(self):
+        """'OpenMP codes did not achieve performance parity to HIP' (§2.2)."""
+        from repro.gpu import Device
+
+        k = kern(flops=1e12)
+        hip = Device(MI250X_GCD)
+        hip.launch_sync(k)
+
+        omp = OpenMPDevice(MI250X_GCD)
+        omp.omp_target_alloc("x", MB)
+        omp.target_parallel_loop(k, uses=("x",))
+
+        assert omp.elapsed > hip.elapsed
+        assert omp.elapsed == pytest.approx(hip.elapsed / OPENMP_KERNEL_DERATE, rel=0.05)
+
+    def test_kernel_on_unmapped_array_rejected(self):
+        omp = OpenMPDevice(MI250X_GCD)
+        with pytest.raises(OpenMPTargetError, match="outside any data region"):
+            omp.target_parallel_loop(kern(), uses=("missing",))

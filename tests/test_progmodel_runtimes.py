@@ -1,0 +1,178 @@
+"""Tests for the CUDA/HIP facades, macro layer, and thin abstraction."""
+
+import pytest
+
+from repro.gpu import KernelSpec
+from repro.hardware.gpu import MI250X_GCD, V100
+from repro.progmodel import (
+    CudaRuntime,
+    GpuApiError,
+    HipRuntime,
+    HipUnsupportedFeature,
+    MacroLayer,
+    MissingApiParity,
+    make_device_layer,
+)
+
+
+def kern(flops=1e10):
+    return KernelSpec(name="k", flops=flops, bytes_read=1e7)
+
+
+class TestCudaRuntime:
+    def test_basic_workflow(self):
+        rt = CudaRuntime()
+        h = rt.cudaMalloc(1 << 20)
+        rt.cudaMemcpyHostToDevice(h)
+        rt.cudaLaunchKernel(kern())
+        rt.cudaDeviceSynchronize()
+        rt.cudaMemcpyDeviceToHost(h)
+        rt.cudaFree(h)
+        assert rt.elapsed > 0
+
+    def test_cuda_rejects_amd_devices(self):
+        with pytest.raises(GpuApiError):
+            CudaRuntime(MI250X_GCD)
+
+    def test_event_timing_in_milliseconds(self):
+        rt = CudaRuntime()
+        start, end = rt.cudaEventCreate(), rt.cudaEventCreate()
+        rt.cudaEventRecord(start)
+        rt.cudaLaunchKernel(kern(flops=1e12))
+        rt.cudaEventRecord(end)
+        rt.cudaEventSynchronize(end)
+        ms = rt.cudaEventElapsedTime(start, end)
+        secs = 1e12 / V100.peak_flops[list(V100.peak_flops)[0]]  # loose bound
+        assert ms > 0
+        assert ms / 1e3 < 10 * secs + 1.0
+
+    def test_multi_device(self):
+        rt = CudaRuntime(V100, count=6)
+        assert rt.cudaGetDeviceCount() == 6
+        rt.cudaSetDevice(3)
+        assert rt.cudaGetDevice() == 3
+        with pytest.raises(GpuApiError):
+            rt.cudaSetDevice(6)
+
+    def test_oversized_copy_rejected(self):
+        rt = CudaRuntime()
+        h = rt.cudaMalloc(100)
+        with pytest.raises(GpuApiError):
+            rt.cudaMemcpyHostToDevice(h, 200)
+
+    def test_stream_overlap(self):
+        rt = CudaRuntime()
+        s = rt.cudaStreamCreate()
+        rt.cudaLaunchKernel(kern(flops=1e12))
+        rt.cudaLaunchKernel(kern(flops=1e12), stream=s)
+        rt.cudaDeviceSynchronize()
+        single = 1e12 / 7.8e12
+        assert rt.elapsed < 2 * single
+
+
+class TestHipRuntime:
+    def test_hip_drives_amd(self):
+        rt = HipRuntime()
+        assert rt.backend == "rocm"
+        h = rt.hipMalloc(1 << 20)
+        rt.hipMemcpyHostToDevice(h)
+        rt.hipLaunchKernel(kern())
+        rt.hipDeviceSynchronize()
+        assert rt.elapsed > 0
+
+    def test_hip_on_nvidia_is_shim(self):
+        rt = HipRuntime(V100)
+        assert rt.backend == "cuda-shim"
+
+    def test_hip_nvidia_overhead_is_tiny(self):
+        """The structural fact behind Figure 1: HIP ≈ CUDA on NVIDIA."""
+        k = kern(flops=1e11)
+
+        cuda = CudaRuntime(V100)
+        cuda.cudaLaunchKernel(k)
+        cuda.cudaDeviceSynchronize()
+
+        hip = HipRuntime(V100)
+        hip.hipLaunchKernel(k)
+        hip.hipDeviceSynchronize()
+
+        ratio = cuda.elapsed / hip.elapsed
+        assert 0.99 < ratio <= 1.0
+
+    def test_unsupported_cuda_features_raise(self):
+        rt = HipRuntime()
+        with pytest.raises(HipUnsupportedFeature):
+            rt.require_feature("cudaGraphLaunch")
+        rt.require_feature("cudaMalloc")  # supported: no raise
+
+
+class TestMacroLayer:
+    def test_generic_names_dispatch_cuda(self):
+        ml = MacroLayer(V100)
+        assert ml.backend_name == "cuda"
+        h = ml.gpuMalloc(1 << 16)
+        ml.gpuMemcpyHostToDevice(h)
+        ml.gpuLaunchKernel(kern())
+        ml.gpuDeviceSynchronize()
+        assert ml.elapsed > 0
+
+    def test_generic_names_dispatch_hip(self):
+        ml = MacroLayer(MI250X_GCD)
+        assert ml.backend_name == "hip"
+        h = ml.gpuMalloc(1 << 16)
+        ml.gpuFree(h)
+
+    def test_cuda_spelling_on_hip_backend(self):
+        """Code may remain in CUDA and run on AMD via macros (§2.1)."""
+        ml = MacroLayer(MI250X_GCD)
+        h = ml.cudaMalloc(1 << 16)
+        ml.cudaLaunchKernel(kern())
+        ml.cudaDeviceSynchronize()
+        ml.cudaFree(h)
+
+    def test_hip_spelling_on_cuda_backend(self):
+        ml = MacroLayer(V100)
+        h = ml.hipMalloc(1 << 16)
+        ml.hipFree(h)
+
+    def test_missing_parity_raises(self):
+        ml = MacroLayer(V100)
+        with pytest.raises(MissingApiParity):
+            ml.cudaGraphLaunch  # noqa: B018 - attribute resolution is the call
+
+
+class TestDeviceLayer:
+    def test_cuda_layer(self):
+        layer = make_device_layer("cuda")
+        layer.set_device(0)
+        h = layer.device_malloc(1 << 16)
+        layer.device_launch(kern())
+        layer.device_synchronize()
+        layer.device_free(h)
+        assert layer.backend == "cuda"
+
+    def test_hip_layer(self):
+        layer = make_device_layer("hip")
+        s = layer.device_stream_create()
+        layer.device_launch(kern(), stream=s)
+        layer.device_stream_synchronize(s)
+        assert layer.backend == "hip"
+        assert layer.elapsed > 0
+
+    def test_same_source_both_backends(self):
+        """The COAST property: one code path, two compile-time backends."""
+        def app(layer):
+            h = layer.device_malloc(1 << 20)
+            layer.device_launch(kern(flops=1e11))
+            layer.device_synchronize()
+            layer.device_free(h)
+            return layer.elapsed
+
+        t_cuda = app(make_device_layer("cuda"))
+        t_hip = app(make_device_layer("hip"))
+        assert t_cuda > 0 and t_hip > 0
+        assert t_hip < t_cuda  # MI250X GCD beats V100 on this kernel
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            make_device_layer("opencl")

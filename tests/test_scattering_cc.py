@@ -1,0 +1,198 @@
+"""Tests for the LSMS scattering and NuCCOR coupled-cluster substrates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cc import (
+    BlockMatrix,
+    HostPlugin,
+    PairingModel,
+    PluginFactory,
+    power_iteration_ground_state,
+    random_channel_basis,
+)
+from repro.cc.tensor import ChannelBasis
+from repro.scattering import (
+    assemble_kkr_matrix,
+    build_liz,
+    make_t_matrices,
+    structure_constant_block,
+    tau_central_block,
+)
+
+
+class TestScattering:
+    def test_liz_grows_with_radius(self):
+        small = build_liz(1.0, 1.1)
+        large = build_liz(1.0, 2.1)
+        assert small.n_atoms < large.n_atoms
+        assert small.positions[0] @ small.positions[0] == 0.0  # central atom first
+
+    def test_liz_sorted_by_distance(self):
+        liz = build_liz(1.0, 2.5)
+        d = np.linalg.norm(liz.positions, axis=1)
+        assert np.all(np.diff(d) >= -1e-12)
+
+    def test_structure_constant_reciprocity(self):
+        r = np.array([0.7, -1.2, 0.4])
+        g1 = structure_constant_block(r, 12)
+        g2 = structure_constant_block(-r, 12)
+        np.testing.assert_allclose(g1, g2.T, atol=1e-12)
+
+    def test_structure_constant_decays(self):
+        g_near = structure_constant_block(np.array([1.0, 0, 0]), 8)
+        g_far = structure_constant_block(np.array([4.0, 0, 0]), 8)
+        assert np.abs(g_far).max() < np.abs(g_near).max()
+
+    def test_zero_vector_rejected(self):
+        with pytest.raises(ValueError):
+            structure_constant_block(np.zeros(3), 8)
+
+    def test_kkr_matrix_shape_and_diagonal(self):
+        liz = build_liz(1.0, 1.2, block_size=4)
+        t = make_t_matrices(liz)
+        m = assemble_kkr_matrix(liz, t)
+        assert m.shape == (liz.matrix_size, liz.matrix_size)
+        b = liz.block_size
+        np.testing.assert_allclose(m[:b, :b], np.eye(b), atol=1e-12)
+
+    def test_solver_paths_agree(self):
+        """zblock_lu and rocSOLVER-style LU give the same tau block (§3.2)."""
+        liz = build_liz(1.0, 1.8, block_size=8)
+        t = make_t_matrices(liz, seed=3)
+        tau_lu = tau_central_block(liz, t, method="getrf")
+        tau_blk = tau_central_block(liz, t, method="zblock_lu")
+        np.testing.assert_allclose(tau_lu, tau_blk, atol=1e-9)
+
+    def test_unknown_method_rejected(self):
+        liz = build_liz(1.0, 1.2, block_size=4)
+        with pytest.raises(ValueError):
+            tau_central_block(liz, make_t_matrices(liz), method="cholesky")
+
+    def test_t_matrix_shape_validated(self):
+        liz = build_liz(1.0, 1.2, block_size=4)
+        with pytest.raises(ValueError):
+            assemble_kkr_matrix(liz, np.zeros((2, 4, 4), dtype=complex))
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=2, max_value=8))
+    def test_property_solver_agreement(self, block_size):
+        liz = build_liz(1.0, 1.2, block_size=block_size)
+        t = make_t_matrices(liz, seed=block_size)
+        np.testing.assert_allclose(
+            tau_central_block(liz, t, method="getrf"),
+            tau_central_block(liz, t, method="zblock_lu"),
+            atol=1e-9,
+        )
+
+
+class TestPairingModel:
+    def test_hamiltonian_symmetric(self):
+        h = PairingModel(n_levels=5, n_pairs=2, g=0.6).hamiltonian()
+        np.testing.assert_allclose(h, h.T)
+
+    def test_zero_pairing_gives_reference_energy(self):
+        m = PairingModel(n_levels=5, n_pairs=2, g=0.0)
+        assert m.exact_ground_state() == pytest.approx(m.reference_energy())
+
+    def test_correlation_energy_negative_and_grows_with_g(self):
+        e1 = PairingModel(n_levels=6, n_pairs=3, g=0.2).correlation_energy()
+        e2 = PairingModel(n_levels=6, n_pairs=3, g=0.8).correlation_energy()
+        assert e1 < 0 and e2 < e1
+
+    def test_power_iteration_matches_exact(self):
+        m = PairingModel(n_levels=6, n_pairs=3, g=0.5)
+        h = m.hamiltonian()
+        e, v, _ = power_iteration_ground_state(h, tol=1e-12)
+        assert e == pytest.approx(m.exact_ground_state(), abs=1e-6)
+        np.testing.assert_allclose(h @ v, e * v, atol=1e-4)
+
+    def test_power_iteration_through_plugin(self):
+        """The NuCCOR pattern: domain solver + pluggable backend."""
+        m = PairingModel(n_levels=5, n_pairs=2, g=0.4)
+        h = m.hamiltonian()
+        plugin = PluginFactory().create("rocblas")
+        e, _, _ = power_iteration_ground_state(h, matvec=lambda v: plugin.matvec(h, v))
+        assert e == pytest.approx(m.exact_ground_state(), abs=1e-6)
+        assert plugin.elapsed > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PairingModel(n_levels=3, n_pairs=4)
+
+
+class TestBlockTensors:
+    def test_contraction_matches_dense(self):
+        rb = random_channel_basis(3, 4)
+        a = BlockMatrix(rb, rb).set_random(0)
+        b = BlockMatrix(rb, rb).set_random(1)
+        np.testing.assert_allclose(
+            a.contract(b).to_dense(), a.to_dense() @ b.to_dense(), atol=1e-12
+        )
+
+    def test_sparsity_savings(self):
+        rb = random_channel_basis(8, 4)
+        a = BlockMatrix(rb, rb)
+        assert a.sparsity_savings == pytest.approx(8.0)
+
+    def test_from_dense_checks_conservation(self):
+        rb = random_channel_basis(2, 2)
+        bad = np.ones((4, 4))  # couples different channels
+        with pytest.raises(ValueError, match="violates channel conservation"):
+            BlockMatrix.from_dense(bad, rb, rb)
+
+    def test_from_dense_roundtrip(self):
+        rb = random_channel_basis(3, 3)
+        a = BlockMatrix(rb, rb).set_random(7)
+        dense = a.to_dense()
+        b = BlockMatrix.from_dense(dense, rb, rb)
+        np.testing.assert_array_equal(b.to_dense(), dense)
+
+    def test_mismatched_contraction_rejected(self):
+        a = BlockMatrix(random_channel_basis(2, 3), random_channel_basis(2, 3))
+        b = BlockMatrix(random_channel_basis(3, 2), random_channel_basis(3, 2))
+        with pytest.raises(ValueError):
+            a.contract(b)
+
+    def test_unsorted_labels_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelBasis(labels=(1, 0, 1))
+
+    def test_norm(self):
+        rb = random_channel_basis(2, 2)
+        a = BlockMatrix(rb, rb).set_random(0)
+        assert a.norm() == pytest.approx(np.linalg.norm(a.to_dense()))
+
+
+class TestPluginFactory:
+    def test_builtin_plugins(self):
+        f = PluginFactory()
+        assert set(f.available) >= {"host", "cublas", "rocblas"}
+
+    def test_all_plugins_numerically_identical(self):
+        f = PluginFactory()
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=(16, 16)), rng.normal(size=(16, 16))
+        ref = f.create("host").gemm(a, b)
+        for name in ("cublas", "rocblas"):
+            np.testing.assert_allclose(f.create(name).gemm(a, b), ref)
+
+    def test_register_new_architecture(self):
+        """'Adding a new hardware architecture is just adding a plugin.'"""
+
+        class IntelPlugin(HostPlugin):
+            name = "oneapi"
+
+        f = PluginFactory()
+        f.register("oneapi", IntelPlugin)
+        assert isinstance(f.create("oneapi"), IntelPlugin)
+
+    def test_register_validates_interface(self):
+        f = PluginFactory()
+        with pytest.raises(TypeError):
+            f.register("bogus", dict)
+
+    def test_unknown_plugin(self):
+        with pytest.raises(KeyError):
+            PluginFactory().create("tpu")

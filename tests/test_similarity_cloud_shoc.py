@@ -1,0 +1,234 @@
+"""Tests for CoMet CCC, E3SM CRM/WENO, and the SHOC suite."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.benchsuite import SHOC_SUITE, run_benchmark_cuda, run_benchmark_hip
+from repro.cloud import (
+    advect_step,
+    arithmetic_intensity,
+    crm_kernel_ensemble,
+    crm_step_time,
+    linear2_reconstruct,
+    optimize_ensemble,
+    realtime_throughput,
+    weno5_reconstruct,
+)
+from repro.gpu.occupancy import compute_occupancy
+from repro.hardware.gpu import MI250X_GCD, V100
+from repro.similarity import (
+    ccc_from_counts,
+    ccc_gemm_flops,
+    ccc_kernel_spec,
+    ccc_similarity,
+    cooccurrence_counts_bruteforce,
+    cooccurrence_counts_gemm,
+    random_allele_data,
+)
+
+
+class TestCCC:
+    def test_gemm_counts_match_bruteforce(self):
+        data = random_allele_data(12, 40, seed=0)
+        np.testing.assert_array_equal(
+            cooccurrence_counts_gemm(data), cooccurrence_counts_bruteforce(data)
+        )
+
+    def test_fp16_path_is_exact(self):
+        """The reduced-precision claim: counts are exact in FP16 (§3.6)."""
+        data = random_allele_data(16, 200, seed=1)
+        np.testing.assert_array_equal(
+            cooccurrence_counts_gemm(data, fp16=True),
+            cooccurrence_counts_bruteforce(data),
+        )
+
+    def test_similarity_symmetric_and_bounded(self):
+        data = random_allele_data(10, 60, seed=2)
+        sim = ccc_similarity(data)
+        np.testing.assert_allclose(sim, sim.T, atol=1e-12)
+        assert np.all(sim >= 0.0) and np.all(sim <= 1.0)
+
+    def test_identical_vectors_maximize_similarity(self):
+        data = random_allele_data(6, 80, seed=3)
+        data[3] = data[0]
+        sim = ccc_similarity(data)
+        # pair (0,3) must be at least as similar as any pair involving 0
+        others = [sim[0, j] for j in range(6) if j not in (0, 3)]
+        assert sim[0, 3] >= max(others) - 1e-12
+
+    def test_counts_sum_to_fields(self):
+        data = random_allele_data(8, 33, seed=4)
+        counts = cooccurrence_counts_gemm(data)
+        np.testing.assert_allclose(counts.sum(axis=(0, 1)), 33.0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=2, max_value=10), st.integers(min_value=5, max_value=50))
+    def test_property_gemm_equals_bruteforce(self, n, m):
+        data = random_allele_data(n, m, seed=n * m)
+        np.testing.assert_array_equal(
+            cooccurrence_counts_gemm(data, fp16=True),
+            cooccurrence_counts_bruteforce(data),
+        )
+
+    def test_kernel_spec_is_matrix_engine_fp16(self):
+        spec = ccc_kernel_spec(4096, 1 << 16)
+        assert spec.uses_matrix_engine
+        assert spec.precision.value == "fp16"
+        assert ccc_gemm_flops(4096, 1 << 16) > 0
+
+
+class TestWeno:
+    @staticmethod
+    def cell_averages(n: int) -> tuple[np.ndarray, np.ndarray]:
+        xs = np.linspace(0, 2 * np.pi, n, endpoint=False)
+        h = 2 * np.pi / n
+        ubar = (np.cos(xs - h / 2) - np.cos(xs + h / 2)) / h
+        exact_faces = np.sin(xs + h / 2)
+        return ubar, exact_faces
+
+    def test_fifth_order_on_smooth_data(self):
+        errs = []
+        for n in (16, 32, 64):
+            ubar, exact = self.cell_averages(n)
+            errs.append(np.abs(weno5_reconstruct(ubar) - exact).max())
+        order1 = np.log2(errs[0] / errs[1])
+        order2 = np.log2(errs[1] / errs[2])
+        assert order1 > 4.5 and order2 > 4.5
+
+    def test_second_order_linear_scheme(self):
+        errs = []
+        for n in (32, 64):
+            ubar, exact = self.cell_averages(n)
+            errs.append(np.abs(linear2_reconstruct(ubar) - exact).max())
+        assert 1.5 < np.log2(errs[0] / errs[1]) < 2.5
+
+    def test_non_oscillatory_at_discontinuity(self):
+        u = np.zeros(64)
+        u[16:32] = 1.0
+        face = weno5_reconstruct(u)
+        assert face.min() > -1e-6 and face.max() < 1.0 + 1e-6
+
+    def test_advection_essentially_non_oscillatory(self):
+        """ENO means small bounded overshoots, never Gibbs-scale ones.
+
+        (The stepper is forward Euler, not SSP-RK3, so tiny over/undershoot
+        is expected; a linear 5th-order scheme would overshoot by ~10 %.)
+        """
+        u = np.zeros(64)
+        u[10:20] = 1.0
+        for _ in range(50):
+            u = advect_step(u, 0.3, scheme="weno5")
+        assert u.min() > -2e-2 and u.max() < 1.0 + 2e-2
+
+    def test_advection_conserves_mass(self):
+        rng = np.random.default_rng(0)
+        u = rng.uniform(0, 1, 32)
+        total = u.sum()
+        for _ in range(10):
+            u = advect_step(u, 0.4)
+        assert u.sum() == pytest.approx(total, rel=1e-12)
+
+    def test_intensity_claim(self):
+        """§3.5: WENO raises arithmetic intensity substantially."""
+        assert arithmetic_intensity("weno5") > 5 * arithmetic_intensity("linear2")
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            advect_step(np.zeros(8), 0.0)
+        with pytest.raises(ValueError):
+            advect_step(np.zeros(8), 0.5, scheme="upwind7")
+        with pytest.raises(ValueError):
+            arithmetic_intensity("spectral")
+
+
+class TestCrm:
+    def test_ensemble_shape(self):
+        ks = crm_kernel_ensemble(columns=16)
+        assert len(ks) == 42
+        assert any(k.registers_per_thread > 256 for k in ks)  # the WENO kernels
+
+    def test_optimization_removes_spills(self):
+        ks = crm_kernel_ensemble(columns=16)
+        opt = optimize_ensemble(ks, MI250X_GCD)
+        for k in opt:
+            assert not compute_occupancy(k, MI250X_GCD).spills
+
+    def test_optimization_reduces_launch_count(self):
+        ks = crm_kernel_ensemble(columns=16)
+        opt = optimize_ensemble(ks, MI250X_GCD)
+        assert len(opt) < len(ks)
+
+    def test_full_optimization_speeds_up_step(self):
+        """Fusion + fission + async streams + pool allocator (§3.5)."""
+        ks = crm_kernel_ensemble(columns=16)
+        opt = optimize_ensemble(ks, MI250X_GCD)
+        base = crm_step_time(ks, MI250X_GCD, same_stream_async=False,
+                             pool_allocator=False)
+        tuned = crm_step_time(opt, MI250X_GCD, same_stream_async=True,
+                              pool_allocator=True)
+        assert tuned.total < base.total / 3
+
+    def test_each_lever_helps_individually(self):
+        ks = crm_kernel_ensemble(columns=16)
+        base = crm_step_time(ks, MI250X_GCD, same_stream_async=False,
+                             pool_allocator=False)
+        only_async = crm_step_time(ks, MI250X_GCD, same_stream_async=True,
+                                   pool_allocator=False)
+        only_pool = crm_step_time(ks, MI250X_GCD, same_stream_async=False,
+                                  pool_allocator=True)
+        assert only_async.kernel_time < base.kernel_time
+        assert only_pool.allocation_time < base.allocation_time
+
+    def test_latency_matters_more_at_small_workloads(self):
+        """Strong scaling (§3.5): smaller per-GPU work = more latency-bound."""
+        def latency_share(columns: int) -> float:
+            ks = crm_kernel_ensemble(columns=columns)
+            t = crm_step_time(ks, MI250X_GCD, same_stream_async=False,
+                              pool_allocator=False)
+            launch = sum(
+                MI250X_GCD.kernel_launch_latency * k.launch_count for k in ks
+            )
+            return launch / t.total
+
+        assert latency_share(8) > latency_share(2048)
+
+    def test_throughput_metric(self):
+        assert realtime_throughput(0.01, dt_model_seconds=10.0) == pytest.approx(1000.0)
+        with pytest.raises(ValueError):
+            realtime_throughput(0.0)
+
+    def test_fuse_group_validated(self):
+        with pytest.raises(ValueError):
+            optimize_ensemble([], MI250X_GCD, fuse_group=0)
+
+
+class TestShocSuite:
+    def test_thirteen_benchmarks(self):
+        assert len(SHOC_SUITE) == 13
+        names = {b.name for b in SHOC_SUITE}
+        assert {"GEMM", "FFT", "MD", "Sort", "S3D", "Triad"} - names == {"Triad"}
+
+    def test_cuda_sources_are_pure_cuda(self):
+        for b in SHOC_SUITE:
+            assert "cuda" in b.cuda_source
+            assert "hip" not in b.cuda_source
+
+    def test_hip_runs_translated_source(self):
+        r = run_benchmark_hip(SHOC_SUITE[0])
+        assert r.backend == "hip"
+        assert r.total_ms > 0
+
+    def test_hip_within_a_percent_of_cuda(self):
+        """Figure 1's headline on every benchmark."""
+        for b in SHOC_SUITE:
+            rc = run_benchmark_cuda(b)
+            rh = run_benchmark_hip(b)
+            ratio = rc.total_ms / rh.total_ms
+            assert 0.97 < ratio <= 1.001, f"{b.name}: {ratio}"
+
+    def test_transfer_vs_kernel_split(self):
+        rc = run_benchmark_cuda(next(b for b in SHOC_SUITE if b.name == "GEMM"))
+        assert rc.transfer_ms > 0
+        assert rc.kernel_ms > 0
+        assert rc.total_ms == pytest.approx(rc.kernel_ms + rc.transfer_ms, rel=0.2)

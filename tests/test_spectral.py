@@ -1,0 +1,177 @@
+"""Tests for the GESTS substrate: distributed FFTs and the PSDNS solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware import FRONTIER, SUMMIT
+from repro.hardware.interconnect import SLINGSHOT_11
+from repro.mpisim import DecompositionError
+from repro.spectral import (
+    PencilFFT3D,
+    PseudoSpectralNS,
+    SlabFFT3D,
+    psdns_step_time,
+)
+
+
+def random_field(n: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(n, n, n)) + 1j * rng.normal(size=(n, n, n))
+
+
+class TestSlabFFT:
+    def test_forward_matches_fftn(self):
+        x = random_field(16)
+        s = SlabFFT3D(16, 4, fabric=SLINGSHOT_11)
+        spec = s.forward(s.scatter(x))
+        np.testing.assert_allclose(s.gather_spectrum(spec), np.fft.fftn(x), atol=1e-10)
+
+    def test_roundtrip(self):
+        x = random_field(16, seed=1)
+        s = SlabFFT3D(16, 8, fabric=SLINGSHOT_11)
+        back = s.inverse(s.forward(s.scatter(x)))
+        np.testing.assert_allclose(s.gather_slabs(back), x, atol=1e-10)
+
+    def test_one_transpose_per_direction(self):
+        s = SlabFFT3D(16, 4, fabric=SLINGSHOT_11)
+        s.forward(s.scatter(random_field(16)))
+        assert s.stats.transposes == 1
+        assert s.stats.comm_time > 0
+
+    def test_single_rank_no_op_still_correct(self):
+        x = random_field(8, seed=2)
+        s = SlabFFT3D(8, 1, fabric=SLINGSHOT_11)
+        spec = s.forward(s.scatter(x))
+        np.testing.assert_allclose(s.gather_spectrum(spec), np.fft.fftn(x), atol=1e-10)
+
+    def test_rank_limit_enforced(self):
+        with pytest.raises(DecompositionError):
+            SlabFFT3D(8, 16, fabric=SLINGSHOT_11)
+
+    def test_input_shape_validated(self):
+        s = SlabFFT3D(16, 4, fabric=SLINGSHOT_11)
+        with pytest.raises(ValueError):
+            s.scatter(np.zeros((8, 8, 8)))
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.sampled_from([(8, 2), (8, 4), (16, 4), (12, 3)]))
+    def test_property_roundtrip(self, cfg):
+        n, p = cfg
+        x = random_field(n, seed=n * p)
+        s = SlabFFT3D(n, p, fabric=SLINGSHOT_11)
+        np.testing.assert_allclose(
+            s.gather_slabs(s.inverse(s.forward(s.scatter(x)))), x, atol=1e-9
+        )
+
+
+class TestPencilFFT:
+    def test_forward_matches_fftn(self):
+        x = random_field(16, seed=3)
+        p = PencilFFT3D(16, 4, 4, fabric=SLINGSHOT_11)
+        spec = p.forward(p.scatter(x))
+        np.testing.assert_allclose(p.gather_spectrum(spec), np.fft.fftn(x), atol=1e-10)
+
+    def test_two_transposes(self):
+        p = PencilFFT3D(16, 2, 4, fabric=SLINGSHOT_11)
+        p.forward(p.scatter(random_field(16, seed=4)))
+        assert p.stats.transposes == 2
+
+    def test_pencils_exceed_slab_rank_limit(self):
+        # N=8 grid on 16 ranks is impossible for slabs but fine for pencils
+        p = PencilFFT3D(8, 4, 4, fabric=SLINGSHOT_11)
+        assert p.nranks == 16
+        x = random_field(8, seed=5)
+        spec = p.forward(p.scatter(x))
+        np.testing.assert_allclose(p.gather_spectrum(spec), np.fft.fftn(x), atol=1e-10)
+
+    def test_asymmetric_grid(self):
+        x = random_field(12, seed=6)
+        p = PencilFFT3D(12, 2, 6, fabric=SLINGSHOT_11)
+        spec = p.forward(p.scatter(x))
+        np.testing.assert_allclose(p.gather_spectrum(spec), np.fft.fftn(x), atol=1e-10)
+
+
+class TestPseudoSpectralNS:
+    def test_taylor_green_stays_divergence_free(self):
+        ns = PseudoSpectralNS(16, viscosity=0.05)
+        ns.set_taylor_green()
+        for _ in range(10):
+            ns.step(0.01)
+            assert ns.max_divergence() < 1e-10
+
+    def test_energy_decays_viscously(self):
+        ns = PseudoSpectralNS(16, viscosity=0.1)
+        ns.set_taylor_green()
+        e0 = ns.energy()
+        for _ in range(20):
+            ns.step(0.01)
+        assert ns.energy() < e0
+
+    def test_early_time_decay_rate_matches_stokes(self):
+        """Pure viscous decay of the TG mode: E ∝ exp(−2ν k² t), k²=3."""
+        nu = 0.2
+        ns = PseudoSpectralNS(16, viscosity=nu)
+        ns.set_taylor_green()
+        e0 = ns.energy()
+        t = 0.1
+        for _ in range(10):
+            ns.step(t / 10)
+        expected = e0 * np.exp(-2 * nu * 3.0 * t)
+        assert ns.energy() == pytest.approx(expected, rel=0.05)
+
+    def test_zero_viscosity_conserves_energy_short_time(self):
+        ns = PseudoSpectralNS(16, viscosity=0.0)
+        ns.set_taylor_green()
+        e0 = ns.energy()
+        for _ in range(5):
+            ns.step(0.005)
+        assert ns.energy() == pytest.approx(e0, rel=1e-3)
+
+    def test_custom_velocity_projected(self):
+        ns = PseudoSpectralNS(8)
+        rng = np.random.default_rng(0)
+        ns.set_velocity(*(rng.normal(size=(8, 8, 8)) for _ in range(3)))
+        assert ns.max_divergence() < 1e-10
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            PseudoSpectralNS(7)
+        ns = PseudoSpectralNS(8)
+        with pytest.raises(ValueError):
+            ns.step(-0.1)
+
+
+class TestPsdnsPerformance:
+    def test_frontier_fom_exceeds_summit_by_4to6x(self):
+        """The CAAR target (§3.3): FOM improvement >4x (measured >5x)."""
+        ts = psdns_step_time(SUMMIT, 18432, 18432, decomposition="slabs")
+        tf = psdns_step_time(FRONTIER, 32768, 32768, decomposition="slabs")
+        ratio = tf.fom(32768) / ts.fom(18432)
+        assert 3.5 < ratio < 6.5
+
+    def test_slabs_beat_pencils_at_same_ranks(self):
+        """One fewer transpose cycle (§3.3)."""
+        slab = psdns_step_time(FRONTIER, 8192, 8192, decomposition="slabs")
+        pencil = psdns_step_time(FRONTIER, 8192, 8192, decomposition="pencils")
+        assert slab.total < pencil.total
+
+    def test_pencils_reach_rank_counts_slabs_cannot(self):
+        with pytest.raises(DecompositionError):
+            psdns_step_time(FRONTIER, 4096, 8192, decomposition="slabs")
+        t = psdns_step_time(FRONTIER, 4096, 8192, decomposition="pencils")
+        assert t.total > 0
+
+    def test_cpu_machine_rejected(self):
+        from repro.hardware import CORI
+
+        with pytest.raises(ValueError):
+            psdns_step_time(CORI, 1024, 64)
+
+    def test_unknown_decomposition(self):
+        with pytest.raises(ValueError):
+            psdns_step_time(FRONTIER, 1024, 64, decomposition="bricks")
+
+    def test_fom_definition(self):
+        t = psdns_step_time(FRONTIER, 2048, 512)
+        assert t.fom(2048) == pytest.approx(2048.0**3 / t.total)
