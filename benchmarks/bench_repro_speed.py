@@ -1,0 +1,101 @@
+"""Smoke benchmark of the reproduction's *own* runtime (not the models).
+
+PR 1's tentpole moved per-cell stiff chemistry onto a batched BDF
+integrator (vectorized RHS sweeps, one-shot FD or generated analytic
+Jacobians, batched LU with Jacobian reuse — §3.8's CVODE+MAGMA motif).
+This bench measures that change where users feel it:
+
+* the reacting-flow coupled-physics advance (hydro + batched chemistry),
+  scalar loop vs batched path on the same ignition field;
+* the Figure 2 chemistry stage: a drm19-scale hot field advanced by both
+  paths.
+
+Results land in ``BENCH_repro_speed.json`` at the repo root so the
+speedups are recorded alongside the code.  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_repro_speed.py
+
+or through pytest (``python -m pytest benchmarks/bench_repro_speed.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.apps.pele import measured_chemistry_speedup
+from repro.hydro.euler1d import Euler1D
+from repro.hydro.reacting import ReactingFlow1D
+
+_RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_repro_speed.json"
+
+
+def _ignition_flow(*, batched: bool, n: int = 128) -> ReactingFlow1D:
+    hydro = Euler1D.sod(n)
+    hydro.rho[:] = 1.0
+    hydro.mom[:] = 0.0
+    hydro.ener[:] = 2.0
+    hot = slice(n // 2 - n // 4, n // 2 + n // 4)
+    hydro.ener[hot] = 6.0
+    flow = ReactingFlow1D(hydro=hydro, use_batched_chemistry=batched)
+    flow.concentrations[0, :] = 1.0  # H2
+    flow.concentrations[1, :] = 0.5  # O2
+    return flow
+
+
+def reacting_flow_speedup(*, n: int = 128, steps: int = 5) -> dict:
+    """Scalar vs batched chemistry inside the coupled-physics advance."""
+    timings = {}
+    states = {}
+    for batched in (False, True):
+        flow = _ignition_flow(batched=batched, n=n)
+        t0 = time.perf_counter()
+        for _ in range(steps):
+            flow.step()
+        timings[batched] = time.perf_counter() - t0
+        states[batched] = flow.concentrations.copy()
+    dev = float(np.abs(states[False] - states[True]).max())
+    return {
+        "ncells": n,
+        "steps": steps,
+        "t_scalar": timings[False],
+        "t_batched": timings[True],
+        "speedup": timings[False] / timings[True],
+        "max_abs_deviation": dev,
+    }
+
+
+def run_all(*, write: bool = True) -> dict:
+    report = {
+        "reacting_flow": reacting_flow_speedup(),
+        "figure2_chemistry_stage": measured_chemistry_speedup(
+            ncells=48, dt=1e-9, seed=0
+        ),
+    }
+    if write:
+        _RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def test_bench_repro_speed():
+    report = run_all()
+    rf = report["reacting_flow"]
+    fig2 = report["figure2_chemistry_stage"]
+    print(f"\nreacting flow ({rf['ncells']} cells x {rf['steps']} steps): "
+          f"scalar {rf['t_scalar']:.2f} s, batched {rf['t_batched']:.2f} s "
+          f"({rf['speedup']:.1f}x)")
+    print(f"figure2 chemistry stage ({fig2['ncells']} cells): "
+          f"scalar {fig2['t_scalar']:.2f} s, batched {fig2['t_batched']:.2f} s "
+          f"({fig2['speedup']:.1f}x)")
+    assert rf["max_abs_deviation"] < 1e-6
+    assert fig2["max_rel_deviation"] < 1e-6
+    assert rf["speedup"] >= 3.0
+    assert fig2["speedup"] >= 3.0
+
+
+if __name__ == "__main__":
+    out = run_all()
+    print(json.dumps(out, indent=2))

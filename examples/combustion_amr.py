@@ -61,6 +61,31 @@ def main() -> None:
           f"{res.stats.newton_iters} Newton iterations")
     print(f"  final state: {final}")
 
+    print("\n=== Batched chemistry: every cell at once (§3.8) ===")
+    import time
+
+    from repro.chem.codegen import compile_batched_kernels
+    from repro.ode import BatchedBdfIntegrator
+
+    kernels = compile_batched_kernels(mech)
+    rng = np.random.default_rng(0)
+    T_field = rng.uniform(1200.0, 1600.0, 64)
+    C_field = rng.uniform(0.05, 1.0, (64, mech.n_species))
+    batched = BatchedBdfIntegrator(
+        lambda t, c: kernels.rates(T_field, np.maximum(c, 0.0)),
+        jac=lambda t, c: kernels.jacobian(T_field, np.maximum(c, 0.0)),
+        rtol=1e-6, atol=1e-9,
+    )
+    t0 = time.perf_counter()
+    bres = batched.integrate(C_field, 0.0, 1e-4)
+    wall = time.perf_counter() - t0
+    s = bres.stats
+    print(f"  64 cells advanced together in {wall*1e3:.0f} ms: "
+          f"{s.steps} cell-steps in {s.step_rounds} lockstep rounds")
+    print(f"  {s.rhs_sweeps} batched RHS sweeps, {s.jac_builds} Jacobian "
+          f"builds, {s.cells_refactored} cell-LU refactorizations "
+          "(reuse does the rest)")
+
     print("\n=== Coupled reacting flow (PeleC-in-miniature) ===")
     from repro.hydro import ignition_demo
 

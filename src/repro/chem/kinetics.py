@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.chem.mechanism import Mechanism
+from repro.chem.mechanism import R_UNIV, Mechanism
 
 
 def production_rates(mech: Mechanism, T: float, conc: np.ndarray) -> np.ndarray:
@@ -95,6 +95,92 @@ def chemistry_rhs(mech: Mechanism, T: float):
 
     def rhs(t: float, conc: np.ndarray) -> np.ndarray:
         return production_rates(mech, T, np.maximum(conc, 0.0))
+
+    return rhs
+
+
+def production_rates_batch(mech: Mechanism, T, conc: np.ndarray) -> np.ndarray:
+    """ω̇ for a whole batch of cells at once (the paper's batched-RHS motif).
+
+    ``conc`` has shape (..., batch, n_species); ``T`` is a scalar or a
+    (batch,)-shaped per-cell temperature.  Leading axes broadcast, which is
+    what lets the batched integrator evaluate all finite-difference
+    Jacobian columns of every cell in a single sweep.
+    """
+    conc = np.asarray(conc, dtype=float)
+    if conc.shape[-1] != mech.n_species:
+        raise ValueError(
+            f"need trailing axis of {mech.n_species} concentrations, got {conc.shape}"
+        )
+    T = np.asarray(T, dtype=float)
+    wdot = np.zeros(np.broadcast_shapes(conc.shape[:-1], T.shape) + conc.shape[-1:])
+    for rx in mech.reactions:
+        kf = rx.A * T**rx.b * np.exp(-rx.Ea / (R_UNIV * T))
+        rate_f = kf * np.ones(conc.shape[:-1])
+        for s, nu in rx.reactants.items():
+            rate_f = rate_f * conc[..., s] ** nu
+        net = rate_f
+        if rx.reverse_A:
+            kr = rx.reverse_A * T**rx.reverse_b * np.exp(
+                -rx.reverse_Ea / (R_UNIV * T)
+            )
+            rate_r = kr * np.ones(conc.shape[:-1])
+            for s, nu in rx.products.items():
+                rate_r = rate_r * conc[..., s] ** nu
+            net = rate_f - rate_r
+        for s, nu in rx.reactants.items():
+            wdot[..., s] -= nu * net
+        for s, nu in rx.products.items():
+            wdot[..., s] += nu * net
+    return wdot
+
+
+def analytic_jacobian_batch(mech: Mechanism, T, conc: np.ndarray) -> np.ndarray:
+    """∂ω̇/∂C for a batch of cells: (batch, n, n) from (batch, n) states."""
+    conc = np.asarray(conc, dtype=float)
+    if conc.ndim != 2 or conc.shape[1] != mech.n_species:
+        raise ValueError(
+            f"need (batch, {mech.n_species}) concentrations, got {conc.shape}"
+        )
+    T = np.broadcast_to(np.asarray(T, dtype=float), conc.shape[:1])
+    n = mech.n_species
+    jac = np.zeros((conc.shape[0], n, n))
+    for rx in mech.reactions:
+        kf = rx.A * T**rx.b * np.exp(-rx.Ea / (R_UNIV * T))
+        for m in rx.reactants:
+            d = kf.copy()
+            for s, nu in rx.reactants.items():
+                if s == m:
+                    d *= nu * conc[:, s] ** (nu - 1)
+                else:
+                    d *= conc[:, s] ** nu
+            for s, nu in rx.reactants.items():
+                jac[:, s, m] -= nu * d
+            for s, nu in rx.products.items():
+                jac[:, s, m] += nu * d
+        if rx.reverse_A:
+            kr = rx.reverse_A * T**rx.reverse_b * np.exp(
+                -rx.reverse_Ea / (R_UNIV * T)
+            )
+            for m in rx.products:
+                d = kr.copy()
+                for s, nu in rx.products.items():
+                    if s == m:
+                        d *= nu * conc[:, s] ** (nu - 1)
+                    else:
+                        d *= conc[:, s] ** nu
+                for s, nu in rx.reactants.items():
+                    jac[:, s, m] += nu * d
+                for s, nu in rx.products.items():
+                    jac[:, s, m] -= nu * d
+    return jac
+
+
+def chemistry_rhs_batch(mech: Mechanism, T):
+    """A batched ODE right-hand side over all cells of a field at once."""
+
+    def rhs(t, conc: np.ndarray) -> np.ndarray:
+        return production_rates_batch(mech, T, np.maximum(conc, 0.0))
 
     return rhs
 

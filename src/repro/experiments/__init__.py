@@ -8,7 +8,12 @@ from repro.experiments.earlyaccess import (
     spock_scaling_study,
 )
 from repro.experiments.figure1 import Figure1Result, run_figure1
-from repro.experiments.figure2 import Figure2Result, run_figure2
+from repro.experiments.figure2 import (
+    Figure2MeasuredResult,
+    Figure2Result,
+    run_figure2,
+    run_figure2_measured,
+)
 from repro.experiments.intext import ALL_CLAIMS, IntextResult, run_intext
 from repro.experiments.runner import full_report, run_all
 from repro.experiments.table1 import Table1Result, run_table1
@@ -25,6 +30,7 @@ __all__ = [
     "spock_scaling_study",
     "ALL_CLAIMS",
     "Figure1Result",
+    "Figure2MeasuredResult",
     "Figure2Result",
     "IntextResult",
     "Table1Result",
@@ -33,6 +39,7 @@ __all__ = [
     "run_all",
     "run_figure1",
     "run_figure2",
+    "run_figure2_measured",
     "run_intext",
     "run_table1",
     "run_table2",

@@ -20,10 +20,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.chem.codegen import compile_batched_kernels
 from repro.chem.kinetics import chemistry_rhs
 from repro.chem.mechanism import Mechanism, h2_o2_mechanism
 from repro.hydro.euler1d import Euler1D
-from repro.ode import BdfIntegrator
+from repro.ode import BatchedBdfIntegrator, BdfIntegrator
 
 
 @dataclass
@@ -33,6 +34,12 @@ class ReactingFlow1D:
     ``concentrations`` has shape (n_species, n_cells); temperature is the
     local specific internal energy scaled by ``temperature_scale`` — a
     caloric model adequate for exercising the coupling.
+
+    By default the chemistry advance is *batched* (§3.8's CVODE+MAGMA
+    motif): all burning cells integrate simultaneously through generated
+    vectorized rates, analytic batched Jacobians, and batched LU Newton
+    solves.  ``use_batched_chemistry=False`` selects the original
+    cell-at-a-time scalar loop, kept as a reference ablation.
     """
 
     hydro: Euler1D
@@ -40,6 +47,7 @@ class ReactingFlow1D:
     concentrations: np.ndarray | None = None
     heat_release: float = 5.0e3  # energy per mole reacted into products
     temperature_scale: float = 300.0
+    use_batched_chemistry: bool = True
 
     def __post_init__(self) -> None:
         n = len(self.hydro.rho)
@@ -93,7 +101,49 @@ class ReactingFlow1D:
         np.maximum(self.concentrations, 0.0, out=self.concentrations)
 
     def _react(self, dt: float, *, ignition_temperature: float = 800.0) -> None:
-        """Per-cell stiff chemistry advance with heat release feedback."""
+        """Stiff chemistry advance with heat release feedback."""
+        if self.use_batched_chemistry:
+            self._react_batched(dt, ignition_temperature=ignition_temperature)
+        else:
+            self._react_scalar(dt, ignition_temperature=ignition_temperature)
+
+    def _burning_cells(self, ignition_temperature: float) -> np.ndarray:
+        """Indices of cells with active chemistry (hot, non-empty)."""
+        T = self.temperature()
+        hot = ((T >= ignition_temperature)
+               & (self.concentrations.sum(axis=0) >= 1e-12))
+        return np.flatnonzero(hot)
+
+    def _react_batched(self, dt: float, *, ignition_temperature: float) -> None:
+        """All burning cells advance in one batched BDF integration.
+
+        The paper's Pele recipe (§3.8): generated vectorized production
+        rates + analytic batched Jacobians + batched LU with Jacobian
+        reuse, instead of a Python loop of scalar integrations.
+        """
+        idx = self._burning_cells(ignition_temperature)
+        if idx.size == 0:
+            return
+        T_cells = self.temperature()[idx]
+        c0 = np.ascontiguousarray(self.concentrations[:, idx].T)  # (B, nspec)
+        kernels = compile_batched_kernels(self.mechanism)
+
+        def rhs(t, conc):
+            return kernels.rates(T_cells, np.maximum(conc, 0.0))
+
+        def jac(t, conc):
+            return kernels.jacobian(T_cells, np.maximum(conc, 0.0))
+
+        integ = BatchedBdfIntegrator(rhs, jac=jac, rtol=1e-5, atol=1e-9,
+                                     max_steps=20_000)
+        res = integ.integrate(c0, 0.0, dt)
+        # heat release ∝ product formation (H2O is species 2)
+        dq = self.heat_release * np.maximum(res.y[:, 2] - c0[:, 2], 0.0)
+        self.hydro.ener[idx] += dq
+        self.concentrations[:, idx] = np.maximum(res.y, 0.0).T
+
+    def _react_scalar(self, dt: float, *, ignition_temperature: float) -> None:
+        """The original cell-at-a-time advance (reference ablation)."""
         T = self.temperature()
         for i in range(self.concentrations.shape[1]):
             if T[i] < ignition_temperature:

@@ -1,5 +1,10 @@
-"""CVODE-like ODE substrate: BDF, matrix-free GMRES, explicit RK."""
+"""CVODE-like ODE substrate: BDF (scalar + batched), GMRES, explicit RK."""
 
+from repro.ode.batched import (
+    BatchedBdfIntegrator,
+    BatchedBdfResult,
+    BatchedBdfStats,
+)
 from repro.ode.bdf import (
     BdfIntegrator,
     BdfResult,
@@ -11,6 +16,9 @@ from repro.ode.erk import ErkResult, rk4, rk45
 from repro.ode.gmres import GmresResult, gmres, gmres_flops
 
 __all__ = [
+    "BatchedBdfIntegrator",
+    "BatchedBdfResult",
+    "BatchedBdfStats",
     "BdfIntegrator",
     "BdfResult",
     "BdfStats",

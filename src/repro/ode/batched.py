@@ -1,0 +1,348 @@
+"""Batched BDF integration: every cell of a field advances at once (§3.8).
+
+The paper attributes a large share of Pele's 75× improvement to moving
+per-cell stiff chemistry onto batched solvers — CVODE with MAGMA batched
+dense LU, Jacobian reuse, and vectorized RHS sweeps.  This module is that
+motif made real for the reproduction: instead of a Python loop running a
+scalar :class:`~repro.ode.bdf.BdfIntegrator` per cell, a single
+:class:`BatchedBdfIntegrator` advances stacked states ``(ncells, nspec)``
+with
+
+* one vectorized RHS sweep per Newton iteration covering every cell;
+* one-shot finite-difference Jacobians — all columns of all cells are
+  perturbed together via broadcasting, no per-column Python loop;
+* batched Newton solves through :mod:`repro.linalg.batched` LU factors
+  held and reused across Newton iterations and steps (refreshed only when
+  convergence degrades, the Jacobian ages out, or gamma drifts);
+* per-cell adaptive step/error control with masked convergence: cells
+  that converge or finish freeze while stiff cells keep iterating.
+
+The per-cell algorithm is the same variable-step BDF(1,2) with modified
+Newton as the scalar integrator, so results agree within solver
+tolerances (the ablation bench asserts this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.linalg.batched import batched_lu_factor, batched_lu_solve_factored
+from repro.ode.bdf import IntegrationError
+
+#: Batched RHS: ``f(t, Y)`` with ``Y`` of shape (..., ncells, n); ``t`` a
+#: scalar or (ncells,) array.  Leading axes must broadcast (they carry the
+#: stacked Jacobian perturbations).
+BatchRhsFn = Callable[[object, np.ndarray], np.ndarray]
+#: Batched Jacobian: ``jac(t, Y)`` mapping (ncells, n) -> (ncells, n, n).
+BatchJacFn = Callable[[object, np.ndarray], np.ndarray]
+
+
+@dataclass
+class BatchedBdfStats:
+    """Aggregate work counters for one batched integration.
+
+    ``rhs_sweeps`` counts *batched* evaluations — each one covers every
+    cell, which is the whole point: compare against ``ncells ×`` the
+    scalar integrator's ``rhs_evals``.
+    """
+
+    ncells: int = 0
+    steps: int = 0                # accepted BDF steps, summed over cells
+    step_rounds: int = 0          # lockstep step-attempt rounds
+    rhs_sweeps: int = 0           # batched RHS evaluations
+    jac_builds: int = 0           # batched Jacobian constructions
+    cells_refactored: int = 0     # LU factorizations, summed over cells
+    newton_iters: int = 0         # batched Newton sweeps
+    error_test_failures: int = 0  # per-cell step rejections
+    newton_failures: int = 0      # per-cell Newton failures
+
+
+@dataclass
+class BatchedBdfResult:
+    t: np.ndarray  # (ncells,) final times (== t_end)
+    y: np.ndarray  # (ncells, n) final states
+    stats: BatchedBdfStats
+
+
+class BatchedBdfIntegrator:
+    """Variable-step BDF(1,2) over a batch of independent stiff systems."""
+
+    def __init__(
+        self,
+        rhs: BatchRhsFn,
+        *,
+        jac: BatchJacFn | None = None,
+        rtol: float = 1e-6,
+        atol: float | np.ndarray = 1e-9,
+        max_steps: int = 100_000,
+        newton_tol: float = 0.1,
+        max_newton: int = 6,
+        max_jac_age: int = 50,
+        gamma_drift_tol: float = 0.3,
+    ) -> None:
+        self.rhs = rhs
+        self.jac = jac
+        self.rtol = rtol
+        self.atol = atol
+        self.max_steps = max_steps
+        self.newton_tol = newton_tol
+        self.max_newton = max_newton
+        self.max_jac_age = max_jac_age
+        self.gamma_drift_tol = gamma_drift_tol
+
+    # -- internals ------------------------------------------------------------
+
+    def _error_weights(self, Y: np.ndarray) -> np.ndarray:
+        return 1.0 / (self.rtol * np.abs(Y) + self.atol)
+
+    @staticmethod
+    def _wrms(E: np.ndarray, W: np.ndarray) -> np.ndarray:
+        """Per-cell weighted RMS norm over the species axis."""
+        return np.sqrt(np.mean((E * W) ** 2, axis=-1))
+
+    def _build_jacobian(self, t, Y: np.ndarray,
+                        stats: BatchedBdfStats) -> np.ndarray:
+        """(ncells, n, n) Jacobians: analytic, or one-shot vectorized FD.
+
+        The FD path stacks all n perturbed copies of the whole batch into
+        a (n, ncells, n) array and evaluates the RHS once — the batched
+        equivalent of perturbing every Jacobian column of every cell in a
+        single kernel launch.
+        """
+        stats.jac_builds += 1
+        if self.jac is not None:
+            return np.asarray(self.jac(t, Y))
+        B, n = Y.shape
+        F0 = self.rhs(t, Y)
+        stats.rhs_sweeps += 1
+        eps = np.sqrt(np.finfo(float).eps)
+        dy = eps * np.maximum(np.abs(Y), 1e-8)
+        Yp = np.broadcast_to(Y, (n, B, n)).copy()
+        cols = np.arange(n)
+        Yp[cols, :, cols] += dy.T
+        F = np.asarray(self.rhs(t, Yp))  # (n, B, n)
+        stats.rhs_sweeps += n
+        return (np.transpose(F, (1, 2, 0)) - F0[:, :, None]) / dy[:, None, :]
+
+    def _check_underflow(self, h: np.ndarray, t: np.ndarray,
+                         mask: np.ndarray) -> None:
+        bad = mask & (h < 1e-14 * np.maximum(np.abs(t), self._t_scale))
+        if bad.any():
+            i = int(np.flatnonzero(bad)[0])
+            raise IntegrationError(
+                f"step size underflow in cell {i} at t={t[i]:.3e}"
+            )
+
+    def _error_estimate(self, past_t, past_y, past_cnt, have_prev,
+                        t_new, Yn, h, W) -> np.ndarray:
+        """Per-cell WRMS local-truncation-error estimate.
+
+        Mirrors the scalar integrator: the highest-order Newton divided
+        difference of the last implicit solution points, with the number
+        of points selected per cell (ragged histories are handled by
+        computing all three candidate differences vectorized and picking
+        per cell)."""
+        pts_t = np.concatenate([past_t, t_new[:, None]], axis=1)       # (B, 5)
+        pts_y = np.concatenate([past_y, Yn[:, None, :]], axis=1)       # (B, 5, n)
+        order = np.where(have_prev, 2, 1)
+        npts = np.minimum(past_cnt, order + 1) + 1                     # in {2,3,4}
+        dds = {}
+        for m in (2, 3, 4):
+            Tm = pts_t[:, -m:]
+            Yv = pts_y[:, -m:, :]
+            for level in range(1, m):
+                denom = (Tm[:, level:] - Tm[:, :-level])[:, :, None]
+                Yv = (Yv[:, 1:, :] - Yv[:, :-1, :]) / denom
+            dds[m] = Yv[:, 0, :]
+        dd = np.where((npts == 2)[:, None], dds[2],
+                      np.where((npts == 3)[:, None], dds[3], dds[4]))
+        err_vec = np.where((order == 1)[:, None],
+                           h[:, None] ** 2 * dd,
+                           (4.0 / 3.0) * h[:, None] ** 3 * dd)
+        return self._wrms(err_vec, W)
+
+    def _newton(self, t_new, Y, Y_prev, Y_pred, a0, a1, a2, h, gamma, active,
+                J, J_valid, jac_age, lu, piv, gamma_fact, fact_valid,
+                stats) -> tuple[np.ndarray, np.ndarray]:
+        """Masked modified-Newton solve across the batch.
+
+        Returns ``(converged, Yn)``.  LU factors persist across calls and
+        are refactored per cell only when the Jacobian was refreshed or
+        gamma drifted; a cell that fails with a *reused* Jacobian gets one
+        fresh-Jacobian retry (CVODE's recovery ladder) before its step is
+        abandoned.
+        """
+        B, n = Y.shape
+        diag = np.arange(n)
+        Yn = np.where(active[:, None], Y_pred, Y)
+        W = self._error_weights(Y_pred)
+        converged = np.zeros(B, dtype=bool)
+        need = active.copy()
+        for attempt in range(2):
+            stale = need & (~J_valid | (jac_age >= self.max_jac_age)
+                            if attempt == 0 else need)
+            if stale.any():
+                J_new = self._build_jacobian(t_new, Yn, stats)
+                J[stale] = J_new[stale]
+                J_valid |= stale
+                jac_age[stale] = 0
+            drifted = ~fact_valid | (
+                np.abs(gamma - gamma_fact)
+                > self.gamma_drift_tol * np.maximum(np.abs(gamma_fact), 1e-300)
+            )
+            idx = np.flatnonzero(need & (stale | drifted))
+            if idx.size:
+                M = -gamma[idx, None, None] * J[idx]
+                M[:, diag, diag] += 1.0
+                lu[idx], piv[idx] = batched_lu_factor(M)
+                gamma_fact[idx] = gamma[idx]
+                fact_valid[idx] = True
+                stats.cells_refactored += idx.size
+            unconv = need & ~converged
+            for _ in range(self.max_newton):
+                if not unconv.any():
+                    break
+                F = self.rhs(t_new, Yn)
+                stats.rhs_sweeps += 1
+                stats.newton_iters += 1
+                res = Yn + ((a1[:, None] * Y + a2[:, None] * Y_prev)
+                            - h[:, None] * F) / a0[:, None]
+                uidx = np.flatnonzero(unconv)
+                delta = batched_lu_solve_factored(lu[uidx], piv[uidx],
+                                                  -res[uidx])
+                Yn[uidx] += delta
+                newly = self._wrms(delta, W[uidx]) < self.newton_tol
+                converged[uidx[newly]] = True
+                unconv[uidx[newly]] = False
+            failed = need & ~converged
+            if not failed.any():
+                break
+            retry = failed & (jac_age > 0)
+            if attempt == 0 and retry.any():
+                need = retry
+                Yn[retry] = Y_pred[retry]  # restart the retried iteration
+                continue
+            break
+        failed = active & ~converged
+        J_valid[failed] = False
+        return converged, Yn
+
+    # -- public ---------------------------------------------------------------
+
+    def integrate(self, y0: np.ndarray, t0: float, t_end: float) -> BatchedBdfResult:
+        """Advance every cell of ``y0`` (ncells, n) from *t0* to *t_end*."""
+        if t_end <= t0:
+            raise IntegrationError("t_end must exceed t0")
+        Y = np.array(y0, dtype=float, copy=True)
+        if Y.ndim != 2:
+            raise IntegrationError(f"batched state must be 2-D, got {Y.shape}")
+        B, n = Y.shape
+        stats = BatchedBdfStats(ncells=B)
+
+        with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+            t = np.full(B, float(t0))
+            F0 = np.asarray(self.rhs(t0, Y))
+            stats.rhs_sweeps += 1
+            scale = np.sqrt(np.sum((F0 * self._error_weights(Y)) ** 2,
+                                   axis=1)) + 1e-30
+            h = np.minimum((t_end - t0) / 100.0, 0.01 / scale)
+            # interval-relative step floor: microsecond chemistry advances
+            # legitimately need h far below 1e-14
+            self._t_scale = max(abs(t0), abs(t_end))
+            h = np.maximum(h, 1e-14 * self._t_scale)
+
+            Y_prev = np.zeros_like(Y)
+            h_prev = np.ones(B)
+            have_prev = np.zeros(B, dtype=bool)
+
+            # rolling accepted-point history for error estimation; fake
+            # pre-history times are distinct so unused divided differences
+            # stay finite (they are never selected)
+            past_t = np.full((B, 4), t0) - np.arange(4, 0, -1)[None, :]
+            past_t[:, -1] = t0
+            past_y = np.zeros((B, 4, n))
+            past_y[:, -1] = Y
+            past_cnt = np.ones(B, dtype=int)
+
+            J = np.zeros((B, n, n))
+            J_valid = np.zeros(B, dtype=bool)
+            jac_age = np.zeros(B, dtype=int)
+            lu = np.zeros((B, n, n))
+            piv = np.zeros((B, n), dtype=np.intp)
+            gamma_fact = np.zeros(B)
+            fact_valid = np.zeros(B, dtype=bool)
+
+            steps_per_cell = np.zeros(B, dtype=int)
+            tiny = 1e-14 * self._t_scale
+            done = t >= t_end - tiny
+
+            while not done.all():
+                stats.step_rounds += 1
+                if steps_per_cell.max() >= self.max_steps:
+                    i = int(steps_per_cell.argmax())
+                    raise IntegrationError(
+                        f"max_steps={self.max_steps} exceeded in cell {i} "
+                        f"at t={t[i]:.3e}"
+                    )
+                if stats.step_rounds > 10 * self.max_steps:
+                    raise IntegrationError("lockstep round budget exceeded")
+                active = ~done
+                h = np.where(active, np.minimum(h, t_end - t), h)
+                t_new = t + h
+                rho = np.where(have_prev, h / h_prev, 1.0)
+                a0 = np.where(have_prev, (1 + 2 * rho) / (1 + rho), 1.0)
+                a1 = np.where(have_prev, -(1 + rho), -1.0)
+                a2 = np.where(have_prev, rho**2 / (1 + rho), 0.0)
+                gamma = h / a0
+                Y_pred = np.where(have_prev[:, None],
+                                  Y + rho[:, None] * (Y - Y_prev),
+                                  Y + h[:, None] * F0)
+
+                converged, Yn = self._newton(
+                    t_new, Y, Y_prev, Y_pred, a0, a1, a2, h, gamma, active,
+                    J, J_valid, jac_age, lu, piv, gamma_fact, fact_valid,
+                    stats)
+                newton_failed = active & ~converged
+                if newton_failed.any():
+                    stats.newton_failures += int(newton_failed.sum())
+                    h = np.where(newton_failed, 0.25 * h, h)
+                    self._check_underflow(h, t, newton_failed)
+
+                test = active & converged
+                if not test.any():
+                    continue
+                W = self._error_weights(Y)
+                err = self._error_estimate(past_t, past_y, past_cnt,
+                                           have_prev, t_new, Yn, h, W)
+                order = np.where(have_prev, 2, 1)
+                factor = 0.9 * np.maximum(err, 1e-300) ** (-1.0 / (order + 1))
+                reject = test & (err > 1.0)
+                accept = test & ~reject
+                if reject.any():
+                    stats.error_test_failures += int(reject.sum())
+                    h = np.where(reject, h * np.maximum(0.1, factor), h)
+                    self._check_underflow(h, t, reject)
+                if accept.any():
+                    stats.steps += int(accept.sum())
+                    steps_per_cell[accept] += 1
+                    jac_age[accept] += 1
+                    Y_prev = np.where(accept[:, None], Y, Y_prev)
+                    h_prev = np.where(accept, h, h_prev)
+                    t = np.where(accept, t_new, t)
+                    Y = np.where(accept[:, None], Yn, Y)
+                    past_t[accept, :-1] = past_t[accept, 1:]
+                    past_t[accept, -1] = t[accept]
+                    past_y[accept, :-1, :] = past_y[accept, 1:, :]
+                    past_y[accept, -1, :] = Y[accept]
+                    past_cnt[accept] = np.minimum(past_cnt[accept] + 1, 4)
+                    have_prev |= accept
+                    grow = np.where(err > 0,
+                                    np.minimum(5.0, np.maximum(0.2, factor)),
+                                    5.0)
+                    h = np.where(accept, h * grow, h)
+                    done = t >= t_end - tiny
+
+        return BatchedBdfResult(t=t, y=Y, stats=stats)

@@ -74,15 +74,26 @@ def _divided_difference(points: list[tuple[float, np.ndarray]]) -> np.ndarray:
 
 
 def _numerical_jacobian(f: RhsFn, t: float, y: np.ndarray, fy: np.ndarray,
-                        stats: BdfStats) -> np.ndarray:
+                        stats: BdfStats, *, columnwise: bool = False) -> np.ndarray:
+    """Finite-difference Jacobian; one vectorized sweep when the RHS allows.
+
+    With ``columnwise=True`` the RHS is evaluated once on an (n, n) matrix
+    whose column j is ``y + dy_j e_j`` — the batched-perturbation trick the
+    batched integrator uses across cells (no per-column Python loop).
+    """
     n = y.size
-    J = np.empty((n, n))
     eps = np.sqrt(np.finfo(float).eps)
+    dy = eps * np.maximum(np.abs(y), 1e-8)
+    if columnwise:
+        Y = y[:, None] + np.diag(dy)
+        F = np.asarray(f(t, Y))
+        stats.rhs_evals += n
+        return (F - fy[:, None]) / dy[None, :]
+    J = np.empty((n, n))
     for j in range(n):
-        dy = eps * max(abs(y[j]), 1e-8)
         yp = y.copy()
-        yp[j] += dy
-        J[:, j] = (f(t, yp) - fy) / dy
+        yp[j] += dy[j]
+        J[:, j] = (f(t, yp) - fy) / dy[j]
         stats.rhs_evals += 1
     return J
 
@@ -101,6 +112,8 @@ class BdfIntegrator:
         max_steps: int = 100_000,
         newton_tol: float = 0.1,
         max_newton: int = 6,
+        max_jac_age: int = 50,
+        gamma_drift_tol: float = 0.3,
     ) -> None:
         self.rhs = rhs
         self.jac = jac
@@ -110,6 +123,18 @@ class BdfIntegrator:
         self.max_steps = max_steps
         self.newton_tol = newton_tol
         self.max_newton = max_newton
+        self.max_jac_age = max_jac_age
+        self.gamma_drift_tol = gamma_drift_tol
+        # CVODE-style reuse cache: Jacobian + Newton matrix held across
+        # steps until convergence degrades, the step count ages it out, or
+        # gamma drifts too far from the value it was assembled with.
+        self._J: np.ndarray | None = None
+        self._M: np.ndarray | None = None
+        self._gamma_M: float | None = None
+        self._jac_age = 0
+        self._jac_stale = True
+        # None = unprobed; True/False = RHS accepts column-stacked states
+        self._rhs_columnwise: bool | None = None
 
     # -- internals ------------------------------------------------------------
 
@@ -119,50 +144,114 @@ class BdfIntegrator:
     def _wrms(self, e: np.ndarray, w: np.ndarray) -> float:
         return float(np.sqrt(np.mean((e * w) ** 2)))
 
-    def _newton_solve(self, t_new: float, y_pred: np.ndarray, gamma: float,
-                      psi: Callable[[np.ndarray], np.ndarray],
-                      stats: BdfStats) -> np.ndarray | None:
-        """Solve y - gamma f(t,y) = rhs_terms via modified Newton.
+    def _probe_columnwise(self, t: float, y: np.ndarray, fy: np.ndarray) -> bool:
+        """Decide (once) whether the RHS evaluates column-stacked states.
 
-        ``psi(y)`` returns the BDF residual; the iteration matrix is
-        ``I - gamma J``.
+        The vectorized FD Jacobian passes all n perturbed states as the
+        columns of an (n, n) matrix.  Componentwise RHS expressions (the
+        common case: ``A @ y``, chemistry rates, Robertson) broadcast
+        correctly; anything else is detected by comparing column 0 against
+        a direct scalar evaluation and falls back to the column loop.
         """
-        y = y_pred.copy()
-        w = self._error_weights(y_pred)
-        J = None
-        M = None
-        for _ in range(self.max_newton):
-            stats.newton_iters += 1
-            res = psi(y)
-            if self.linear_solver is LinearSolver.DENSE:
-                if M is None:
-                    fy = self.rhs(t_new, y)
-                    stats.rhs_evals += 1
-                    J = (self.jac(t_new, y) if self.jac is not None
-                         else _numerical_jacobian(self.rhs, t_new, y, fy, stats))
-                    stats.jac_evals += 1
-                    M = np.eye(y.size) - gamma * J
-                delta = np.linalg.solve(M, -res)
+        if self._rhs_columnwise is None:
+            n = y.size
+            eps = np.sqrt(np.finfo(float).eps)
+            dy = eps * np.maximum(np.abs(y), 1e-8)
+            try:
+                F = np.asarray(self.rhs(t, y[:, None] + np.diag(dy)))
+                y0 = y.copy()
+                y0[0] += dy[0]
+                f0 = self.rhs(t, y0)
+                ok = (F.shape == (n, n)
+                      and np.allclose(F[:, 0], f0, rtol=1e-12, atol=1e-300,
+                                      equal_nan=True))
+            except Exception:
+                ok = False
+            self._rhs_columnwise = bool(ok)
+        return self._rhs_columnwise
+
+    def _newton_matrix(self, t_new: float, y: np.ndarray, gamma: float,
+                       stats: BdfStats, *, force_fresh: bool) -> np.ndarray:
+        """Return I - gamma J, reusing the cached Jacobian/matrix when safe."""
+        need_jac = (force_fresh or self._J is None or self._jac_stale
+                    or self._jac_age >= self.max_jac_age)
+        if need_jac:
+            if self.jac is not None:
+                self._J = self.jac(t_new, y)
             else:
                 fy = self.rhs(t_new, y)
                 stats.rhs_evals += 1
+                self._J = _numerical_jacobian(
+                    self.rhs, t_new, y, fy, stats,
+                    columnwise=self._probe_columnwise(t_new, y, fy))
+            stats.jac_evals += 1
+            self._jac_age = 0
+            self._jac_stale = False
+            self._M = None
+        gamma_drifted = (self._gamma_M is None or abs(gamma / self._gamma_M - 1.0)
+                         > self.gamma_drift_tol)
+        if self._M is None or gamma_drifted:
+            self._M = np.eye(y.size) - gamma * self._J
+            self._gamma_M = gamma
+        return self._M
 
-                def jv(v: np.ndarray) -> np.ndarray:
-                    """Finite-difference J·v, matrix-free."""
-                    sigma = 1e-7 * max(np.linalg.norm(y), 1.0) / max(np.linalg.norm(v), 1e-30)
-                    stats.rhs_evals += 1
-                    return (self.rhs(t_new, y + sigma * v) - fy) / sigma
+    def _newton_solve(self, t_new: float, y_pred: np.ndarray, gamma: float,
+                      psi: Callable[[np.ndarray], np.ndarray],
+                      stats: BdfStats) -> np.ndarray | None:
+        """Solve the BDF nonlinear system via modified Newton.
 
-                def mop(v: np.ndarray) -> np.ndarray:
-                    return v - gamma * jv(v)
+        ``psi(y)`` returns the BDF residual *scaled by 1/a0* so its exact
+        Jacobian is ``I - gamma J`` — the iteration matrix the dense path
+        factors and the CVODE convention that makes Jacobian reuse sound.
+        A failed iteration with a reused Jacobian triggers one fresh-J
+        retry before the step is abandoned (CVODE's recovery ladder).
+        """
+        if self.linear_solver is LinearSolver.DENSE:
+            attempts = 2 if (self._jac_age > 0 or self._jac_stale
+                             or self._J is None) else 1
+            for attempt in range(attempts):
+                M = self._newton_matrix(t_new, y_pred, gamma, stats,
+                                        force_fresh=attempt > 0)
+                y = y_pred.copy()
+                w = self._error_weights(y_pred)
+                for _ in range(self.max_newton):
+                    stats.newton_iters += 1
+                    res = psi(y)
+                    delta = np.linalg.solve(M, -res)
+                    y = y + delta
+                    if self._wrms(delta, w) < self.newton_tol:
+                        return y
+                if attempt + 1 < attempts:
+                    continue  # retry once with a freshly built Jacobian
+            self._jac_stale = True
+            stats.newton_failures += 1
+            return None
 
-                sol = gmres(mop, -res, tol=1e-4 * self.newton_tol, restart=20,
-                            maxiter=200)
-                stats.linear_iters += sol.iterations
-                if not sol.converged:
-                    stats.newton_failures += 1
-                    return None
-                delta = sol.x
+        # matrix-free GMRES path (PeleC-style)
+        y = y_pred.copy()
+        w = self._error_weights(y_pred)
+        for _ in range(self.max_newton):
+            stats.newton_iters += 1
+            res = psi(y)
+            fy = self.rhs(t_new, y)
+            stats.rhs_evals += 1
+
+            def jv(v: np.ndarray) -> np.ndarray:
+                """Finite-difference J·v, matrix-free."""
+                sigma = 1e-7 * max(np.linalg.norm(y), 1.0) / max(np.linalg.norm(v), 1e-30)
+                stats.rhs_evals += 1
+                return (self.rhs(t_new, y + sigma * v) - fy) / sigma
+
+            def mop(v: np.ndarray) -> np.ndarray:
+                return v - gamma * jv(v)
+
+            sol = gmres(mop, -res, tol=1e-4 * self.newton_tol, restart=20,
+                        maxiter=200)
+            stats.linear_iters += sol.iterations
+            if not sol.converged:
+                stats.newton_failures += 1
+                return None
+            delta = sol.x
             y = y + delta
             if self._wrms(delta, w) < self.newton_tol:
                 return y
@@ -179,6 +268,11 @@ class BdfIntegrator:
             raise IntegrationError("t_end must exceed t0")
         y0 = np.asarray(y0, dtype=float)
         stats = BdfStats()
+        self._J = None
+        self._M = None
+        self._gamma_M = None
+        self._jac_age = 0
+        self._jac_stale = True
         t = t0
         y = y0.copy()
         f0 = self.rhs(t, y)
@@ -187,7 +281,10 @@ class BdfIntegrator:
         h = first_step if first_step is not None else min(
             (t_end - t0) / 100.0, 0.01 / scale
         )
-        h = max(h, 1e-14)
+        # step floor relative to the integration interval, not to O(1):
+        # microsecond chemistry advances legitimately need h ~ 1e-16
+        h_floor = 1e-14 * max(abs(t0), abs(t_end))
+        h = max(h, h_floor)
 
         t_hist: list[float] = [t0]
         y_hist: list[np.ndarray] = [y0.copy()]
@@ -230,7 +327,9 @@ class BdfIntegrator:
                          h=h, t_new=t_new) -> np.ndarray:
                     r = self.rhs(t_new, yn)
                     stats.rhs_evals += 1
-                    return a0 * yn + a1 * y + a2 * yp - h * r
+                    # scaled by 1/a0 so the residual Jacobian is exactly
+                    # I - gamma J, matching the factored iteration matrix
+                    return yn + (a1 * y + a2 * yp - h * r) / a0
 
                 # predictor: linear extrapolation
                 y_pred = y + rho * (y - y_prev)
@@ -239,7 +338,7 @@ class BdfIntegrator:
 
             if y_new is None:
                 h *= 0.25
-                if h < 1e-14 * max(abs(t), 1.0):
+                if h < 1e-14 * max(abs(t), abs(t_end)):
                     raise IntegrationError(f"step size underflow at t={t:.3e}")
                 continue
 
@@ -260,19 +359,23 @@ class BdfIntegrator:
             if err > 1.0:
                 stats.error_test_failures += 1
                 h *= max(0.1, 0.9 * err ** (-1.0 / (order + 1)))
-                if h < 1e-14 * max(abs(t), 1.0):
+                if h < 1e-14 * max(abs(t), abs(t_end)):
                     raise IntegrationError(f"step size underflow at t={t:.3e}")
                 continue
 
             # accept
             stats.steps += 1
+            self._jac_age += 1
+            first_accept = y_prev is None
             y_prev, h_prev = y, h
             t, y = t_new, y_new
             past.append((t, y.copy()))
             if len(past) > 4:
                 past.pop(0)
-            f0 = self.rhs(t, y)
-            stats.rhs_evals += 1
+            if first_accept:
+                # f0 only feeds the BDF1 predictor; BDF2 extrapolates
+                f0 = self.rhs(t, y)
+                stats.rhs_evals += 1
             if record_history:
                 t_hist.append(t)
                 y_hist.append(y.copy())
