@@ -1,6 +1,5 @@
 """Ablation benches for the design choices DESIGN.md calls out."""
 
-import pytest
 
 from repro.apps import lsms
 from repro.gpu import Device, KernelSpec, UnifiedMemory, fuse

@@ -1,0 +1,145 @@
+"""Resilience-subsystem bench: what checkpointing actually costs.
+
+Measures, on the real reproduction code (wall clock, not models):
+
+* snapshot serialization/restore latency for the Figure 2 Pele campaign
+  state — the real-time cost a recovery pays before replay starts;
+* the simulated checkpoint-overhead fraction of a fault-injected
+  campaign run at the Young/Daly interval, with the failure-free wall
+  clock as the baseline.
+
+Results merge into ``BENCH_repro_speed.json`` (existing keys are
+preserved).  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_resilience.py
+
+or through pytest (``python -m pytest benchmarks/bench_resilience.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.apps.pele import PeleChemistryCampaign
+from repro.resilience import (
+    CheckpointCostModel,
+    FaultInjector,
+    FaultKind,
+    ResilientRunner,
+    decode_snapshot,
+    encode_snapshot,
+    young_daly_interval,
+)
+
+_RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_repro_speed.json"
+
+
+def checkpoint_latency(*, ncells: int = 32, repeats: int = 20) -> dict:
+    """Real wall-clock cost of snapshot/encode and decode/restore for the
+    Figure 2 campaign state (the recovery-path critical section)."""
+    app = PeleChemistryCampaign(ncells=ncells, seed=0)
+    app.step()  # measure a mid-campaign state, not the pristine one
+
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        blob = encode_snapshot(app.snapshot())
+    t_snapshot = (time.perf_counter() - t0) / repeats
+
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        app.restore(decode_snapshot(blob))
+    t_restore = (time.perf_counter() - t0) / repeats
+
+    restored = encode_snapshot(app.snapshot())
+    return {
+        "ncells": ncells,
+        "snapshot_bytes": len(blob),
+        "t_snapshot": t_snapshot,
+        "t_restore": t_restore,
+        "round_trip_exact": restored == blob,
+    }
+
+
+def campaign_overhead(*, nsteps: int = 60, mtbf: float = 40.0,
+                      seed: int = 43) -> dict:
+    """Simulated overhead fraction of a fault-injected Pele campaign at
+    the Young/Daly interval, vs. the failure-free run of the same job."""
+    cost = CheckpointCostModel(latency=0.5, restart_cost=5.0)
+
+    def campaign() -> PeleChemistryCampaign:
+        return PeleChemistryCampaign(ncells=8, seed=1)
+
+    probe = campaign()
+    delta = cost.write_time(len(encode_snapshot(probe.snapshot())))
+    interval = max(1, round(young_daly_interval(delta, mtbf) / probe.step_cost))
+
+    clean_app = campaign()
+    clean = ResilientRunner(clean_app, checkpoint_interval=interval,
+                            cost_model=cost).run(nsteps)
+
+    app = campaign()
+    injector = FaultInjector(rng=np.random.default_rng(seed),
+                             mtbf={FaultKind.RANK_FAILURE: mtbf})
+    stats = ResilientRunner(app, checkpoint_interval=interval,
+                            injector=injector, cost_model=cost,
+                            max_retries=50, backoff_base=0.0).run(nsteps)
+
+    recovery_latency = (stats.recovery_time / stats.recoveries
+                        if stats.recoveries else 0.0)
+    return {
+        "nsteps": nsteps,
+        "checkpoint_interval": interval,
+        "mtbf": mtbf,
+        "recoveries": stats.recoveries,
+        "steps_replayed": stats.steps_replayed,
+        "checkpoint_overhead_fraction": clean.overhead_fraction,
+        "faulty_overhead_fraction": stats.overhead_fraction,
+        "recovery_latency": recovery_latency,
+        "wall_clock_inflation": stats.wall_clock / clean.wall_clock,
+        "bit_identical": bool(
+            encode_snapshot(app.snapshot())
+            == encode_snapshot(clean_app.snapshot())
+        ),
+    }
+
+
+def run_all(*, write: bool = True) -> dict:
+    report = {
+        "resilience_checkpoint_latency": checkpoint_latency(),
+        "resilience_campaign_overhead": campaign_overhead(),
+    }
+    if write:
+        merged = {}
+        if _RESULT_PATH.exists():
+            merged = json.loads(_RESULT_PATH.read_text())
+        merged.update(report)
+        _RESULT_PATH.write_text(json.dumps(merged, indent=2) + "\n")
+    return report
+
+
+def test_bench_resilience():
+    report = run_all()
+    lat = report["resilience_checkpoint_latency"]
+    camp = report["resilience_campaign_overhead"]
+    print(f"\ncheckpoint ({lat['snapshot_bytes']} B): snapshot "
+          f"{lat['t_snapshot']*1e6:.0f} us, restore {lat['t_restore']*1e6:.0f} us")
+    print(f"campaign: ckpt every {camp['checkpoint_interval']} steps, "
+          f"{camp['recoveries']} recoveries, overhead "
+          f"{camp['faulty_overhead_fraction']:.1%} "
+          f"(clean {camp['checkpoint_overhead_fraction']:.1%}), "
+          f"recovery latency {camp['recovery_latency']:.1f} s")
+    assert lat["round_trip_exact"]
+    assert lat["t_snapshot"] < 0.1 and lat["t_restore"] < 0.1
+    assert camp["bit_identical"]
+    assert camp["recoveries"] >= 1
+    assert camp["checkpoint_overhead_fraction"] < camp["faulty_overhead_fraction"]
+    assert camp["wall_clock_inflation"] >= 1.0
+
+
+if __name__ == "__main__":
+    out = run_all()
+    print(json.dumps(out, indent=2))

@@ -100,6 +100,55 @@ def main() -> None:
         print(f"  {date}  {machine:9s} {state:18s} {t:.3e} s/cell/step")
     print(f"  total improvement: {pele.total_improvement():.1f}x (paper: ~75x)")
 
+    print("\n=== Surviving node failures: the campaign through the "
+          "resilience layer ===")
+    from repro.resilience import (
+        CheckpointCostModel,
+        FaultInjector,
+        FaultKind,
+        ResilientRunner,
+    )
+    from repro.hydro.reacting import ReactingFlow1D
+
+    class ReactingFlowApp:
+        """Adapter: the reacting-flow solver as a resilient-runner app."""
+
+        snapshot_kind = ReactingFlow1D.snapshot_kind
+        snapshot_version = ReactingFlow1D.snapshot_version
+
+        def __init__(self, flow):
+            self.flow = flow
+
+        def step(self) -> float:
+            self.flow.step(chem_dt=2e-6)
+            return 30.0  # simulated seconds per coupled step at scale
+
+        def snapshot(self):
+            return self.flow.snapshot()
+
+        def restore(self, snap) -> None:
+            self.flow.restore(snap)
+
+    reference = ReactingFlowApp(ignition_demo(32, steps=0))
+    ResilientRunner(reference, checkpoint_interval=2).run(6)
+
+    app = ReactingFlowApp(ignition_demo(32, steps=0))
+    injector = FaultInjector(
+        rng=np.random.default_rng(7),
+        mtbf={FaultKind.RANK_FAILURE: 70.0},
+    )
+    runner = ResilientRunner(
+        app, checkpoint_interval=2, injector=injector,
+        cost_model=CheckpointCostModel(restart_cost=5.0), max_retries=20,
+    )
+    stats = runner.run(6)
+    print(f"  {stats.describe()}")
+    identical = (
+        np.array_equal(app.flow.concentrations, reference.flow.concentrations)
+        and np.array_equal(app.flow.hydro.ener, reference.flow.hydro.ener)
+    )
+    print(f"  final flow state bit-identical to failure-free run: {identical}")
+
 
 if __name__ == "__main__":
     main()

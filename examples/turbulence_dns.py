@@ -11,9 +11,8 @@ projects the paper-scale FOM (18432^3 Summit reference vs 32768^3 on
 import numpy as np
 
 from repro.apps import gests
-from repro.hardware import FRONTIER, SUMMIT
 from repro.hardware.interconnect import SLINGSHOT_11
-from repro.spectral import PseudoSpectralNS, SlabFFT3D, psdns_step_time
+from repro.spectral import PseudoSpectralNS, SlabFFT3D
 
 
 def main() -> None:

@@ -2,12 +2,13 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
 from repro.amr.box import Box, BoxArray, chop_domain
+from repro.resilience.snapshot import Snapshot, require_kind
 
 
 @dataclass
@@ -66,6 +67,52 @@ class AmrHierarchy:
             current_domain = current_domain.refine(self.ratio)
             current_tagged = [b for b in level.boxes if tag_fn(b.coarsen(
                 self.ratio ** (len(self.levels) - 1)))]
+
+    # -- checkpoint/restart -------------------------------------------------
+
+    snapshot_kind = "amr.hierarchy"
+    snapshot_version = 1
+
+    def snapshot(self) -> Snapshot:
+        """Level structure as packed (nboxes, 6) lo/hi coordinate arrays —
+        the grids a restarted AMR run needs before it can place data."""
+        levels = []
+        for level in self.levels:
+            coords = np.array(
+                [b.lo + b.hi for b in level.boxes], dtype=np.int64
+            ).reshape(len(level.boxes), 6)
+            levels.append({
+                "boxes": coords,
+                "ratio_to_coarser": int(level.ratio_to_coarser),
+            })
+        return Snapshot(self.snapshot_kind, self.snapshot_version, {
+            "domain": np.array(self.domain.lo + self.domain.hi, dtype=np.int64),
+            "max_levels": int(self.max_levels),
+            "max_grid_size": int(self.max_grid_size),
+            "ratio": int(self.ratio),
+            "levels": levels,
+        })
+
+    def restore(self, snap: Snapshot) -> None:
+        require_kind(snap, self)
+        p = snap.payload
+        d = p["domain"]
+        self.domain = Box(lo=tuple(int(v) for v in d[:3]),
+                          hi=tuple(int(v) for v in d[3:]))
+        self.max_levels = p["max_levels"]
+        self.max_grid_size = p["max_grid_size"]
+        self.ratio = p["ratio"]
+        self.levels = [
+            AmrLevel(
+                boxes=BoxArray(tuple(
+                    Box(lo=tuple(int(v) for v in row[:3]),
+                        hi=tuple(int(v) for v in row[3:]))
+                    for row in lv["boxes"]
+                )),
+                ratio_to_coarser=lv["ratio_to_coarser"],
+            )
+            for lv in p["levels"]
+        ]
 
     def composite_cells(self) -> int:
         """Total cells over all levels (the AMR work measure)."""

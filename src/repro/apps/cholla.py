@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.gpu.kernel import KernelSpec
 from repro.hardware.gpu import MI250X_GCD, V100, GPUSpec, Precision

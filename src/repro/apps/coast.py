@@ -15,7 +15,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.graph.tuning import AutotuneResult, TileAutotuner
-from repro.hardware.catalog import FRONTIER, SUMMIT
 from repro.hardware.gpu import MI250X, V100
 
 #: Fraction of the model-roofline rate the production kernel sustains

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.gpu.perfmodel import time_kernel
-from repro.hardware.catalog import FRONTIER, SUMMIT
+from repro.hardware.catalog import FRONTIER
 from repro.hardware.gpu import MI250X, V100, GPUSpec
 from repro.similarity.ccc import ccc_kernel_spec
 

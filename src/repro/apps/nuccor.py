@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.cc.plugins import CublasPlugin, PluginFactory, RocblasPlugin
+from repro.cc.plugins import PluginFactory
 from repro.gpu.perfmodel import time_kernel
 from repro.hardware.gpu import MI250X, V100, GPUSpec
 from repro.linalg.blas import gemm_kernel_spec

@@ -37,8 +37,13 @@ from repro.chem.kinetics import (
     jacobian_flop_count,
     rates_flop_count,
 )
-from repro.chem.mechanism import Mechanism, drm19_like_mechanism
+from repro.chem.mechanism import (
+    Mechanism,
+    drm19_like_mechanism,
+    h2_o2_mechanism,
+)
 from repro.ode import BatchedBdfIntegrator, BdfIntegrator
+from repro.resilience.snapshot import Snapshot, require_kind
 from repro.gpu.kernel import KernelSpec
 from repro.gpu.perfmodel import time_kernel_sequence
 from repro.hardware.catalog import CORI, EAGLE, FRONTIER, SUMMIT, THETA
@@ -160,6 +165,91 @@ def measured_chemistry_speedup(cfg: PeleConfig = PeleConfig(), *,
         "speedup": t_scalar / t_batched,
         "max_rel_deviation": float(np.abs(res.y - y_scalar).max() / scale),
     }
+
+
+_CAMPAIGN_MECHANISMS = {
+    "h2-o2": h2_o2_mechanism,
+    "drm19": drm19_like_mechanism,
+}
+
+
+class PeleChemistryCampaign:
+    """A checkpointable PeleC-style campaign: the Figure 2 workload as a
+    long-running stateful job.
+
+    Each ``step`` advances the whole hot reacting field by ``dt_chem``
+    through the batched BDF integrator (the cvode-batched code state) and
+    returns the *simulated* cost of that step on one node of the paper's
+    2020 Summit configuration — the number the resilience runner charges
+    against MTBF.  State is exactly ``(T, C, steps_done)``; the chemistry
+    advance is deterministic, so replay-after-restore reproduces the
+    failure-free trajectory bit for bit.
+    """
+
+    snapshot_kind = "apps.pele.campaign"
+    snapshot_version = 1
+
+    def __init__(self, *, ncells: int = 16, dt_chem: float = 5e-7,
+                 seed: int = 0, mechanism: str = "h2-o2",
+                 rtol: float = 1e-6, atol: float = 1e-9) -> None:
+        if mechanism not in _CAMPAIGN_MECHANISMS:
+            raise ValueError(
+                f"unknown mechanism {mechanism!r}; "
+                f"known: {sorted(_CAMPAIGN_MECHANISMS)}"
+            )
+        self.mechanism_name = mechanism
+        self.mechanism = _CAMPAIGN_MECHANISMS[mechanism]()
+        self.dt_chem = float(dt_chem)
+        self.rtol = rtol
+        self.atol = atol
+        rng = np.random.default_rng(seed)
+        self.T = rng.uniform(1200.0, 1600.0, ncells)
+        self.C = rng.uniform(0.05, 1.0, (ncells, self.mechanism.n_species))
+        self.steps_done = 0
+        # simulated per-step cost: one cvode-batched step on a 2020
+        # Summit node (drm19-sized chemistry, the Figure 2 workload)
+        self.step_cost = single_node_step_time(SUMMIT, "cvode-batched")
+
+    def step(self) -> float:
+        kernels = compile_batched_kernels(self.mechanism)
+
+        def rhs(t, conc):
+            return kernels.rates(self.T, np.maximum(conc, 0.0))
+
+        def jac(t, conc):
+            return kernels.jacobian(self.T, np.maximum(conc, 0.0))
+
+        integ = BatchedBdfIntegrator(rhs, jac=jac, rtol=self.rtol,
+                                     atol=self.atol, max_steps=20_000)
+        self.C = np.maximum(integ.integrate(self.C, 0.0, self.dt_chem).y, 0.0)
+        self.steps_done += 1
+        return self.step_cost
+
+    def snapshot(self) -> Snapshot:
+        return Snapshot(self.snapshot_kind, self.snapshot_version, {
+            "mechanism": self.mechanism_name,
+            "dt_chem": self.dt_chem,
+            "rtol": float(self.rtol),
+            "atol": float(self.atol),
+            "T": self.T,
+            "C": self.C,
+            "steps_done": int(self.steps_done),
+        })
+
+    def restore(self, snap: Snapshot) -> None:
+        require_kind(snap, self)
+        p = snap.payload
+        if p["mechanism"] != self.mechanism_name:
+            raise ValueError(
+                f"snapshot is a {p['mechanism']!r} campaign, "
+                f"this one is {self.mechanism_name!r}"
+            )
+        self.dt_chem = p["dt_chem"]
+        self.rtol = p["rtol"]
+        self.atol = p["atol"]
+        self.T = p["T"].copy()
+        self.C = p["C"].copy()
+        self.steps_done = p["steps_done"]
 
 
 def chemistry_flops_per_cell(mech: Mechanism, *, cvode: bool) -> float:

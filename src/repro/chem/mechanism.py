@@ -7,7 +7,7 @@ mass-action kinetics with modified-Arrhenius coefficients.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

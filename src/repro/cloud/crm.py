@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from repro.gpu.kernel import KernelSpec, fission, fuse
 from repro.gpu.memory import DeviceAllocator, PoolAllocator
 from repro.gpu.occupancy import compute_occupancy
-from repro.gpu.perfmodel import time_kernel, time_kernel_sequence
+from repro.gpu.perfmodel import time_kernel_sequence
 from repro.hardware.gpu import GPUSpec, Precision
 
 

@@ -8,7 +8,7 @@ HIP≈CUDA result structural rather than accidental.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.gpu.kernel import KernelSpec
 from repro.gpu.memory import Allocation, DeviceAllocator
@@ -53,6 +53,13 @@ class Device:
     def free(self, alloc: Allocation) -> None:
         self.allocator.free(alloc)
         self.clock.host_busy(self.allocator.alloc_latency)
+
+    def reserve_remaining_memory(self, *, tag: str = "reserved") -> list[Allocation]:
+        """Exhaust the device heap (fault injection: a leak or a
+        neighbouring tenant); ``free`` the returned allocations to recover."""
+        allocs = self.allocator.reserve_remaining(tag=tag)
+        self.clock.host_busy(self.allocator.alloc_latency)
+        return allocs
 
     # -- transfers ----------------------------------------------------------
 

@@ -19,7 +19,7 @@ Two structural transformations from the paper are implemented here:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.hardware.gpu import Precision
 

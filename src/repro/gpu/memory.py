@@ -16,7 +16,7 @@ simulated-time cost so the perf models can charge allocation latency.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 class OutOfDeviceMemory(RuntimeError):
@@ -111,6 +111,23 @@ class DeviceAllocator:
             else:
                 merged.append((o, s))
         self._free = merged
+
+    def reserve_remaining(self, *, tag: str = "reserved") -> list[Allocation]:
+        """Claim every free range in one sweep (fault injection: the
+        memory pressure that makes the next real ``malloc`` raise
+        :class:`OutOfDeviceMemory`).  Returns the claimed allocations so
+        the caller can ``free`` them to release the pressure."""
+        allocs: list[Allocation] = []
+        for off, sz in self._free:
+            alloc = Allocation(offset=off, size=sz, tag=tag)
+            self._live[off] = alloc
+            self._used += sz
+            allocs.append(alloc)
+        self._free = []
+        self.peak_bytes = max(self.peak_bytes, self._used)
+        self.alloc_calls += 1
+        self.simulated_time += self.alloc_latency
+        return allocs
 
     def live_allocations(self) -> list[Allocation]:
         return list(self._live.values())

@@ -11,7 +11,7 @@ the AMReX asynchronous ghost exchange.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass

@@ -9,7 +9,6 @@ the communicator prices every broadcast.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np

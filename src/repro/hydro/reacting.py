@@ -25,6 +25,7 @@ from repro.chem.kinetics import chemistry_rhs
 from repro.chem.mechanism import Mechanism, h2_o2_mechanism
 from repro.hydro.euler1d import Euler1D
 from repro.ode import BatchedBdfIntegrator, BdfIntegrator
+from repro.resilience.snapshot import Snapshot, require_kind
 
 
 @dataclass
@@ -57,6 +58,48 @@ class ReactingFlow1D:
             raise ValueError(
                 f"concentrations must be ({self.mechanism.n_species}, {n})"
             )
+
+    # -- checkpoint/restart -----------------------------------------------------
+
+    snapshot_kind = "hydro.reacting_flow1d"
+    snapshot_version = 1
+
+    def snapshot(self) -> Snapshot:
+        """Full solver state: hydro conservatives + species field + knobs.
+
+        The mechanism itself is configuration, not state — restore
+        validates its shape rather than rebuilding it from bytes.
+        """
+        return Snapshot(self.snapshot_kind, self.snapshot_version, {
+            "rho": self.hydro.rho,
+            "mom": self.hydro.mom,
+            "ener": self.hydro.ener,
+            "dx": float(self.hydro.dx),
+            "gamma": float(self.hydro.eos.gamma),
+            "concentrations": self.concentrations,
+            "heat_release": float(self.heat_release),
+            "temperature_scale": float(self.temperature_scale),
+            "use_batched_chemistry": bool(self.use_batched_chemistry),
+            "n_species": int(self.mechanism.n_species),
+        })
+
+    def restore(self, snap: Snapshot) -> None:
+        require_kind(snap, self)
+        p = snap.payload
+        if p["n_species"] != self.mechanism.n_species:
+            raise ValueError(
+                f"snapshot has {p['n_species']} species, mechanism has "
+                f"{self.mechanism.n_species}"
+            )
+        self.hydro.rho = p["rho"].copy()
+        self.hydro.mom = p["mom"].copy()
+        self.hydro.ener = p["ener"].copy()
+        self.hydro.dx = p["dx"]
+        self.hydro.eos = type(self.hydro.eos)(gamma=p["gamma"])
+        self.concentrations = p["concentrations"].copy()
+        self.heat_release = p["heat_release"]
+        self.temperature_scale = p["temperature_scale"]
+        self.use_batched_chemistry = p["use_batched_chemistry"]
 
     # -- diagnostics ------------------------------------------------------------
 

@@ -23,7 +23,7 @@ same data access, same divergence, same preprocessing fix.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -1,6 +1,12 @@
 """Simulated MPI: communicator with real data semantics + Hockney cost models."""
 
-from repro.mpisim.comm import CommError, CommStats, PendingOp, SimComm
+from repro.mpisim.comm import (
+    CommError,
+    CommStats,
+    PendingOp,
+    RankFailedError,
+    SimComm,
+)
 from repro.mpisim.costmodel import (
     INTRA_NODE,
     LinkParameters,
@@ -32,6 +38,7 @@ __all__ = [
     "INTRA_NODE",
     "LinkParameters",
     "PencilDecomposition",
+    "RankFailedError",
     "PendingOp",
     "SimComm",
     "SlabDecomposition",

@@ -21,7 +21,7 @@ Clock semantics:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 import numpy as np
@@ -33,6 +33,15 @@ from repro.mpisim.topology import Topology
 
 class CommError(RuntimeError):
     pass
+
+
+class RankFailedError(CommError):
+    """An operation touched a failed rank (ULFM-style detection: the
+    failure surfaces at the next communication involving the dead rank)."""
+
+    def __init__(self, ranks: Sequence[int]) -> None:
+        self.ranks = tuple(int(r) for r in ranks)
+        super().__init__(f"rank(s) {list(self.ranks)} have failed")
 
 
 @dataclass
@@ -80,7 +89,32 @@ class SimComm:
         self.topology = Topology(nranks=nranks, ranks_per_node=ranks_per_node, fabric=fabric)
         self.device_buffers = device_buffers
         self.clocks = np.zeros(nranks, dtype=float)
+        self.failed = np.zeros(nranks, dtype=bool)
         self.stats = CommStats()
+
+    # -- rank failure (fault injection) -----------------------------------------
+
+    def fail_rank(self, rank: int) -> None:
+        """Mark *rank* dead; detection happens at the next operation that
+        involves it (the way MPI jobs actually learn about node loss)."""
+        if not 0 <= rank < self.nranks:
+            raise CommError(f"rank {rank} out of range")
+        self.failed[rank] = True
+
+    def restore_rank(self, rank: int) -> None:
+        """Replace a failed rank; it rejoins at the current global time."""
+        if not 0 <= rank < self.nranks:
+            raise CommError(f"rank {rank} out of range")
+        self.failed[rank] = False
+        self.clocks[rank] = float(self.clocks.max())
+
+    def _check_alive(self, participants: Sequence[int] | None = None) -> None:
+        dead = (self.failed if participants is None
+                else self.failed[list(participants)])
+        if dead.any():
+            ranks = (np.flatnonzero(self.failed) if participants is None
+                     else [r for r in participants if self.failed[r]])
+            raise RankFailedError(list(ranks))
 
     # -- clock helpers ---------------------------------------------------------
 
@@ -111,6 +145,7 @@ class SimComm:
 
     def _sync_collective(self, nbytes: float, time_fn: Callable[..., float],
                          *, participants: Sequence[int] | None = None) -> None:
+        self._check_alive(participants)
         ranks = range(self.nranks) if participants is None else participants
         p = len(list(ranks)) if participants is not None else self.nranks
         link = self.topology.internode_link(device_buffers=self.device_buffers)
@@ -128,6 +163,7 @@ class SimComm:
         """Blocking matched send/recv; returns the payload at the receiver."""
         if src == dst:
             raise CommError("sendrecv with src == dst")
+        self._check_alive([src, dst])
         link = self.topology.link(src, dst, device_buffers=self.device_buffers)
         t = link.p2p_time(nbytes)
         done = max(self.clocks[src], self.clocks[dst]) + t
@@ -142,6 +178,7 @@ class SimComm:
         """Nonblocking transfer: completion time computed now, applied at wait."""
         if src == dst:
             raise CommError("isendrecv with src == dst")
+        self._check_alive([src, dst])
         link = self.topology.link(src, dst, device_buffers=self.device_buffers)
         t = link.p2p_time(nbytes)
         done = max(self.clocks[src], self.clocks[dst]) + t
@@ -212,6 +249,7 @@ class SimComm:
         transpose behind local FFT passes."""
         if len(matrix) != self.nranks or any(len(row) != self.nranks for row in matrix):
             raise CommError(f"alltoall needs an {self.nranks}x{self.nranks} payload matrix")
+        self._check_alive()
         link = self.topology.internode_link(device_buffers=self.device_buffers)
         t = cm.alltoall_time(self.nranks, nbytes_per_pair, link)
         start = float(self.clocks.max())
@@ -249,6 +287,7 @@ class SimComm:
             raise CommError(f"alltoallv needs an {self.nranks}x{self.nranks} payload matrix")
         if len(nbytes) != self.nranks or any(len(r) != self.nranks for r in nbytes):
             raise CommError("nbytes must match the payload matrix shape")
+        self._check_alive()
         link = self.topology.internode_link(device_buffers=self.device_buffers)
         t = cm.alltoallv_time([list(map(float, row)) for row in nbytes], link)
         start = float(self.clocks.max())

@@ -3,6 +3,7 @@
 from repro.ode.batched import (
     BatchedBdfIntegrator,
     BatchedBdfResult,
+    BatchedBdfState,
     BatchedBdfStats,
 )
 from repro.ode.bdf import (
@@ -18,6 +19,7 @@ from repro.ode.gmres import GmresResult, gmres, gmres_flops
 __all__ = [
     "BatchedBdfIntegrator",
     "BatchedBdfResult",
+    "BatchedBdfState",
     "BatchedBdfStats",
     "BdfIntegrator",
     "BdfResult",

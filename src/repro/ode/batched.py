@@ -24,13 +24,14 @@ tolerances (the ablation bench asserts this).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
 from repro.linalg.batched import batched_lu_factor, batched_lu_solve_factored
 from repro.ode.bdf import IntegrationError
+from repro.resilience.snapshot import Snapshot, require_kind
 
 #: Batched RHS: ``f(t, Y)`` with ``Y`` of shape (..., ncells, n); ``t`` a
 #: scalar or (ncells,) array.  Leading axes must broadcast (they carry the
@@ -65,6 +66,89 @@ class BatchedBdfResult:
     t: np.ndarray  # (ncells,) final times (== t_end)
     y: np.ndarray  # (ncells, n) final states
     stats: BatchedBdfStats
+
+
+_STATS_FIELDS = (
+    "ncells", "steps", "step_rounds", "rhs_sweeps", "jac_builds",
+    "cells_refactored", "newton_iters", "error_test_failures",
+    "newton_failures",
+)
+
+#: (name, dtype) of every array carried across lockstep rounds — the full
+#: resumable state, *including* the Jacobian/LU reuse caches.
+_STATE_ARRAYS = (
+    ("t", float), ("Y", float), ("F0", float), ("h", float),
+    ("Y_prev", float), ("h_prev", float), ("have_prev", bool),
+    ("past_t", float), ("past_y", float), ("past_cnt", np.int64),
+    ("J", float), ("J_valid", bool), ("jac_age", np.int64),
+    ("lu", float), ("piv", np.intp), ("gamma_fact", float),
+    ("fact_valid", bool), ("steps_per_cell", np.int64), ("done", bool),
+)
+
+
+@dataclass
+class BatchedBdfState:
+    """The complete mid-integration state of a batched BDF advance.
+
+    Everything the lockstep loop carries between rounds lives here — the
+    per-cell solution/history arrays *and* the Jacobian/LU reuse caches —
+    so an integration can pause after any round and resume (or be
+    checkpointed and restored bit-identically on another host).
+    """
+
+    t_end: float
+    t_scale: float
+    t: np.ndarray
+    Y: np.ndarray
+    F0: np.ndarray
+    h: np.ndarray
+    Y_prev: np.ndarray
+    h_prev: np.ndarray
+    have_prev: np.ndarray
+    past_t: np.ndarray
+    past_y: np.ndarray
+    past_cnt: np.ndarray
+    J: np.ndarray
+    J_valid: np.ndarray
+    jac_age: np.ndarray
+    lu: np.ndarray
+    piv: np.ndarray
+    gamma_fact: np.ndarray
+    fact_valid: np.ndarray
+    steps_per_cell: np.ndarray
+    done: np.ndarray
+    stats: BatchedBdfStats = field(default_factory=BatchedBdfStats)
+
+    snapshot_kind = "ode.batched_bdf_state"
+    snapshot_version = 1
+
+    @property
+    def finished(self) -> bool:
+        return bool(self.done.all())
+
+    def result(self) -> BatchedBdfResult:
+        return BatchedBdfResult(t=self.t, y=self.Y, stats=self.stats)
+
+    def snapshot(self) -> Snapshot:
+        payload: dict = {
+            "t_end": float(self.t_end),
+            "t_scale": float(self.t_scale),
+            "stats": {f: int(getattr(self.stats, f)) for f in _STATS_FIELDS},
+        }
+        for name, _ in _STATE_ARRAYS:
+            payload[name] = getattr(self, name)
+        return Snapshot(self.snapshot_kind, self.snapshot_version, payload)
+
+    def restore(self, snap: Snapshot) -> None:
+        require_kind(snap, self)
+        self.t_end = snap.payload["t_end"]
+        self.t_scale = snap.payload["t_scale"]
+        self.stats = BatchedBdfStats(
+            **{f: snap.payload["stats"][f] for f in _STATS_FIELDS}
+        )
+        for name, dtype in _STATE_ARRAYS:
+            setattr(self, name,
+                    np.array(snap.payload[name], dtype=dtype, copy=True))
 
 
 class BatchedBdfIntegrator:
@@ -128,8 +212,8 @@ class BatchedBdfIntegrator:
         return (np.transpose(F, (1, 2, 0)) - F0[:, :, None]) / dy[:, None, :]
 
     def _check_underflow(self, h: np.ndarray, t: np.ndarray,
-                         mask: np.ndarray) -> None:
-        bad = mask & (h < 1e-14 * np.maximum(np.abs(t), self._t_scale))
+                         mask: np.ndarray, t_scale: float) -> None:
+        bad = mask & (h < 1e-14 * np.maximum(np.abs(t), t_scale))
         if bad.any():
             i = int(np.flatnonzero(bad)[0])
             raise IntegrationError(
@@ -232,8 +316,8 @@ class BatchedBdfIntegrator:
 
     # -- public ---------------------------------------------------------------
 
-    def integrate(self, y0: np.ndarray, t0: float, t_end: float) -> BatchedBdfResult:
-        """Advance every cell of ``y0`` (ncells, n) from *t0* to *t_end*."""
+    def start(self, y0: np.ndarray, t0: float, t_end: float) -> BatchedBdfState:
+        """Initialize a resumable integration of ``y0`` (ncells, n)."""
         if t_end <= t0:
             raise IntegrationError("t_end must exceed t0")
         Y = np.array(y0, dtype=float, copy=True)
@@ -251,98 +335,125 @@ class BatchedBdfIntegrator:
             h = np.minimum((t_end - t0) / 100.0, 0.01 / scale)
             # interval-relative step floor: microsecond chemistry advances
             # legitimately need h far below 1e-14
-            self._t_scale = max(abs(t0), abs(t_end))
-            h = np.maximum(h, 1e-14 * self._t_scale)
+            t_scale = max(abs(t0), abs(t_end))
+            h = np.maximum(h, 1e-14 * t_scale)
 
-            Y_prev = np.zeros_like(Y)
-            h_prev = np.ones(B)
-            have_prev = np.zeros(B, dtype=bool)
+        # rolling accepted-point history for error estimation; fake
+        # pre-history times are distinct so unused divided differences
+        # stay finite (they are never selected)
+        past_t = np.full((B, 4), t0) - np.arange(4, 0, -1)[None, :]
+        past_t[:, -1] = t0
+        past_y = np.zeros((B, 4, n))
+        past_y[:, -1] = Y
 
-            # rolling accepted-point history for error estimation; fake
-            # pre-history times are distinct so unused divided differences
-            # stay finite (they are never selected)
-            past_t = np.full((B, 4), t0) - np.arange(4, 0, -1)[None, :]
-            past_t[:, -1] = t0
-            past_y = np.zeros((B, 4, n))
-            past_y[:, -1] = Y
-            past_cnt = np.ones(B, dtype=int)
+        tiny = 1e-14 * t_scale
+        return BatchedBdfState(
+            t_end=float(t_end),
+            t_scale=t_scale,
+            t=t,
+            Y=Y,
+            F0=F0,
+            h=h,
+            Y_prev=np.zeros_like(Y),
+            h_prev=np.ones(B),
+            have_prev=np.zeros(B, dtype=bool),
+            past_t=past_t,
+            past_y=past_y,
+            past_cnt=np.ones(B, dtype=np.int64),
+            J=np.zeros((B, n, n)),
+            J_valid=np.zeros(B, dtype=bool),
+            jac_age=np.zeros(B, dtype=np.int64),
+            lu=np.zeros((B, n, n)),
+            piv=np.zeros((B, n), dtype=np.intp),
+            gamma_fact=np.zeros(B),
+            fact_valid=np.zeros(B, dtype=bool),
+            steps_per_cell=np.zeros(B, dtype=np.int64),
+            done=t >= t_end - tiny,
+            stats=stats,
+        )
 
-            J = np.zeros((B, n, n))
-            J_valid = np.zeros(B, dtype=bool)
-            jac_age = np.zeros(B, dtype=int)
-            lu = np.zeros((B, n, n))
-            piv = np.zeros((B, n), dtype=np.intp)
-            gamma_fact = np.zeros(B)
-            fact_valid = np.zeros(B, dtype=bool)
+    def step_round(self, s: BatchedBdfState) -> None:
+        """One lockstep step-attempt round over all unfinished cells.
 
-            steps_per_cell = np.zeros(B, dtype=int)
-            tiny = 1e-14 * self._t_scale
-            done = t >= t_end - tiny
+        Mutates *s* in place; ``s.finished`` reports completion.  The
+        state is self-contained, so a round sequence can be paused,
+        checkpointed, restored, and resumed bit-identically.
+        """
+        if s.finished:
+            return
+        t_end, tiny = s.t_end, 1e-14 * s.t_scale
+        stats = s.stats
+        with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+            stats.step_rounds += 1
+            if s.steps_per_cell.max() >= self.max_steps:
+                i = int(s.steps_per_cell.argmax())
+                raise IntegrationError(
+                    f"max_steps={self.max_steps} exceeded in cell {i} "
+                    f"at t={s.t[i]:.3e}"
+                )
+            if stats.step_rounds > 10 * self.max_steps:
+                raise IntegrationError("lockstep round budget exceeded")
+            active = ~s.done
+            h = np.where(active, np.minimum(s.h, t_end - s.t), s.h)
+            t_new = s.t + h
+            rho = np.where(s.have_prev, h / s.h_prev, 1.0)
+            a0 = np.where(s.have_prev, (1 + 2 * rho) / (1 + rho), 1.0)
+            a1 = np.where(s.have_prev, -(1 + rho), -1.0)
+            a2 = np.where(s.have_prev, rho**2 / (1 + rho), 0.0)
+            gamma = h / a0
+            Y_pred = np.where(s.have_prev[:, None],
+                              s.Y + rho[:, None] * (s.Y - s.Y_prev),
+                              s.Y + h[:, None] * s.F0)
 
-            while not done.all():
-                stats.step_rounds += 1
-                if steps_per_cell.max() >= self.max_steps:
-                    i = int(steps_per_cell.argmax())
-                    raise IntegrationError(
-                        f"max_steps={self.max_steps} exceeded in cell {i} "
-                        f"at t={t[i]:.3e}"
-                    )
-                if stats.step_rounds > 10 * self.max_steps:
-                    raise IntegrationError("lockstep round budget exceeded")
-                active = ~done
-                h = np.where(active, np.minimum(h, t_end - t), h)
-                t_new = t + h
-                rho = np.where(have_prev, h / h_prev, 1.0)
-                a0 = np.where(have_prev, (1 + 2 * rho) / (1 + rho), 1.0)
-                a1 = np.where(have_prev, -(1 + rho), -1.0)
-                a2 = np.where(have_prev, rho**2 / (1 + rho), 0.0)
-                gamma = h / a0
-                Y_pred = np.where(have_prev[:, None],
-                                  Y + rho[:, None] * (Y - Y_prev),
-                                  Y + h[:, None] * F0)
+            converged, Yn = self._newton(
+                t_new, s.Y, s.Y_prev, Y_pred, a0, a1, a2, h, gamma, active,
+                s.J, s.J_valid, s.jac_age, s.lu, s.piv, s.gamma_fact,
+                s.fact_valid, stats)
+            newton_failed = active & ~converged
+            if newton_failed.any():
+                stats.newton_failures += int(newton_failed.sum())
+                h = np.where(newton_failed, 0.25 * h, h)
+                self._check_underflow(h, s.t, newton_failed, s.t_scale)
 
-                converged, Yn = self._newton(
-                    t_new, Y, Y_prev, Y_pred, a0, a1, a2, h, gamma, active,
-                    J, J_valid, jac_age, lu, piv, gamma_fact, fact_valid,
-                    stats)
-                newton_failed = active & ~converged
-                if newton_failed.any():
-                    stats.newton_failures += int(newton_failed.sum())
-                    h = np.where(newton_failed, 0.25 * h, h)
-                    self._check_underflow(h, t, newton_failed)
+            test = active & converged
+            if not test.any():
+                s.h = h
+                return
+            W = self._error_weights(s.Y)
+            err = self._error_estimate(s.past_t, s.past_y, s.past_cnt,
+                                       s.have_prev, t_new, Yn, h, W)
+            order = np.where(s.have_prev, 2, 1)
+            factor = 0.9 * np.maximum(err, 1e-300) ** (-1.0 / (order + 1))
+            reject = test & (err > 1.0)
+            accept = test & ~reject
+            if reject.any():
+                stats.error_test_failures += int(reject.sum())
+                h = np.where(reject, h * np.maximum(0.1, factor), h)
+                self._check_underflow(h, s.t, reject, s.t_scale)
+            if accept.any():
+                stats.steps += int(accept.sum())
+                s.steps_per_cell[accept] += 1
+                s.jac_age[accept] += 1
+                s.Y_prev = np.where(accept[:, None], s.Y, s.Y_prev)
+                s.h_prev = np.where(accept, h, s.h_prev)
+                s.t = np.where(accept, t_new, s.t)
+                s.Y = np.where(accept[:, None], Yn, s.Y)
+                s.past_t[accept, :-1] = s.past_t[accept, 1:]
+                s.past_t[accept, -1] = s.t[accept]
+                s.past_y[accept, :-1, :] = s.past_y[accept, 1:, :]
+                s.past_y[accept, -1, :] = s.Y[accept]
+                s.past_cnt[accept] = np.minimum(s.past_cnt[accept] + 1, 4)
+                s.have_prev |= accept
+                grow = np.where(err > 0,
+                                np.minimum(5.0, np.maximum(0.2, factor)),
+                                5.0)
+                h = np.where(accept, h * grow, h)
+                s.done = s.t >= t_end - tiny
+            s.h = h
 
-                test = active & converged
-                if not test.any():
-                    continue
-                W = self._error_weights(Y)
-                err = self._error_estimate(past_t, past_y, past_cnt,
-                                           have_prev, t_new, Yn, h, W)
-                order = np.where(have_prev, 2, 1)
-                factor = 0.9 * np.maximum(err, 1e-300) ** (-1.0 / (order + 1))
-                reject = test & (err > 1.0)
-                accept = test & ~reject
-                if reject.any():
-                    stats.error_test_failures += int(reject.sum())
-                    h = np.where(reject, h * np.maximum(0.1, factor), h)
-                    self._check_underflow(h, t, reject)
-                if accept.any():
-                    stats.steps += int(accept.sum())
-                    steps_per_cell[accept] += 1
-                    jac_age[accept] += 1
-                    Y_prev = np.where(accept[:, None], Y, Y_prev)
-                    h_prev = np.where(accept, h, h_prev)
-                    t = np.where(accept, t_new, t)
-                    Y = np.where(accept[:, None], Yn, Y)
-                    past_t[accept, :-1] = past_t[accept, 1:]
-                    past_t[accept, -1] = t[accept]
-                    past_y[accept, :-1, :] = past_y[accept, 1:, :]
-                    past_y[accept, -1, :] = Y[accept]
-                    past_cnt[accept] = np.minimum(past_cnt[accept] + 1, 4)
-                    have_prev |= accept
-                    grow = np.where(err > 0,
-                                    np.minimum(5.0, np.maximum(0.2, factor)),
-                                    5.0)
-                    h = np.where(accept, h * grow, h)
-                    done = t >= t_end - tiny
-
-        return BatchedBdfResult(t=t, y=Y, stats=stats)
+    def integrate(self, y0: np.ndarray, t0: float, t_end: float) -> BatchedBdfResult:
+        """Advance every cell of ``y0`` (ncells, n) from *t0* to *t_end*."""
+        state = self.start(y0, t0, t_end)
+        while not state.finished:
+            self.step_round(state)
+        return state.result()

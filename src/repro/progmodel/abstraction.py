@@ -15,7 +15,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.gpu.kernel import KernelSpec
 from repro.gpu.stream import Event, Stream
 from repro.hardware.gpu import MI250X_GCD, V100, GPUSpec
 from repro.progmodel.api import MemHandle

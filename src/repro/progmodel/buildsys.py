@@ -16,7 +16,7 @@ codesign guideline (split units + link-time combination).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 class Model(enum.Enum):

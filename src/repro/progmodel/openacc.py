@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from repro.gpu.device import Device
 from repro.gpu.kernel import KernelSpec
 from repro.hardware.gpu import GPUSpec
-from repro.progmodel.openmp import MapKind, MotionLedger
+from repro.progmodel.openmp import MotionLedger
 
 #: Fraction of native (HIP/CUDA) kernel throughput OpenACC achieves — on
 #: par with OpenMP offload; the §3.8 prototypes measured rough parity

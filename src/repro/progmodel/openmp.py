@@ -18,7 +18,7 @@ performance parity to codes ported with HIP."
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.gpu.device import Device
 from repro.gpu.kernel import KernelSpec

@@ -1,0 +1,76 @@
+"""Resilience subsystem: checkpoint/restart, fault injection, Young/Daly.
+
+The operational half of exascale readiness (CRK-HACC's SC-W 2023 account,
+the §2 early-access experience): multi-month campaigns only produce
+numbers because they survive node losses.  This package provides the
+snapshot protocol + deterministic codec, a seeded fault injector wired
+through the simulated MPI and GPU substrates, a resilient campaign
+runner with checkpoint-interval accounting, and the Young/Daly optimal
+interval computed from the machine models.
+"""
+
+from repro.resilience.daly import (
+    NODE_MTBF_SECONDS,
+    daly_expected_runtime,
+    machine_checkpoint_cost,
+    optimal_interval_for_machine,
+    predicted_overhead,
+    system_mtbf,
+    young_daly_interval,
+)
+from repro.resilience.faults import (
+    FATAL_KINDS,
+    DeviceOomFault,
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    RankFailureFault,
+    SimulatedFault,
+)
+from repro.resilience.runner import (
+    CheckpointCostModel,
+    ResilienceError,
+    ResilienceStats,
+    ResilientRunner,
+    SteppedApp,
+)
+from repro.resilience.snapshot import (
+    Checkpointable,
+    Snapshot,
+    SnapshotError,
+    decode_snapshot,
+    encode_snapshot,
+    require_kind,
+    snapshot_checksum,
+    snapshot_equal,
+)
+
+__all__ = [
+    "FATAL_KINDS",
+    "NODE_MTBF_SECONDS",
+    "Checkpointable",
+    "CheckpointCostModel",
+    "DeviceOomFault",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "RankFailureFault",
+    "ResilienceError",
+    "ResilienceStats",
+    "ResilientRunner",
+    "SimulatedFault",
+    "Snapshot",
+    "SnapshotError",
+    "SteppedApp",
+    "daly_expected_runtime",
+    "decode_snapshot",
+    "encode_snapshot",
+    "machine_checkpoint_cost",
+    "optimal_interval_for_machine",
+    "predicted_overhead",
+    "require_kind",
+    "snapshot_checksum",
+    "snapshot_equal",
+    "system_mtbf",
+    "young_daly_interval",
+]

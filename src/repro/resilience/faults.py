@@ -1,0 +1,190 @@
+"""Seeded fault injection: the failure processes exascale campaigns live with.
+
+Frontier-scale reality (and the §2 early-access experience): at 4 096+
+nodes the system MTBF is measured in hours, GPUs disappear mid-job,
+and links flap.  :class:`FaultInjector` draws those events from
+independent exponential inter-arrival distributions (one configurable
+MTBF per fault kind) using an *explicit* seeded generator — the schedule
+is a pure function of the seed, so a campaign rerun at a different
+checkpoint interval sees the exact same failure process (what the
+Young/Daly validation needs).
+
+Faults *fire through the real substrates* rather than being abstract
+flags: a rank failure marks the rank dead in :class:`~repro.mpisim.comm.SimComm`
+(so the next collective raises :class:`~repro.mpisim.comm.RankFailedError`),
+and a device OOM reserves the remaining heap of a
+:class:`~repro.gpu.device.Device` so the allocator's own
+:class:`~repro.gpu.memory.OutOfDeviceMemory` fires.  ``clear`` undoes the
+damage — the "replacement node" the scheduler hands back after a restart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro.gpu.device import Device
+from repro.gpu.memory import Allocation, OutOfDeviceMemory
+from repro.mpisim.comm import RankFailedError, SimComm
+
+
+class FaultKind(str, Enum):
+    RANK_FAILURE = "rank_failure"
+    DEVICE_OOM = "device_oom"
+    LINK_DEGRADATION = "link_degradation"
+
+
+#: Kinds that kill the job step (vs. merely slowing it down).
+FATAL_KINDS = frozenset({FaultKind.RANK_FAILURE, FaultKind.DEVICE_OOM})
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: absolute simulated time + kind + target."""
+
+    time: float
+    kind: FaultKind
+    target: int
+    #: link_degradation only: throughput divisor and how long it lasts.
+    slowdown: float = 1.0
+    duration: float = 0.0
+
+    @property
+    def fatal(self) -> bool:
+        return self.kind in FATAL_KINDS
+
+
+class SimulatedFault(RuntimeError):
+    """A fault fired by the injector; carries the originating event."""
+
+    def __init__(self, event: FaultEvent, message: str) -> None:
+        super().__init__(message)
+        self.event = event
+
+
+class RankFailureFault(SimulatedFault):
+    pass
+
+
+class DeviceOomFault(SimulatedFault):
+    pass
+
+
+@dataclass
+class FaultInjector:
+    """Draws fault events from per-kind exponential MTBF distributions.
+
+    ``mtbf`` maps kind -> mean seconds between events of that kind
+    (``float('inf')`` or omission disables a kind).  ``rng`` must be an
+    explicitly seeded generator — determinism is load-bearing here, both
+    for reproducible campaigns and for comparing checkpoint intervals
+    against an identical failure process.
+    """
+
+    rng: np.random.Generator
+    mtbf: dict[FaultKind, float] = field(default_factory=dict)
+    max_target: int = 4096
+    degradation_slowdown: float = 2.0
+    degradation_duration_fraction: float = 0.1  # of that kind's MTBF
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.rng, np.random.Generator):
+            raise TypeError("FaultInjector requires an explicit np.random.Generator")
+        self.mtbf = {FaultKind(k): float(v) for k, v in self.mtbf.items()}
+        for kind, m in self.mtbf.items():
+            if m <= 0:
+                raise ValueError(f"MTBF for {kind.value} must be positive")
+        self.events_fired: list[FaultEvent] = []
+        self._oom_reservations: list[tuple[Device, list[Allocation]]] = []
+        # draw each kind's first arrival in a fixed (enum) order so the
+        # schedule depends only on the seed and the mtbf dict contents
+        self._next: dict[FaultKind, FaultEvent] = {}
+        for kind in FaultKind:
+            if np.isfinite(self.mtbf.get(kind, np.inf)):
+                self._draw_next(kind, 0.0)
+
+    def _draw_next(self, kind: FaultKind, after: float) -> None:
+        gap = float(self.rng.exponential(self.mtbf[kind]))
+        target = int(self.rng.integers(self.max_target))
+        if kind is FaultKind.LINK_DEGRADATION:
+            event = FaultEvent(
+                time=after + gap, kind=kind, target=target,
+                slowdown=self.degradation_slowdown,
+                duration=self.degradation_duration_fraction * self.mtbf[kind],
+            )
+        else:
+            event = FaultEvent(time=after + gap, kind=kind, target=target)
+        self._next[kind] = event
+
+    # -- schedule ----------------------------------------------------------
+
+    def peek(self) -> FaultEvent | None:
+        """The earliest pending event, without consuming it."""
+        if not self._next:
+            return None
+        return min(self._next.values(), key=lambda e: e.time)
+
+    def pop(self) -> FaultEvent:
+        """Consume the earliest pending event and redraw its kind."""
+        event = self.peek()
+        if event is None:
+            raise RuntimeError("no fault kinds enabled")
+        self._draw_next(event.kind, event.time)
+        return event
+
+    # -- firing through the substrates -------------------------------------
+
+    def fire(self, event: FaultEvent, *, comm: SimComm | None = None,
+             device: Device | None = None) -> None:
+        """Make *event* happen.  Fatal kinds raise a :class:`SimulatedFault`
+        after routing the damage through the provided substrates."""
+        self.events_fired.append(event)
+        if event.kind is FaultKind.RANK_FAILURE:
+            if comm is not None:
+                rank = event.target % comm.nranks
+                comm.fail_rank(rank)
+                try:
+                    comm.barrier()  # ULFM-style detection at the next collective
+                except RankFailedError as exc:
+                    raise RankFailureFault(
+                        event, f"rank {rank} failed at t={event.time:.1f}s"
+                    ) from exc
+                raise AssertionError("dead rank must fail the barrier")
+            raise RankFailureFault(
+                event, f"rank {event.target} failed at t={event.time:.1f}s"
+            )
+        if event.kind is FaultKind.DEVICE_OOM:
+            if device is not None:
+                hog = device.reserve_remaining_memory(tag="fault-injected")
+                self._oom_reservations.append((device, hog))
+                try:
+                    device.malloc(1, tag="oom-canary")
+                except OutOfDeviceMemory as exc:
+                    raise DeviceOomFault(
+                        event,
+                        f"device {device.device_id} out of memory at "
+                        f"t={event.time:.1f}s",
+                    ) from exc
+                raise AssertionError("exhausted device must refuse the canary")
+            raise DeviceOomFault(
+                event, f"device {event.target} out of memory at t={event.time:.1f}s"
+            )
+        # link degradation is not fatal: the caller slows affected steps down
+
+    def clear(self, *, comm: SimComm | None = None,
+              device: Device | None = None) -> None:
+        """Undo fired damage: revive failed ranks, release OOM pressure."""
+        if comm is not None:
+            for rank in np.flatnonzero(comm.failed):
+                comm.restore_rank(int(rank))
+        for dev, allocs in self._oom_reservations:
+            if device is not None and dev is not device:
+                continue
+            for alloc in allocs:
+                dev.free(alloc)
+        self._oom_reservations = [
+            (dev, allocs) for dev, allocs in self._oom_reservations
+            if device is not None and dev is not device
+        ]

@@ -1,0 +1,320 @@
+"""Resilient campaign driver: periodic checkpoints, failure recovery, accounting.
+
+:class:`ResilientRunner` wraps any :class:`SteppedApp` (a
+:class:`~repro.resilience.snapshot.Checkpointable` whose ``step()``
+advances the computation and returns its simulated cost in seconds) and
+drives a long campaign the way production jobs on Frontier actually run:
+
+* checkpoint every ``checkpoint_interval`` committed steps, paying the
+  serialization size through a :class:`CheckpointCostModel` (write
+  latency + bytes/bandwidth — the burst-buffer term of the Young/Daly δ);
+* when the :class:`~repro.resilience.faults.FaultInjector` fires a fatal
+  event mid-step, roll the work since the last checkpoint into
+  ``lost_work_time``, pay restart + checkpoint read + exponential
+  backoff, restore from the last *valid* snapshot (checksum-verified,
+  with fallback to the previous one), and replay;
+* bound the retries: ``max_retries`` consecutive failures without
+  reaching a new checkpoint raise :class:`ResilienceError`;
+* account everything into a :class:`ResilienceStats` whose
+  ``overhead_fraction`` / ``inflation`` are the measured curve the
+  Young/Daly model in :mod:`repro.resilience.daly` predicts.
+
+Because snapshots are bit-exact and apps are deterministic, a
+fault-injected campaign finishes in *exactly* the same final state as a
+failure-free run — the acceptance test for this subsystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+from repro.gpu.device import Device
+from repro.mpisim.comm import SimComm
+from repro.resilience.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    SimulatedFault,
+)
+from repro.resilience.snapshot import (
+    Snapshot,
+    decode_snapshot,
+    encode_snapshot,
+    require_kind,
+    snapshot_checksum,
+)
+
+
+class ResilienceError(RuntimeError):
+    """Unrecoverable campaign: retries exhausted or no valid checkpoint."""
+
+
+@runtime_checkable
+class SteppedApp(Protocol):
+    """A checkpointable application advanced step by step."""
+
+    snapshot_kind: str
+    snapshot_version: int
+
+    def step(self) -> float:
+        """Advance one step; returns the step's simulated cost in seconds."""
+        ...
+
+    def snapshot(self) -> Snapshot: ...
+
+    def restore(self, snap: Snapshot) -> None: ...
+
+
+@dataclass(frozen=True)
+class CheckpointCostModel:
+    """Simulated cost of moving checkpoints to and from stable storage.
+
+    Defaults are Frontier-node-ish: a few GB/s per node to the burst
+    buffer, milliseconds of open/close latency, and a scheduler restart
+    penalty of about a minute.
+    """
+
+    write_bandwidth: float = 4e9  # bytes/s
+    read_bandwidth: float = 8e9  # bytes/s
+    latency: float = 2e-3  # per open/close, s
+    restart_cost: float = 60.0  # job relaunch + node replacement, s
+
+    def __post_init__(self) -> None:
+        if min(self.write_bandwidth, self.read_bandwidth) <= 0:
+            raise ValueError("checkpoint bandwidths must be positive")
+        if self.latency < 0 or self.restart_cost < 0:
+            raise ValueError("latency and restart cost must be non-negative")
+
+    def write_time(self, nbytes: int) -> float:
+        return self.latency + nbytes / self.write_bandwidth
+
+    def read_time(self, nbytes: int) -> float:
+        return self.latency + nbytes / self.read_bandwidth
+
+
+@dataclass
+class ResilienceStats:
+    """Where the campaign's simulated wall-clock went."""
+
+    steps_completed: int = 0
+    steps_replayed: int = 0
+    checkpoints_written: int = 0
+    checkpoint_bytes: int = 0
+    recoveries: int = 0
+    failures_by_kind: dict[str, int] = field(default_factory=dict)
+    degradations_seen: int = 0
+
+    useful_time: float = 0.0  # committed step work in the final trajectory
+    lost_work_time: float = 0.0  # rolled-back (replayed or partial) work
+    checkpoint_time: float = 0.0  # snapshot writes
+    recovery_time: float = 0.0  # restart + backoff + checkpoint reads
+    degraded_time: float = 0.0  # extra step time under degraded links
+    wall_clock: float = 0.0  # simulated campaign end time
+
+    @property
+    def overhead_time(self) -> float:
+        return self.wall_clock - self.useful_time
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Fraction of the campaign that was not useful forward progress."""
+        return self.overhead_time / self.wall_clock if self.wall_clock > 0 else 0.0
+
+    @property
+    def inflation(self) -> float:
+        """Wall-clock inflation vs. a free-checkpoint, failure-free run."""
+        return self.wall_clock / self.useful_time if self.useful_time > 0 else 1.0
+
+    def describe(self) -> str:
+        fail = ", ".join(f"{k}x{v}" for k, v in sorted(self.failures_by_kind.items()))
+        return (
+            f"{self.steps_completed} steps (+{self.steps_replayed} replayed), "
+            f"{self.checkpoints_written} checkpoints "
+            f"({self.checkpoint_bytes / 1e6:.2f} MB), "
+            f"{self.recoveries} recoveries [{fail or 'no failures'}]; "
+            f"wall {self.wall_clock:.1f}s = useful {self.useful_time:.1f}s "
+            f"+ ckpt {self.checkpoint_time:.1f}s + lost {self.lost_work_time:.1f}s "
+            f"+ recovery {self.recovery_time:.1f}s + degraded "
+            f"{self.degraded_time:.1f}s (overhead {self.overhead_fraction:.1%})"
+        )
+
+
+@dataclass
+class _StoredCheckpoint:
+    step: int
+    blob: bytes
+    checksum: str
+
+
+class ResilientRunner:
+    """Drive a :class:`SteppedApp` campaign through failures to completion."""
+
+    def __init__(
+        self,
+        app: SteppedApp,
+        *,
+        checkpoint_interval: int,
+        injector: FaultInjector | None = None,
+        cost_model: CheckpointCostModel | None = None,
+        comm: SimComm | None = None,
+        device: Device | None = None,
+        max_retries: int = 8,
+        backoff_base: float = 1.0,
+        keep_snapshots: int = 2,
+    ) -> None:
+        if checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be >= 1 step")
+        if max_retries < 1:
+            raise ValueError("max_retries must be >= 1")
+        if keep_snapshots < 1:
+            raise ValueError("keep_snapshots must be >= 1")
+        self.app = app
+        self.checkpoint_interval = checkpoint_interval
+        self.injector = injector
+        self.cost_model = cost_model or CheckpointCostModel()
+        self.comm = comm
+        self.device = device
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.keep_snapshots = keep_snapshots
+        self._checkpoints: list[_StoredCheckpoint] = []
+
+    # -- checkpoint store ----------------------------------------------------
+
+    def _write_checkpoint(self, step: int, stats: ResilienceStats) -> float:
+        blob = encode_snapshot(self.app.snapshot())
+        self._checkpoints.append(
+            _StoredCheckpoint(step=step, blob=blob,
+                              checksum=snapshot_checksum(blob))
+        )
+        del self._checkpoints[:-self.keep_snapshots]
+        stats.checkpoints_written += 1
+        stats.checkpoint_bytes += len(blob)
+        return self.cost_model.write_time(len(blob))
+
+    def _restore_latest_valid(self, stats: ResilienceStats) -> tuple[int, float]:
+        """Restore the newest checksum-valid checkpoint; returns
+        ``(step_restored_to, simulated_read_time)``."""
+        read_time = 0.0
+        while self._checkpoints:
+            ckpt = self._checkpoints[-1]
+            read_time += self.cost_model.read_time(len(ckpt.blob))
+            if snapshot_checksum(ckpt.blob) == ckpt.checksum:
+                snap = decode_snapshot(ckpt.blob)
+                require_kind(snap, self.app)
+                self.app.restore(snap)
+                return ckpt.step, read_time
+            self._checkpoints.pop()  # torn write: fall back one generation
+        raise ResilienceError("no valid checkpoint to restore from")
+
+    # -- the campaign loop ----------------------------------------------------
+
+    def run(self, nsteps: int) -> ResilienceStats:
+        if nsteps < 1:
+            raise ValueError("campaign needs at least one step")
+        stats = ResilienceStats()
+        t_sim = 0.0
+        pending_useful = 0.0  # committed-step work not yet checkpointed
+        consecutive_failures = 0
+        degradations: list[FaultEvent] = []
+
+        # checkpoint 0: the initial state is always restorable
+        t_sim += self._write_checkpoint(0, stats)
+        stats.checkpoint_time += t_sim
+
+        step = 0
+        first_pass_through = 0  # highest step index ever committed
+        while step < nsteps:
+            dt = self.app.step()
+            event = self._pending_event(t_sim + dt)
+            if event is not None and event.fatal:
+                # the step dies mid-flight: everything since the last
+                # checkpoint (committed-but-unsaved steps + the partial
+                # step) is lost work
+                partial = min(max(event.time - t_sim, 0.0), dt)
+                stats.lost_work_time += pending_useful + partial
+                pending_useful = 0.0
+                t_sim = max(t_sim + partial, event.time)
+                stats.failures_by_kind[event.kind.value] = (
+                    stats.failures_by_kind.get(event.kind.value, 0) + 1
+                )
+                try:
+                    self.injector.fire(event, comm=self.comm, device=self.device)
+                except SimulatedFault:
+                    pass  # detected; recover below
+                consecutive_failures += 1
+                if consecutive_failures > self.max_retries:
+                    raise ResilienceError(
+                        f"{consecutive_failures} consecutive failures without "
+                        f"reaching a checkpoint (max_retries={self.max_retries})"
+                    )
+                recovery, step = self._recover(stats, consecutive_failures)
+                t_sim += recovery
+                continue
+
+            # the step survived; account link degradation slowdowns
+            extra = self._degradation_penalty(t_sim, dt, event, degradations, stats)
+            t_sim += dt + extra
+            pending_useful += dt
+            step += 1
+            if step <= first_pass_through:
+                stats.steps_replayed += 1
+            else:
+                first_pass_through = step
+            stats.degraded_time += extra
+
+            if step % self.checkpoint_interval == 0 or step == nsteps:
+                ckpt_time = self._write_checkpoint(step, stats)
+                t_sim += ckpt_time
+                stats.checkpoint_time += ckpt_time
+                stats.useful_time += pending_useful
+                pending_useful = 0.0
+                consecutive_failures = 0
+
+        stats.useful_time += pending_useful
+        stats.steps_completed = nsteps
+        stats.wall_clock = t_sim
+        if self.comm is not None:
+            # campaign time is visible on the simulated communicator too
+            self.comm.advance_all(max(t_sim - self.comm.elapsed, 0.0))
+        return stats
+
+    # -- helpers --------------------------------------------------------------
+
+    def _pending_event(self, horizon: float) -> FaultEvent | None:
+        """Pop the next injector event if it fires before *horizon*."""
+        if self.injector is None:
+            return None
+        event = self.injector.peek()
+        if event is None or event.time >= horizon:
+            return None
+        return self.injector.pop()
+
+    def _degradation_penalty(self, t_sim: float, dt: float,
+                             event: FaultEvent | None,
+                             degradations: list[FaultEvent],
+                             stats: ResilienceStats) -> float:
+        if event is not None and event.kind is FaultKind.LINK_DEGRADATION:
+            degradations.append(event)
+            stats.degradations_seen += 1
+        active = [e for e in degradations if e.time + e.duration > t_sim]
+        degradations[:] = active
+        extra = 0.0
+        for e in active:
+            overlap = min(t_sim + dt, e.time + e.duration) - max(t_sim, e.time)
+            if overlap > 0:
+                extra += overlap * (e.slowdown - 1.0)
+        return extra
+
+    def _recover(self, stats: ResilienceStats,
+                 consecutive_failures: int) -> tuple[float, int]:
+        """Pay restart + backoff + restore; returns ``(seconds, step)``."""
+        backoff = self.backoff_base * (2.0 ** (consecutive_failures - 1) - 1.0)
+        if self.injector is not None:
+            self.injector.clear(comm=self.comm, device=self.device)
+        restored_step, read_time = self._restore_latest_valid(stats)
+        total = self.cost_model.restart_cost + backoff + read_time
+        stats.recovery_time += total
+        stats.recoveries += 1
+        return total, restored_step

@@ -20,7 +20,6 @@ below the FP16 integer-exactness bound of 2048 for the sizes used).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 import numpy as np
 

@@ -10,7 +10,7 @@ communication cycle vs. an N² rank ceiling) is measurable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -1,6 +1,5 @@
 """Build-system story tests + cross-cutting performance-model properties."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -14,7 +13,6 @@ from repro.progmodel import (
     BuildError,
     CompilationUnit,
     Model,
-    Toolchain,
     build,
     split_unit,
 )

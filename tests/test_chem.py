@@ -19,7 +19,6 @@ from repro.chem import (
     make_fragment,
     mbe_energy,
     numerical_jacobian,
-    pairwise_energy,
     production_rates,
     rates_flop_count,
     rimp2_energy,

@@ -10,7 +10,6 @@ import sys
 from contextlib import redirect_stdout
 from pathlib import Path
 
-import pytest
 
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 
@@ -70,3 +69,14 @@ class TestExamples:
         out = run_example("readiness_dashboard")
         assert "on track" in out
         assert "commitments" in out
+
+    def test_combustion_amr_resilient_section(self):
+        out = run_example("combustion_amr")
+        assert "recoveries" in out
+        assert "bit-identical to failure-free run: True" in out
+
+    def test_resilient_campaign(self):
+        out = run_example("resilient_campaign")
+        assert "checkpoint every" in out  # Young/Daly machine table
+        assert "bit-identical to failure-free run: True" in out
+        assert "<- W*" in out

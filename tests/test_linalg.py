@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.gpu import time_kernel
-from repro.hardware.gpu import MI250X_GCD, Precision
+from repro.hardware.gpu import MI250X_GCD
 from repro.linalg import (
     GENERIC_GEMM_EFFICIENCY,
     SMALL_GEMM_EFFICIENCY,

@@ -311,3 +311,139 @@ class TestDeviceD2DMemset:
 
         with pytest.raises(ValueError):
             Device(V100).memset(-1)
+
+
+class TestPendingOpClockAccounting:
+    """Nonblocking ops: completion computed at post, applied at wait."""
+
+    def _p2p_time(self, comm, src, dst, nbytes):
+        link = comm.topology.link(src, dst)
+        return link.p2p_time(nbytes)
+
+    def test_wait_applies_posted_completion_time(self):
+        comm = SimComm(2, SLINGSHOT_11)
+        nbytes = 1 << 20
+        t = self._p2p_time(comm, 0, 1, nbytes)
+        op = comm.isendrecv(0, 1, nbytes=nbytes)
+        assert comm.clocks[0] == 0.0  # nothing applied yet
+        op.wait()
+        assert comm.clocks[0] == pytest.approx(t)
+        assert comm.clocks[1] == pytest.approx(t)
+
+    def test_compute_overlap_hides_the_transfer(self):
+        comm = SimComm(2, SLINGSHOT_11)
+        nbytes = 1 << 20
+        t = self._p2p_time(comm, 0, 1, nbytes)
+        op = comm.isendrecv(0, 1, nbytes=nbytes)
+        comm.advance(0, 10 * t)  # compute strictly dominates
+        op.wait()
+        assert comm.clocks[0] == pytest.approx(10 * t)  # fully hidden
+        assert comm.clocks[1] == pytest.approx(t)  # dst only paid the wire
+
+    def test_partial_overlap_takes_the_max(self):
+        comm = SimComm(2, SLINGSHOT_11)
+        nbytes = 1 << 24
+        t = self._p2p_time(comm, 0, 1, nbytes)
+        op = comm.isendrecv(0, 1, nbytes=nbytes)
+        comm.advance(0, 0.5 * t)
+        op.wait()
+        # compute covered half the transfer; the wire sets the clock
+        assert comm.clocks[0] == pytest.approx(t)
+
+    def test_wait_is_idempotent(self):
+        comm = SimComm(2, SLINGSHOT_11)
+        op = comm.isendrecv(0, 1, nbytes=1 << 20)
+        op.wait()
+        after_first = comm.clocks.copy()
+        comm.advance(0, 1.0)
+        op.wait()  # must not re-apply the old completion time
+        assert comm.clocks[0] == pytest.approx(after_first[0] + 1.0)
+
+    def test_completion_anchored_at_post_not_wait(self):
+        """Clocks advanced between post and wait don't delay the wire:
+        the transfer started when it was posted."""
+        comm = SimComm(2, SLINGSHOT_11)
+        nbytes = 1 << 20
+        t = self._p2p_time(comm, 0, 1, nbytes)
+        comm.advance(1, 5.0)  # dst is ahead when the op is posted
+        op = comm.isendrecv(0, 1, nbytes=nbytes)
+        op.wait()
+        assert comm.clocks[0] == pytest.approx(5.0 + t)
+        assert comm.clocks[1] == pytest.approx(5.0 + t)
+
+    def test_stats_charged_at_post_under_overlap(self):
+        comm = SimComm(2, SLINGSHOT_11)
+        nbytes = 1 << 20
+        t = self._p2p_time(comm, 0, 1, nbytes)
+        op = comm.isendrecv(0, 1, nbytes=nbytes)
+        # the accounting exists before wait: bytes moved and both ranks'
+        # comm time are already attributed to the operation
+        assert comm.stats.p2p_messages == 1
+        assert comm.stats.p2p_bytes == nbytes
+        assert comm.stats.total_comm_time == pytest.approx(2 * t)
+        comm.advance(0, 100 * t)
+        op.wait()
+        assert comm.stats.total_comm_time == pytest.approx(2 * t)
+
+    def test_stats_totals_mix_blocking_and_overlapped(self):
+        comm = SimComm(4, SLINGSHOT_11, ranks_per_node=2)
+        n1, n2 = 1 << 16, 1 << 22
+        t1 = self._p2p_time(comm, 0, 1, n1)
+        op = comm.isendrecv(0, 1, nbytes=n1)
+        t2 = self._p2p_time(comm, 2, 3, n2)
+        comm.sendrecv(2, 3, None, nbytes=n2)
+        op.wait()
+        assert comm.stats.p2p_messages == 2
+        assert comm.stats.p2p_bytes == pytest.approx(n1 + n2)
+        assert comm.stats.total_comm_time == pytest.approx(2 * t1 + 2 * t2)
+
+    def test_ialltoall_data_before_clocks(self):
+        comm = SimComm(3, SLINGSHOT_11)
+        matrix = [[(s, d) for d in range(3)] for s in range(3)]
+        out, op = comm.ialltoall(matrix, nbytes_per_pair=4096)
+        assert out[2][0] == (0, 2)  # staged immediately for overlap
+        assert comm.elapsed == 0.0  # but simulated time hasn't moved
+        comm.advance_all(1e-9)
+        op.wait()
+        assert comm.elapsed > 1e-9
+        assert comm.stats.collectives == 1
+
+
+class TestRankFailure:
+    """ULFM-style detection: failures surface at the next touching op."""
+
+    def test_collective_raises_after_fail_rank(self):
+        from repro.mpisim import RankFailedError
+
+        comm = SimComm(4, SLINGSHOT_11)
+        comm.fail_rank(2)
+        with pytest.raises(RankFailedError) as exc:
+            comm.allreduce([1.0] * 4, nbytes=8)
+        assert exc.value.ranks == (2,)
+
+    def test_p2p_only_fails_if_it_touches_the_dead_rank(self):
+        from repro.mpisim import RankFailedError
+
+        comm = SimComm(4, SLINGSHOT_11)
+        comm.fail_rank(3)
+        comm.sendrecv(0, 1, "ok", nbytes=64)  # disjoint pair still works
+        with pytest.raises(RankFailedError):
+            comm.sendrecv(0, 3, "dead", nbytes=64)
+        with pytest.raises(RankFailedError):
+            comm.isendrecv(3, 1, nbytes=64)
+
+    def test_restore_rank_rejoins_at_the_frontier(self):
+        comm = SimComm(4, SLINGSHOT_11)
+        comm.advance(1, 7.0)
+        comm.fail_rank(0)
+        comm.restore_rank(0)
+        # the replacement rank cannot restart in the past
+        assert comm.clocks[0] == pytest.approx(7.0)
+        comm.barrier()  # and the communicator is whole again
+
+    def test_fail_rank_validation(self):
+        comm = SimComm(2, SLINGSHOT_11)
+        with pytest.raises(CommError):
+            comm.fail_rank(5)
+        with pytest.raises(CommError):
+            comm.restore_rank(-1)

@@ -14,7 +14,6 @@ from repro.particles import (
     hacc_gravity_kernels,
     long_range_forces,
     p3m_forces,
-    short_range_forces,
     short_range_pair_force,
     zeldovich_ics,
 )

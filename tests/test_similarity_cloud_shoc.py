@@ -16,9 +16,8 @@ from repro.cloud import (
     weno5_reconstruct,
 )
 from repro.gpu.occupancy import compute_occupancy
-from repro.hardware.gpu import MI250X_GCD, V100
+from repro.hardware.gpu import MI250X_GCD
 from repro.similarity import (
-    ccc_from_counts,
     ccc_gemm_flops,
     ccc_kernel_spec,
     ccc_similarity,
