@@ -41,7 +41,10 @@ from repro.resilience import (
 )
 
 
-def main() -> None:
+def main(fast: bool = False) -> None:
+    """Run the full demo; ``fast`` shrinks the campaign and the Daly sweep
+    (fewer steps, particles and seeds) without dropping any assertion —
+    the bit-identical-recovery check runs in both modes."""
     print("=== Young/Daly intervals from the machine models ===")
     nbytes = 16 << 30  # 16 GiB of state per node, a typical PeleC plotfile
     for machine in (SUMMIT, FRONTIER):
@@ -53,10 +56,11 @@ def main() -> None:
               f"-> checkpoint every {w/60:.0f} min")
 
     print("\n=== Fault-injected HACC campaign, bit-identical restart ===")
-    nsteps, interval = 400, 25
+    nsteps, interval = (120, 25) if fast else (400, 25)
+    nparticles = 1024 if fast else 4096
 
     def campaign() -> ExaskyCampaign:
-        return ExaskyCampaign(nparticles=4096, seed=3)
+        return ExaskyCampaign(nparticles=nparticles, seed=3)
 
     cost = CheckpointCostModel(latency=5e-4, restart_cost=0.05)
     reference = campaign()
@@ -105,9 +109,12 @@ def main() -> None:
     opt_steps = max(1, round(w_opt / probe.step_cost))
     print(f"  ckpt cost {delta*1e3:.2f} ms, MTBF {mtbf:.1f} s "
           f"-> W* = {w_opt:.3f} s ({opt_steps} steps)")
-    nseeds = 8  # exponential failures are noisy; average the measurement
-    for steps in sorted({max(1, opt_steps // 4), opt_steps,
-                         opt_steps * 4, opt_steps * 16}):
+    # exponential failures are noisy; average the measurement
+    nseeds = 3 if fast else 8
+    sweep = ({max(1, opt_steps // 4), opt_steps, opt_steps * 4} if fast
+             else {max(1, opt_steps // 4), opt_steps,
+                   opt_steps * 4, opt_steps * 16})
+    for steps in sorted(sweep):
         measured = []
         for trial in range(nseeds):
             run_app = campaign()
@@ -126,4 +133,9 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true",
+                        help="reduced-size run (smaller campaign and sweep)")
+    main(fast=parser.parse_args().fast)

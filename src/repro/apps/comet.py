@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from repro.gpu.perfmodel import time_kernel
 from repro.hardware.catalog import FRONTIER
 from repro.hardware.gpu import MI250X, V100, GPUSpec
-from repro.similarity.ccc import ccc_kernel_spec
+from repro.similarity.gemmtally import gemmtally_kernel_specs
 
 #: Achieved fraction of the FP16 matrix peak on each platform.  Calibrated
 #: against the paper's own numbers: 6.71 EF over 9 074 x 8 GCDs is 92 TF
@@ -35,9 +35,17 @@ class CometConfig:
 
 
 def gpu_time(device: GPUSpec, cfg: CometConfig, *, efficiency: float) -> float:
-    """One CCC count-GEMM pass over this GPU's vector block."""
-    spec = ccc_kernel_spec(cfg.vectors_per_gpu, cfg.fields, efficiency=efficiency)
-    return time_kernel(spec, device).total_time
+    """One CCC tally pass over this GPU's vector block.
+
+    The pipeline is the GEMM-recast tally engine of
+    :mod:`repro.similarity.gemmtally`: a bandwidth-bound bit-pack stage
+    (64× operand compression) followed by the batched mixed-precision
+    count GEMM — the launch sequence whose GEMM stage §3.6 describes as
+    "overwhelmingly dominating".
+    """
+    specs = gemmtally_kernel_specs(cfg.vectors_per_gpu, cfg.fields,
+                                   efficiency=efficiency)
+    return sum(time_kernel(s, device).total_time for s in specs)
 
 
 def run_summit(cfg: CometConfig = CometConfig()) -> float:
@@ -100,6 +108,7 @@ def precision_ablation(cfg: CometConfig = CometConfig()) -> dict[str, float]:
 
     from repro.hardware.gpu import Precision
     from repro.similarity.ccc import ccc_gemm_flops
+    from repro.similarity.gemmtally import gemm_tally_kernel_spec
 
     useful = ccc_gemm_flops(cfg.vectors_per_gpu, cfg.fields)
     out: dict[str, float] = {}
@@ -108,8 +117,8 @@ def precision_ablation(cfg: CometConfig = CometConfig()) -> dict[str, float]:
         ("FP16", Precision.FP16, True),
         ("INT8", Precision.INT8, True),
     ):
-        spec = ccc_kernel_spec(cfg.vectors_per_gpu, cfg.fields,
-                               efficiency=ROCBLAS_CODESIGNED_EFFICIENCY)
+        spec = gemm_tally_kernel_spec(cfg.vectors_per_gpu, cfg.fields,
+                                      efficiency=ROCBLAS_CODESIGNED_EFFICIENCY)
         spec = dataclasses.replace(spec, precision=precision,
                                    uses_matrix_engine=matrix)
         t = time_kernel(spec, FRONTIER.node.gpu).total_time

@@ -19,7 +19,7 @@ BASIS: dict[str, str] = {
     "LSMS": "FePt per-GPU LIZ calculation",
     "GESTS": "PSDNS FOM (N^3/t_wall), 32768^3 on 4096 nodes",
     "ExaSky": "gravity FOM, weak-scaled to 8192 nodes",
-    "CoMet": "CCC count-GEMM, per GPU",
+    "CoMet": "bit-packed CCC tally pipeline (pack + count-GEMM), per GPU",
     "NuCCOR": "CC contraction throughput, per GPU",
     "Pele": "PeleC time/cell/step, best code states",
     "COAST": "system APSP throughput (Gordon Bell runs)",

@@ -88,13 +88,17 @@ def _numerical_jacobian(f: RhsFn, t: float, y: np.ndarray, fy: np.ndarray,
         Y = y[:, None] + np.diag(dy)
         F = np.asarray(f(t, Y))
         stats.rhs_evals += n
-        return (F - fy[:, None]) / dy[None, :]
+        # non-finite RHS values (diverging problems probed near a failure)
+        # legitimately produce NaN differences here; Newton rejects them
+        with np.errstate(invalid="ignore"):
+            return (F - fy[:, None]) / dy[None, :]
     J = np.empty((n, n))
-    for j in range(n):
-        yp = y.copy()
-        yp[j] += dy[j]
-        J[:, j] = (f(t, yp) - fy) / dy[j]
-        stats.rhs_evals += 1
+    with np.errstate(invalid="ignore"):
+        for j in range(n):
+            yp = y.copy()
+            yp[j] += dy[j]
+            J[:, j] = (f(t, yp) - fy) / dy[j]
+            stats.rhs_evals += 1
     return J
 
 
@@ -310,7 +314,10 @@ class BdfIntegrator:
                 def psi1(yn: np.ndarray, y=y, h=h, t_new=t_new) -> np.ndarray:
                     r = self.rhs(t_new, yn)
                     stats.rhs_evals += 1
-                    return yn - y - h * r
+                    # infinite RHS values make this NaN on purpose; the
+                    # Newton loop treats non-finite residuals as failure
+                    with np.errstate(invalid="ignore"):
+                        return yn - y - h * r
 
                 y_new = self._newton_solve(t_new, y + h * f0, gamma, psi1, stats)
                 order = 1
@@ -328,8 +335,10 @@ class BdfIntegrator:
                     r = self.rhs(t_new, yn)
                     stats.rhs_evals += 1
                     # scaled by 1/a0 so the residual Jacobian is exactly
-                    # I - gamma J, matching the factored iteration matrix
-                    return yn + (a1 * y + a2 * yp - h * r) / a0
+                    # I - gamma J, matching the factored iteration matrix;
+                    # NaN from an infinite RHS is the intended failure signal
+                    with np.errstate(invalid="ignore"):
+                        return yn + (a1 * y + a2 * yp - h * r) / a0
 
                 # predictor: linear extrapolation
                 y_pred = y + rho * (y - y_prev)

@@ -12,10 +12,12 @@ which is "overwhelmingly dominated by the mixed precision GEMM matrix
 product operation".  Counts fit in small integers, so FP16/Int8 tensor
 cores compute them exactly — the reduced-precision trick of the paper.
 
-The GEMM path is verified element-for-element against a brute-force pair
-loop, including through a simulated FP16 quantization of the one-hot
-operands (lossless, since one-hot entries are 0/1 and counts stay far
-below the FP16 integer-exactness bound of 2048 for the sizes used).
+The tallies themselves now come from :mod:`repro.similarity.gemmtally`
+(bit-packed popcount word sweeps, or one batched matmul over the one-hot
+state planes); the naive pair loop survives as the
+``use_gemm_tally=False`` ablation and as the exactness reference.  Fields
+holding values outside ``[0, N_STATES)`` are treated as missing and are
+excluded from every tally, on both paths.
 """
 
 from __future__ import annotations
@@ -25,6 +27,7 @@ import numpy as np
 
 from repro.gpu.kernel import KernelSpec
 from repro.hardware.gpu import Precision
+from repro.similarity import gemmtally
 
 #: Number of allele states in 2-bit genomics encoding.
 N_STATES = 2
@@ -47,7 +50,7 @@ def one_hot(data: np.ndarray) -> np.ndarray:
 
 def cooccurrence_counts_gemm(data: np.ndarray, *, fp16: bool = False,
                              int8: bool = False) -> np.ndarray:
-    """All-pairs co-occurrence counts via GEMM.
+    """All-pairs co-occurrence counts via one batched GEMM contraction.
 
     Returns counts of shape (N_STATES, N_STATES, n, n):
     ``counts[s, t, i, j]`` = #fields where vector i is in state s and
@@ -59,36 +62,40 @@ def cooccurrence_counts_gemm(data: np.ndarray, *, fp16: bool = False,
     """
     if fp16 and int8:
         raise ValueError("choose one of fp16 / int8")
-    oh = one_hot(data)
-    if fp16:
-        oh = oh.astype(np.float16).astype(np.float64)
     if int8:
-        oh8 = oh.astype(np.int8)
-        n = data.shape[0]
-        counts = np.empty((N_STATES, N_STATES, n, n))
-        for s in range(N_STATES):
-            for t in range(N_STATES):
-                counts[s, t] = (
-                    oh8[:, s, :].astype(np.int32) @ oh8[:, t, :].T.astype(np.int32)
-                ).astype(np.float64)
-        return counts
-    n = data.shape[0]
-    counts = np.empty((N_STATES, N_STATES, n, n))
-    for s in range(N_STATES):
-        for t in range(N_STATES):
-            counts[s, t] = oh[:, s, :] @ oh[:, t, :].T  # the GEMM
-    return counts
+        p = gemmtally._state_planes(data, N_STATES, np.int8).astype(np.int32)
+        acc = p[:, None] @ p.transpose(0, 2, 1)[None]  # (S, S, n, n) int32
+        return acc.astype(np.float64)
+    dtype = np.float16 if fp16 else np.float64
+    p = gemmtally._state_planes(data, N_STATES, dtype).astype(np.float64)
+    return p[:, None] @ p.transpose(0, 2, 1)[None]  # the batched GEMM
 
 
 def cooccurrence_counts_bruteforce(data: np.ndarray) -> np.ndarray:
-    """Reference pair-loop implementation."""
+    """Reference pair-loop implementation (the naive-tally ablation)."""
     n, m = data.shape
     counts = np.zeros((N_STATES, N_STATES, n, n))
     for i in range(n):
         for j in range(n):
             for k in range(m):
-                counts[data[i, k], data[j, k], i, j] += 1
+                s, t = data[i, k], data[j, k]
+                if 0 <= s < N_STATES and 0 <= t < N_STATES:
+                    counts[s, t, i, j] += 1
     return counts
+
+
+def cooccurrence_counts(data: np.ndarray, *, use_gemm_tally: bool = True,
+                        method: str = "popcount") -> np.ndarray:
+    """All-pairs tallies: the GEMM-recast engine, or the naive pair loop.
+
+    The default runs :func:`repro.similarity.gemmtally.tally_2way`
+    (``method`` selects bit-packed popcount sweeps or the batched einsum
+    contraction); ``use_gemm_tally=False`` is the O(n²·m) Python-loop
+    ablation used to measure the recast's speedup.
+    """
+    if use_gemm_tally:
+        return gemmtally.tally_2way(data, n_states=N_STATES, method=method)
+    return cooccurrence_counts_bruteforce(data)
 
 
 def ccc_from_counts(counts: np.ndarray, n_fields: int) -> np.ndarray:
@@ -105,9 +112,19 @@ def ccc_from_counts(counts: np.ndarray, n_fields: int) -> np.ndarray:
     return metric.max(axis=(0, 1))
 
 
-def ccc_similarity(data: np.ndarray, *, fp16: bool = True) -> np.ndarray:
-    """End-to-end 2-way CCC over all vector pairs."""
-    counts = cooccurrence_counts_gemm(data, fp16=fp16)
+def ccc_similarity(data: np.ndarray, *, fp16: bool = True,
+                   use_gemm_tally: bool = True,
+                   method: str = "popcount") -> np.ndarray:
+    """End-to-end 2-way CCC over all vector pairs.
+
+    ``use_gemm_tally`` selects the bit-packed/batched-GEMM tally engine
+    (default) or the naive loop ablation; ``fp16`` is honoured on the
+    legacy einsum path and is a no-op for the integer-exact popcount path.
+    """
+    if use_gemm_tally:
+        counts = cooccurrence_counts(data, method=method)
+    else:
+        counts = cooccurrence_counts_bruteforce(data)
     return ccc_from_counts(counts, data.shape[1])
 
 

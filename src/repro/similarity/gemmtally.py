@@ -1,0 +1,266 @@
+"""GEMM-recast CCC/DUO tally engine: bit-packed popcounts + batched GEMMs.
+
+CoMet's 6.71 EF number (§3.6) rests on one algorithmic move: the
+comparative-genomics tallies — "how many fields have vector i in allele
+state s while vector j is in state t" — are *contractions over the field
+axis*, so all O(n²) vector pairs reduce to a handful of matrix products
+of the per-state indicator planes.  This module implements both machine
+formulations of that move:
+
+* **bit-packed popcount sweeps** (the DUO/CCC "2-bit GEMM"): each state's
+  indicator row is packed 64 fields per ``uint64`` word; the (s, t) tally
+  matrix is ``popcount(A_s[i] & A_t[j])`` summed over words.  Integer
+  exact by construction, with a 64× data compression over one-hot bytes.
+* **batched einsum/matmul contractions** (the FP16/Int8 tensor-core GEMM):
+  the (S, n, m) one-hot stack contracts in ONE batched matmul to the full
+  (S, S, n, n) tally tensor — one fused contraction per state pair, never
+  a Python loop over vector pairs.
+
+The 3-way CCC tallies factor the same way: for each state triple
+(s, t, u) the count tensor is ``Σ_m A_s[i,m]·A_t[j,m]·A_u[k,m]``, computed
+as one (n²×m)·(m×n) GEMM on the Hadamard pair plane (the masked-GEMM
+batching CoMet uses to map 3-way metrics onto matrix engines) or as a
+three-operand popcount sweep on the packed words.
+
+Fields whose value falls outside ``[0, n_states)`` are treated as missing
+(CoMet's sparse-input handling): they belong to no state plane and are
+excluded from every tally.
+
+Everything here returns *integer* tallies and is verified exactly against
+the naive loops in :mod:`repro.similarity.ccc` / ``threeway``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpu.kernel import KernelSpec
+from repro.hardware.gpu import Precision
+
+#: Fields packed per machine word in the popcount path.
+WORD_BITS = 64
+
+if hasattr(np, "bitwise_count"):  # numpy >= 2.0
+    _popcount = np.bitwise_count
+else:  # pragma: no cover - exercised only on numpy 1.x
+    _POP8 = np.array([bin(v).count("1") for v in range(256)], dtype=np.uint8)
+
+    def _popcount(words: np.ndarray) -> np.ndarray:
+        return _POP8[words.view(np.uint8)].reshape(*words.shape, 8).sum(axis=-1)
+
+
+@dataclass(frozen=True)
+class PackedAlleles:
+    """Bit-plane encoding of an allele matrix.
+
+    ``words[i, s, w]`` holds fields ``64w .. 64w+63`` of vector i's state-s
+    indicator, little-endian within each word.  Padding bits beyond
+    ``n_fields`` are zero, so AND/popcount sweeps never overcount.
+    """
+
+    words: np.ndarray  # (n_vectors, n_states, n_words) uint64
+    n_fields: int
+
+    @property
+    def n_vectors(self) -> int:
+        return self.words.shape[0]
+
+    @property
+    def n_states(self) -> int:
+        return self.words.shape[1]
+
+    @property
+    def n_words(self) -> int:
+        return self.words.shape[2]
+
+
+def pack_alleles(data: np.ndarray, *, n_states: int = 2) -> PackedAlleles:
+    """Pack an (n, m) allele matrix into per-state uint64 bit planes."""
+    data = np.asarray(data)
+    if data.ndim != 2:
+        raise ValueError(f"allele matrix must be 2-D, got shape {data.shape}")
+    n, m = data.shape
+    planes = data[:, None, :] == np.arange(n_states)[None, :, None]  # (n, S, m)
+    packed8 = np.packbits(planes, axis=-1, bitorder="little")  # (n, S, ceil(m/8))
+    pad = (-packed8.shape[-1]) % 8
+    if pad:
+        packed8 = np.pad(packed8, [(0, 0), (0, 0), (0, pad)])
+    words = packed8.view(np.uint64)
+    return PackedAlleles(words=np.ascontiguousarray(words), n_fields=m)
+
+
+def popcount_tallies_2way(packed: PackedAlleles) -> np.ndarray:
+    """All-pairs 2-way tallies by popcount-on-AND word sweeps.
+
+    Returns int64 ``counts[s, t, i, j]`` = #fields with vector i in state s
+    and vector j in state t.  One (n, n, W) AND sweep per state pair — the
+    vector-pair axes are pure broadcasting, never a Python loop.
+    """
+    w = packed.words  # (n, S, W)
+    n, S, _ = w.shape
+    counts = np.empty((S, S, n, n), dtype=np.int64)
+    for s in range(S):
+        a = w[:, s, :]
+        for t in range(S):
+            b = w[:, t, :]
+            counts[s, t] = _popcount(a[:, None, :] & b[None, :, :]).sum(
+                axis=-1, dtype=np.int64
+            )
+    return counts
+
+
+def popcount_tallies_3way(packed: PackedAlleles) -> np.ndarray:
+    """All-triples 3-way tallies by three-operand popcount sweeps.
+
+    Returns int64 ``counts[s, t, u, i, j, k]``.  The pair plane
+    ``A_s[i] & A_t[j]`` is reused across the pivot axis, so each state
+    triple costs one (n, n, n, W) AND+popcount sweep.
+    """
+    w = packed.words
+    n, S, _ = w.shape
+    counts = np.empty((S,) * 3 + (n,) * 3, dtype=np.int64)
+    for s in range(S):
+        for t in range(S):
+            pair = w[:, s, None, :] & w[None, :, t, :]  # (n, n, W)
+            for u in range(S):
+                tri = pair[:, :, None, :] & w[None, None, :, u, :]
+                counts[s, t, u] = _popcount(tri).sum(axis=-1, dtype=np.int64)
+    return counts
+
+
+def _state_planes(data: np.ndarray, n_states: int, dtype) -> np.ndarray:
+    """One-hot stack (S, n, m) in the GEMM operand dtype."""
+    planes = (data[None, :, :] == np.arange(n_states)[:, None, None])
+    return planes.astype(dtype)
+
+
+def einsum_tallies_2way(data: np.ndarray, *, n_states: int = 2,
+                        dtype=np.float64) -> np.ndarray:
+    """All-pairs 2-way tallies as ONE batched matmul contraction.
+
+    The (S, n, m) one-hot stack contracts as
+    ``counts[s, t] = P[s] @ P[t].T`` — a single (S·S)-batch GEMM, the
+    formulation that runs on the matrix engines.  FP16/FP32 operands give
+    exact integer results for tallies below the mantissa bound (2¹¹ for
+    FP16), mirroring the paper's mixed-precision claim.  The operands are
+    quantized through ``dtype`` and accumulated in FP64 (simulating the
+    FP32 accumulators of the real mixed-precision GEMM).
+    """
+    p = _state_planes(data, n_states, dtype).astype(np.float64)
+    acc = p[:, None] @ p.transpose(0, 2, 1)[None]  # (S, S, n, n) batched GEMM
+    return np.rint(np.asarray(acc, dtype=np.float64)).astype(np.int64)
+
+
+def einsum_tallies_3way(data: np.ndarray, *, n_states: int = 2,
+                        dtype=np.float64) -> np.ndarray:
+    """All-triples 3-way tallies, one fused GEMM per state triple.
+
+    For each (s, t, u) the count tensor ``Σ_m P_s[i,m] P_t[j,m] P_u[k,m]``
+    is evaluated as the (n²×m)·(m×n) product of the Hadamard pair plane
+    against the pivot plane — einsum's optimal contraction path, and the
+    masked-GEMM batching CoMet uses for the 3-way metric.  No loop over
+    vectors, only over the S³ state triples.
+    """
+    p = _state_planes(data, n_states, dtype).astype(np.float64)
+    S, n, m = p.shape
+    counts = np.empty((S,) * 3 + (n,) * 3, dtype=np.int64)
+    for s in range(S):
+        for t in range(S):
+            pair = (p[s, :, None, :] * p[t, None, :, :]).reshape(n * n, m)
+            for u in range(S):
+                acc = pair @ p[u].T  # the fused (n² x m)·(m x n) GEMM
+                counts[s, t, u] = np.rint(
+                    np.asarray(acc, dtype=np.float64)
+                ).astype(np.int64).reshape(n, n, n)
+    return counts
+
+
+def tally_2way(data: np.ndarray, *, n_states: int = 2,
+               method: str = "popcount") -> np.ndarray:
+    """2-way tallies through the GEMM-recast engine.
+
+    ``method='popcount'`` runs the bit-packed word sweeps (the DUO 2-bit
+    path); ``'einsum'`` the batched one-hot matmul (the FP16 tensor-core
+    path, simulated in FP64); both are integer exact.
+    """
+    if method == "popcount":
+        return popcount_tallies_2way(pack_alleles(data, n_states=n_states))
+    if method == "einsum":
+        return einsum_tallies_2way(data, n_states=n_states)
+    raise ValueError(f"unknown tally method {method!r}")
+
+
+def tally_3way(data: np.ndarray, *, n_states: int = 2,
+               method: str = "popcount") -> np.ndarray:
+    """3-way tallies through the GEMM-recast engine."""
+    if method == "popcount":
+        return popcount_tallies_3way(pack_alleles(data, n_states=n_states))
+    if method == "einsum":
+        return einsum_tallies_3way(data, n_states=n_states)
+    raise ValueError(f"unknown tally method {method!r}")
+
+
+# ---------------------------------------------------------------------------
+# Performance layer: the tally pipeline as GPU kernel launches
+# ---------------------------------------------------------------------------
+
+
+def pack_kernel_spec(n_vectors: int, n_fields: int, *,
+                     n_states: int = 2) -> KernelSpec:
+    """The bit-pack stage as one bandwidth-bound kernel.
+
+    Reads the 2-bit allele stream (one byte per field here), writes the
+    packed bit planes — a 64× compression, which is why the stage
+    disappears next to the count GEMM.
+    """
+    words = -(-n_fields // WORD_BITS)
+    return KernelSpec(
+        name=f"ccc_pack_{n_vectors}x{n_fields}",
+        flops=float(n_vectors) * n_fields * n_states,  # compare+mask per plane
+        bytes_read=float(n_vectors) * n_fields,
+        bytes_written=float(n_vectors) * n_states * words * 8,
+        threads=max(n_vectors * words, 64),
+        # integer compare/mask work rides the FP32 vector ALUs in the
+        # perf model (every catalog device defines an FP32 peak)
+        precision=Precision.FP32,
+        registers_per_thread=32,
+        workgroup_size=256,
+    )
+
+
+def gemm_tally_kernel_spec(n_vectors: int, n_fields: int, *,
+                           n_states: int = 2,
+                           efficiency: float = 0.7) -> KernelSpec:
+    """The batched count GEMM over packed operands as one launch.
+
+    FLOP count is the dense equivalent (2·n²·m per state pair) so the
+    mixed-precision throughput story lines up with §3.6; operands are the
+    bit-packed planes (n_fields/8 bytes per vector per state), the tallies
+    accumulate in FP32.
+    """
+    words = -(-n_fields // WORD_BITS)
+    return KernelSpec(
+        name=f"ccc_tally_gemm_{n_vectors}x{n_fields}",
+        flops=n_states**2 * 2.0 * float(n_vectors) ** 2 * n_fields / efficiency,
+        bytes_read=float(2 * n_states * n_vectors * words * 8),
+        bytes_written=float(n_states**2 * n_vectors * n_vectors * 4),
+        threads=max(n_vectors * n_vectors, 64),
+        precision=Precision.FP16,
+        uses_matrix_engine=True,
+        registers_per_thread=128,
+        lds_per_workgroup=16 * 1024,
+        workgroup_size=256,
+    )
+
+
+def gemmtally_kernel_specs(n_vectors: int, n_fields: int, *,
+                           n_states: int = 2,
+                           efficiency: float = 0.7) -> list[KernelSpec]:
+    """The full tally pipeline (pack, then batched count GEMM)."""
+    return [
+        pack_kernel_spec(n_vectors, n_fields, n_states=n_states),
+        gemm_tally_kernel_spec(n_vectors, n_fields, n_states=n_states,
+                               efficiency=efficiency),
+    ]

@@ -3,12 +3,15 @@
 CoMet's distinguishing capability beyond 2-way similarity is the 3-way
 CCC, which scores *triples* of vectors by the joint frequency of allele
 state combinations — epistasis-style interactions no pairwise metric can
-see.  The counts reduce to a sequence of GEMMs against element-wise
-masked operands (for each state s of the pivot vector, count co-occurrence
-of the other two restricted to the fields where the pivot is in state s).
+see.  The counts reduce to one fused (n²×m)·(m×n) GEMM per state triple
+(the Hadamard pair plane contracted against the pivot plane), or to
+three-operand popcount sweeps on the bit-packed planes — both provided by
+:mod:`repro.similarity.gemmtally`, which is exactly how CoMet maps the
+3-way metric onto the matrix engines.
 
-Everything verified against a brute-force triple loop; the FP16 path is
-exact for the same reason as the 2-way metric.
+Everything verified against a brute-force triple loop (kept as the
+``use_gemm_tally=False`` ablation); the FP16 path is exact for the same
+reason as the 2-way metric.
 """
 
 from __future__ import annotations
@@ -17,42 +20,46 @@ import numpy as np
 
 from repro.gpu.kernel import KernelSpec
 from repro.hardware.gpu import Precision
-from repro.similarity.ccc import N_STATES, one_hot
+from repro.similarity import gemmtally
+from repro.similarity.ccc import N_STATES
 
 
 def threeway_counts_bruteforce(data: np.ndarray) -> np.ndarray:
-    """counts[s, t, u, i, j, k] over vector triples (i < j < k not enforced)."""
+    """counts[s, t, u, i, j, k] over vector triples (i < j < k not enforced).
+
+    The naive-tally ablation; fields outside [0, N_STATES) are missing.
+    """
     n, m = data.shape
     counts = np.zeros((N_STATES,) * 3 + (n,) * 3)
     for i in range(n):
         for j in range(n):
             for k in range(n):
                 for f in range(m):
-                    counts[data[i, f], data[j, f], data[k, f], i, j, k] += 1
+                    s, t, u = data[i, f], data[j, f], data[k, f]
+                    if (0 <= s < N_STATES and 0 <= t < N_STATES
+                            and 0 <= u < N_STATES):
+                        counts[s, t, u, i, j, k] += 1
     return counts
 
 
 def threeway_counts_gemm(data: np.ndarray, *, fp16: bool = False) -> np.ndarray:
-    """3-way counts via masked GEMMs.
+    """3-way counts via the fused per-state-triple GEMMs.
 
-    For each pivot vector k and pivot state u, mask the one-hot operands
-    to the fields where vector k is in state u, then take the 2-way count
-    GEMM — each (k, u) is one batch of GEMMs, which is exactly how CoMet
-    maps the 3-way metric onto the matrix engines.
+    One (n²×m)·(m×n) contraction per (s, t, u) state triple — the batch
+    axis is the S³ state combinations, never the vector triples.  ``fp16``
+    quantizes the one-hot operands through float16 first (lossless for
+    0/1 entries, the paper's mixed-precision claim).
     """
-    oh = one_hot(data)
-    if fp16:
-        oh = oh.astype(np.float16).astype(np.float64)
-    n, m = data.shape
-    counts = np.empty((N_STATES,) * 3 + (n,) * 3)
-    for k in range(n):
-        for u in range(N_STATES):
-            mask = oh[k, u, :]  # (m,)
-            for s in range(N_STATES):
-                a = oh[:, s, :] * mask  # masked operand
-                for t in range(N_STATES):
-                    counts[s, t, u, :, :, k] = a @ oh[:, t, :].T
-    return counts
+    dtype = np.float16 if fp16 else np.float64
+    return gemmtally.einsum_tallies_3way(data, n_states=N_STATES, dtype=dtype)
+
+
+def threeway_counts(data: np.ndarray, *, use_gemm_tally: bool = True,
+                    method: str = "popcount") -> np.ndarray:
+    """All-triples tallies: the GEMM-recast engine or the naive loop."""
+    if use_gemm_tally:
+        return gemmtally.tally_3way(data, n_states=N_STATES, method=method)
+    return threeway_counts_bruteforce(data)
 
 
 def threeway_metric(counts: np.ndarray, n_fields: int) -> np.ndarray:
@@ -71,16 +78,22 @@ def threeway_metric(counts: np.ndarray, n_fields: int) -> np.ndarray:
     return metric.max(axis=(0, 1, 2))
 
 
-def threeway_similarity(data: np.ndarray, *, fp16: bool = True) -> np.ndarray:
-    counts = threeway_counts_gemm(data, fp16=fp16)
+def threeway_similarity(data: np.ndarray, *, fp16: bool = True,
+                        use_gemm_tally: bool = True,
+                        method: str = "popcount") -> np.ndarray:
+    if use_gemm_tally:
+        counts = threeway_counts(data, method=method)
+    else:
+        counts = threeway_counts_bruteforce(data)
     return threeway_metric(counts, data.shape[1])
 
 
 def threeway_gemm_flops(n_vectors: int, n_fields: int) -> float:
-    """FLOPs: per (pivot, pivot-state): S² GEMMs of 2·n²·m, plus masking."""
-    gemms = n_vectors * N_STATES * N_STATES**2 * 2.0 * float(n_vectors) ** 2 * n_fields
-    masking = n_vectors * N_STATES * N_STATES * float(n_vectors) * n_fields
-    return gemms + masking
+    """FLOPs: per state triple one (n²×m)·(m×n) GEMM, plus the Hadamard
+    pair-plane products."""
+    gemms = N_STATES**3 * 2.0 * float(n_vectors) ** 3 * n_fields
+    hadamard = N_STATES**2 * float(n_vectors) ** 2 * n_fields
+    return gemms + hadamard
 
 
 def threeway_kernel_spec(n_vectors: int, n_fields: int, *,

@@ -14,13 +14,13 @@ from pathlib import Path
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 
 
-def run_example(name: str) -> str:
+def run_example(name: str, **kwargs) -> str:
     sys.path.insert(0, str(EXAMPLES_DIR))
     try:
         module = importlib.import_module(name)
         buf = io.StringIO()
         with redirect_stdout(buf):
-            module.main()
+            module.main(**kwargs)
         return buf.getvalue()
     finally:
         sys.path.remove(str(EXAMPLES_DIR))
@@ -76,7 +76,9 @@ class TestExamples:
         assert "bit-identical to failure-free run: True" in out
 
     def test_resilient_campaign(self):
-        out = run_example("resilient_campaign")
+        # --fast keeps this under a few seconds while still asserting the
+        # bit-identical recovery and the Daly-curve sweet spot
+        out = run_example("resilient_campaign", fast=True)
         assert "checkpoint every" in out  # Young/Daly machine table
         assert "bit-identical to failure-free run: True" in out
         assert "<- W*" in out

@@ -125,8 +125,8 @@ class TestIntext:
         assert {"2.1", "3.1", "3.3", "3.4", "3.5", "3.6", "3.8", "3.9",
                 "3.10"} <= sections
 
-    def test_sixteen_claims(self):
-        assert len(ALL_CLAIMS) == 16
+    def test_seventeen_claims(self):
+        assert len(ALL_CLAIMS) == 17
 
     def test_render(self, result):
         text = result.render()

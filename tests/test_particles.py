@@ -14,6 +14,7 @@ from repro.particles import (
     hacc_gravity_kernels,
     long_range_forces,
     p3m_forces,
+    short_range_forces,
     short_range_pair_force,
     zeldovich_ics,
 )
@@ -106,6 +107,52 @@ class TestGravity:
         m = rng.uniform(0.5, 2.0, 20)
         f = p3m_forces(x, m, grid)
         np.testing.assert_allclose(f.sum(axis=0), 0.0, atol=1e-8 * np.abs(f).max())
+
+
+class TestVectorizedPairKernels:
+    """The triangular-broadcast force sweeps against the naive pair loops."""
+
+    @staticmethod
+    def _cloud(n, seed=0, box=4.0):
+        rng = np.random.default_rng(seed)
+        return rng.uniform(0, box, (n, 3)), rng.uniform(0.5, 2.0, n)
+
+    def test_short_range_matches_naive_loop(self):
+        x, m = self._cloud(60, seed=4)
+        vec = short_range_forces(x, m, 4.0, rs=0.4)
+        naive = short_range_forces(x, m, 4.0, rs=0.4, vectorized=False)
+        np.testing.assert_allclose(vec, naive, rtol=0, atol=1e-10)
+
+    def test_direct_matches_naive_loop(self):
+        x, m = self._cloud(60, seed=5)
+        np.testing.assert_allclose(
+            direct_forces(x, m),
+            direct_forces(x, m, vectorized=False),
+            rtol=0, atol=1e-10,
+        )
+
+    def test_coincident_particles_are_skipped(self):
+        x = np.zeros((3, 3))
+        assert np.all(direct_forces(x, np.ones(3)) == 0.0)
+        assert np.all(short_range_forces(x, np.ones(3), 1.0, rs=0.1) == 0.0)
+
+    def test_single_particle_feels_nothing(self):
+        x = np.array([[0.5, 0.5, 0.5]])
+        assert np.all(short_range_forces(x, np.ones(1), 1.0, rs=0.1) == 0.0)
+        assert np.all(direct_forces(x, np.ones(1)) == 0.0)
+
+    def test_pair_force_accepts_arrays(self):
+        r = np.array([0.5, 1.0, 2.0])
+        vals = short_range_pair_force(r, 0.5)
+        assert vals.shape == r.shape
+        assert np.all(np.diff(vals) < 0)  # monotone decay
+        with pytest.raises(ValueError):
+            short_range_pair_force(np.array([1.0, 0.0]), 0.5)
+
+    def test_cutoff_respected_on_vectorized_path(self):
+        x = np.array([[0.0, 0.0, 0.0], [2.0, 0.0, 0.0]])
+        f = short_range_forces(x, np.ones(2), 10.0, rs=0.1, cutoff=1.0)
+        assert np.all(f == 0.0)
 
 
 class TestCosmologyDriver:
