@@ -6,7 +6,11 @@ Measures, on the real reproduction code (wall clock, not models):
   state — the real-time cost a recovery pays before replay starts;
 * the simulated checkpoint-overhead fraction of a fault-injected
   campaign run at the Young/Daly interval, with the failure-free wall
-  clock as the baseline.
+  clock as the baseline;
+* the simulated-time inflation of ABFT checksum augmentation on the
+  production-size batched-LU and count-GEMM kernels (gated at 10%);
+* a fault matrix: every FaultKind crossed with every RecoveryPolicy on
+  a tiny HACC campaign, each cell required to finish bit-identical.
 
 Results merge into ``BENCH_repro_speed.json`` (existing keys are
 preserved).  Run directly::
@@ -24,16 +28,26 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.apps.exasky import ExaskyCampaign
 from repro.apps.pele import PeleChemistryCampaign
+from repro.gpu.device import Device
+from repro.gpu.perfmodel import time_kernel
+from repro.hardware.catalog import FRONTIER
+from repro.linalg.batched import batched_lu_kernel_spec
+from repro.mpisim import SimComm
 from repro.resilience import (
     CheckpointCostModel,
     FaultInjector,
     FaultKind,
     ResilientRunner,
+    SpareSwapPolicy,
     decode_snapshot,
     encode_snapshot,
     young_daly_interval,
 )
+from repro.similarity.gemmtally import gemm_tally_kernel_spec
+
+ABFT_INFLATION_GATE = 0.10  # checksum work may not cost >10% kernel time
 
 _RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_repro_speed.json"
 
@@ -107,10 +121,88 @@ def campaign_overhead(*, nsteps: int = 60, mtbf: float = 40.0,
     }
 
 
+def abft_overhead() -> dict:
+    """Simulated-time inflation of checksum augmentation on the two
+    production ABFT carriers, timed on the Frontier GPU model.
+
+    The batched LU runs at the production block size (512 cells of a
+    128-species mechanism): the Huang–Abraham ride-along is O(n²) work
+    against O(n³) elimination, so toy sizes would overstate the ratio.
+    The CoMet count-GEMM adds two GEMVs per state pair — O(1/n) of the
+    tally itself.
+    """
+    gpu = FRONTIER.node.gpu
+
+    def inflation(mk) -> float:
+        base = time_kernel(mk(False), gpu).execution_time
+        return time_kernel(mk(True), gpu).execution_time / base - 1.0
+
+    return {
+        "device": gpu.name,
+        "batched_lu": {
+            "batch": 512, "n": 128,
+            "inflation": inflation(
+                lambda a: batched_lu_kernel_spec(512, 128, abft=a)),
+        },
+        "gemm_tally": {
+            "n_vectors": 4096, "n_fields": 65536,
+            "inflation": inflation(
+                lambda a: gemm_tally_kernel_spec(4096, 65536, abft=a)),
+        },
+        "gate": ABFT_INFLATION_GATE,
+    }
+
+
+def fault_matrix(*, nsteps: int = 16) -> dict:
+    """Every FaultKind × every RecoveryPolicy on one tiny HACC campaign.
+
+    Fatal-fault cells must end bit-identical to the failure-free run
+    (recovery replays deterministically).  SDC cells must be
+    bit-identical whenever every injected flip was detected — the
+    campaign's range validators are real, partial guards, so a
+    low-order mantissa flip can legitimately ride through; the matrix
+    *measures* that coverage instead of assuming it.
+    """
+    reference = ExaskyCampaign(nparticles=128, seed=3)
+    for _ in range(nsteps):
+        reference.step()
+
+    cells: dict[str, dict] = {}
+    for kind in FaultKind:
+        for name in ("restart", "shrink", "spare"):
+            app = ExaskyCampaign(nparticles=128, seed=3)
+            comm = SimComm(8, FRONTIER.node.interconnect)
+            runner = ResilientRunner(
+                app, checkpoint_interval=4,
+                injector=FaultInjector(rng=np.random.default_rng(11),
+                                       mtbf={kind: 0.1},
+                                       max_target=comm.nranks),
+                cost_model=CheckpointCostModel(restart_cost=0.02),
+                comm=comm, device=Device(FRONTIER.node.gpu),
+                max_retries=50, backoff_base=0.0,
+                policy=(SpareSwapPolicy(spares=2, activation_cost=0.005)
+                        if name == "spare" else name),
+            )
+            stats = runner.run(nsteps)
+            cells[f"{kind.value}/{name}"] = {
+                "events_fired": stats.events_fired,
+                "recoveries": stats.recoveries,
+                "ranks_final": stats.ranks_final,
+                "sdc_injected": stats.sdc_injected,
+                "sdc_detected": stats.sdc_detected,
+                "bit_identical": bool(
+                    np.array_equal(app.pos, reference.pos)
+                    and np.array_equal(app.vel, reference.vel)),
+            }
+    return cells
+
+
 def run_all(*, write: bool = True) -> dict:
     report = {
         "resilience_checkpoint_latency": checkpoint_latency(),
         "resilience_campaign_overhead": campaign_overhead(),
+        "resilience_abft_overhead": abft_overhead(),
+        "resilience_fault_matrix": fault_matrix(),
     }
     if write:
         merged = {}
@@ -138,6 +230,27 @@ def test_bench_resilience():
     assert camp["recoveries"] >= 1
     assert camp["checkpoint_overhead_fraction"] < camp["faulty_overhead_fraction"]
     assert camp["wall_clock_inflation"] >= 1.0
+
+    ab = report["resilience_abft_overhead"]
+    print(f"abft inflation on {ab['device']}: "
+          f"batched LU {ab['batched_lu']['inflation']:.2%}, "
+          f"count GEMM {ab['gemm_tally']['inflation']:.2%} "
+          f"(gate {ab['gate']:.0%})")
+    for carrier in ("batched_lu", "gemm_tally"):
+        assert 0.0 <= ab[carrier]["inflation"] < ABFT_INFLATION_GATE, (
+            f"ABFT inflates {carrier} simulated time by "
+            f"{ab[carrier]['inflation']:.1%} (gate {ABFT_INFLATION_GATE:.0%})")
+
+    matrix = report["resilience_fault_matrix"]
+    fired = sum(c["events_fired"] for c in matrix.values())
+    print(f"fault matrix: {len(matrix)} kind x policy cells, "
+          f"{fired} events fired")
+    assert len(matrix) == len(FaultKind) * 3
+    assert fired > 0, "fault matrix fired no events at all"
+    for cell, result in matrix.items():
+        if result["sdc_injected"] > result["sdc_detected"]:
+            continue  # undetected SDC rode through: divergence is honest
+        assert result["bit_identical"], f"{cell} diverged: {result}"
 
 
 if __name__ == "__main__":

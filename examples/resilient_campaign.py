@@ -15,10 +15,16 @@ resilience subsystem end to end:
    driven by the ResilientRunner, recovering from the last valid
    snapshot, with the final phase space bit-identical to a
    failure-free run;
-3. the Figure 2 Pele chemistry campaign surviving injected rank
+3. an elastic shrink-and-continue recovery: a rank dies, the surviving
+   communicator shrinks ULFM-style, the particle domain redistributes,
+   and the campaign finishes *without* a restart — still bit-identical;
+4. the Figure 2 Pele chemistry campaign surviving injected rank
    failures with an exact replay;
-4. a measured overhead-vs-interval sweep against Daly's model: the
+5. a measured overhead-vs-interval sweep against Daly's model: the
    sweet spot lands where sqrt(2 delta M) says it should.
+
+``--policy {restart,shrink,spare}`` selects the recovery policy the
+main campaign uses; all three end in the same bits.
 """
 
 import numpy as np
@@ -32,6 +38,7 @@ from repro.resilience import (
     FaultInjector,
     FaultKind,
     ResilientRunner,
+    SpareSwapPolicy,
     encode_snapshot,
     machine_checkpoint_cost,
     optimal_interval_for_machine,
@@ -41,10 +48,11 @@ from repro.resilience import (
 )
 
 
-def main(fast: bool = False) -> None:
+def main(fast: bool = False, policy: str = "restart") -> None:
     """Run the full demo; ``fast`` shrinks the campaign and the Daly sweep
     (fewer steps, particles and seeds) without dropping any assertion —
-    the bit-identical-recovery check runs in both modes."""
+    the bit-identical-recovery checks run in both modes.  ``policy``
+    picks the main campaign's recovery strategy."""
     print("=== Young/Daly intervals from the machine models ===")
     nbytes = 16 << 30  # 16 GiB of state per node, a typical PeleC plotfile
     for machine in (SUMMIT, FRONTIER):
@@ -55,9 +63,9 @@ def main(fast: bool = False) -> None:
               f"{mtbf/3600:5.1f} h, ckpt {delta:6.1f} s "
               f"-> checkpoint every {w/60:.0f} min")
 
-    print("\n=== Fault-injected HACC campaign, bit-identical restart ===")
-    nsteps, interval = (120, 25) if fast else (400, 25)
-    nparticles = 1024 if fast else 4096
+    print(f"\n=== Fault-injected HACC campaign, policy={policy} ===")
+    nsteps, interval = (80, 25) if fast else (400, 25)
+    nparticles = 512 if fast else 4096
 
     def campaign() -> ExaskyCampaign:
         return ExaskyCampaign(nparticles=nparticles, seed=3)
@@ -79,25 +87,57 @@ def main(fast: bool = False) -> None:
         },
         max_target=comm.nranks,
     )
+    # spares must come up fast on this compressed timescale or recoveries
+    # outrun the MTBF and the event queue snowballs
+    chosen = (SpareSwapPolicy(spares=4, activation_cost=0.005)
+              if policy == "spare" else policy)
     runner = ResilientRunner(
         app, checkpoint_interval=interval, injector=injector,
         cost_model=cost, comm=comm, device=device, max_retries=30,
         backoff_base=0.0,  # compressed timescale: skip the exponential waits
+        policy=chosen,
     )
     stats = runner.run(nsteps)
     print(f"  {stats.describe()}")
+    if stats.shrinks or stats.spares_used:
+        print(f"  ranks {stats.ranks_initial} -> {stats.ranks_final}: "
+              f"{stats.shrinks} shrink(s), {stats.spares_used} spare(s), "
+              f"{stats.migrated_bytes/1e3:.1f} kB migrated, "
+              f"{stats.degraded_throughput_time:.2f} s throughput haircut")
     identical = (
         np.array_equal(app.pos, reference.pos)
         and np.array_equal(app.vel, reference.vel)
         and app.steps_done == reference.steps_done
     )
     print(f"  final phase space bit-identical to failure-free run: {identical}")
+    assert identical, f"policy={policy} diverged from the failure-free run"
+
+    print("\n=== Elastic shrink-and-continue: lose a rank, keep going ===")
+    shrink_app = campaign()
+    shrink_comm = SimComm(16, FRONTIER.node.interconnect)
+    shrink_runner = ResilientRunner(
+        shrink_app, checkpoint_interval=interval,
+        injector=FaultInjector(rng=np.random.default_rng(43),
+                               mtbf={FaultKind.RANK_FAILURE: 2.0},
+                               max_target=shrink_comm.nranks),
+        cost_model=cost, comm=shrink_comm, max_retries=30,
+        backoff_base=0.0, policy="shrink",
+    )
+    shrink_stats = shrink_runner.run(nsteps)
+    assert shrink_stats.shrinks >= 1, "expected at least one shrink"
+    assert shrink_stats.ranks_final < shrink_stats.ranks_initial
+    assert np.array_equal(shrink_app.pos, reference.pos)
+    assert np.array_equal(shrink_app.vel, reference.vel)
+    print(f"  survived {shrink_stats.shrinks} failure(s) without restarting: "
+          f"{shrink_stats.ranks_initial} -> {shrink_stats.ranks_final} ranks, "
+          f"final state bit-identical to the failure-free run")
 
     print("\n=== The Figure 2 campaign surviving rank failures ===")
     from repro.experiments.figure2 import run_figure2_resilient
 
-    fig2 = run_figure2_resilient(nsteps=8, checkpoint_interval=2, ncells=8,
-                                 mtbf=7.0)
+    fig2 = run_figure2_resilient(nsteps=4 if fast else 8,
+                                 checkpoint_interval=2,
+                                 ncells=4 if fast else 8, mtbf=7.0)
     print("  " + fig2.render().replace("\n", "\n  "))
     assert all(fig2.checks().values()), fig2.checks()
 
@@ -110,7 +150,7 @@ def main(fast: bool = False) -> None:
     print(f"  ckpt cost {delta*1e3:.2f} ms, MTBF {mtbf:.1f} s "
           f"-> W* = {w_opt:.3f} s ({opt_steps} steps)")
     # exponential failures are noisy; average the measurement
-    nseeds = 3 if fast else 8
+    nseeds = 2 if fast else 8
     sweep = ({max(1, opt_steps // 4), opt_steps, opt_steps * 4} if fast
              else {max(1, opt_steps // 4), opt_steps,
                    opt_steps * 4, opt_steps * 16})
@@ -138,4 +178,8 @@ if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--fast", action="store_true",
                         help="reduced-size run (smaller campaign and sweep)")
-    main(fast=parser.parse_args().fast)
+    parser.add_argument("--policy", choices=("restart", "shrink", "spare"),
+                        default="restart",
+                        help="recovery policy for the main campaign")
+    cli = parser.parse_args()
+    main(fast=cli.fast, policy=cli.policy)

@@ -8,6 +8,7 @@ from typing import Callable
 import numpy as np
 
 from repro.amr.box import Box, BoxArray, chop_domain
+from repro.resilience.elastic import DomainSpec
 from repro.resilience.snapshot import Snapshot, require_kind
 
 
@@ -113,6 +114,18 @@ class AmrHierarchy:
             )
             for lv in p["levels"]
         ]
+
+    def elastic_domain(self) -> DomainSpec:
+        """Boxes are the migratable unit (AMReX's distribution-map grain);
+        a box's payload is its cells' field data."""
+        nboxes = sum(len(level.boxes) for level in self.levels)
+        if nboxes == 0:
+            return DomainSpec(nitems=0, bytes_per_item=0.0, label="boxes")
+        return DomainSpec(
+            nitems=nboxes,
+            bytes_per_item=8.0 * self.composite_cells() / nboxes,
+            label="boxes",
+        )
 
     def composite_cells(self) -> int:
         """Total cells over all levels (the AMR work measure)."""

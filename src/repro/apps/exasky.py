@@ -22,6 +22,8 @@ from repro.gpu.perfmodel import time_kernel
 from repro.hardware.catalog import FRONTIER, SUMMIT, THETA
 from repro.hardware.gpu import GPUSpec
 from repro.particles.cosmology import hacc_gravity_kernels
+from repro.resilience.abft import SdcDetected, require_finite
+from repro.resilience.elastic import DomainSpec
 from repro.resilience.snapshot import Snapshot, require_kind
 
 
@@ -118,6 +120,36 @@ class ExaskyCampaign:
         self.dt = p["dt"]
         self.steps_done = p["steps_done"]
         self.particles_processed = p["particles_processed"]
+
+    # -- resilience hooks ---------------------------------------------------
+
+    def elastic_domain(self) -> DomainSpec:
+        """Particles are the migratable unit: 6 float64 of phase space."""
+        return DomainSpec(nitems=self.pos.shape[0], bytes_per_item=48.0,
+                          label="particles")
+
+    def sdc_targets(self) -> list[np.ndarray]:
+        """The live arrays a bit flip can strike."""
+        return [self.pos, self.vel]
+
+    def validate_state(self) -> None:
+        """Physical-plausibility audit: positions must lie in the periodic
+        unit box (``np.mod`` guarantees it every step) and velocities far
+        inside the kick budget; an exponent-field flip lands outside both."""
+        require_finite("exasky phase space", self.pos, self.vel)
+        if (self.pos < 0.0).any() or (self.pos >= 1.0).any():
+            bad = int(np.flatnonzero((self.pos < 0.0).any(axis=1)
+                                     | (self.pos >= 1.0).any(axis=1))[0])
+            raise SdcDetected(
+                f"particle {bad} outside the periodic unit box",
+                location=(bad,),
+            )
+        if np.abs(self.vel).max() > 1.0:
+            bad = int(np.flatnonzero(np.abs(self.vel).max(axis=1) > 1.0)[0])
+            raise SdcDetected(
+                f"particle {bad} velocity beyond the kick budget",
+                location=(bad,),
+            )
 
 
 def run_summit(cfg: ExaskyConfig = ExaskyConfig()) -> float:

@@ -43,6 +43,8 @@ from repro.chem.mechanism import (
     h2_o2_mechanism,
 )
 from repro.ode import BatchedBdfIntegrator, BdfIntegrator
+from repro.resilience.abft import SdcDetected, require_finite
+from repro.resilience.elastic import DomainSpec
 from repro.resilience.snapshot import Snapshot, require_kind
 from repro.gpu.kernel import KernelSpec
 from repro.gpu.perfmodel import time_kernel_sequence
@@ -191,7 +193,8 @@ class PeleChemistryCampaign:
 
     def __init__(self, *, ncells: int = 16, dt_chem: float = 5e-7,
                  seed: int = 0, mechanism: str = "h2-o2",
-                 rtol: float = 1e-6, atol: float = 1e-9) -> None:
+                 rtol: float = 1e-6, atol: float = 1e-9,
+                 sdc_guard: bool = False) -> None:
         if mechanism not in _CAMPAIGN_MECHANISMS:
             raise ValueError(
                 f"unknown mechanism {mechanism!r}; "
@@ -202,6 +205,7 @@ class PeleChemistryCampaign:
         self.dt_chem = float(dt_chem)
         self.rtol = rtol
         self.atol = atol
+        self.sdc_guard = sdc_guard
         rng = np.random.default_rng(seed)
         self.T = rng.uniform(1200.0, 1600.0, ncells)
         self.C = rng.uniform(0.05, 1.0, (ncells, self.mechanism.n_species))
@@ -212,6 +216,9 @@ class PeleChemistryCampaign:
 
     def step(self) -> float:
         kernels = compile_batched_kernels(self.mechanism)
+        if self.sdc_guard:
+            # a corrupted input state must not be integrated forward
+            self.validate_state()
 
         def rhs(t, conc):
             return kernels.rates(self.T, np.maximum(conc, 0.0))
@@ -220,7 +227,8 @@ class PeleChemistryCampaign:
             return kernels.jacobian(self.T, np.maximum(conc, 0.0))
 
         integ = BatchedBdfIntegrator(rhs, jac=jac, rtol=self.rtol,
-                                     atol=self.atol, max_steps=20_000)
+                                     atol=self.atol, max_steps=20_000,
+                                     sdc_guard=self.sdc_guard)
         self.C = np.maximum(integ.integrate(self.C, 0.0, self.dt_chem).y, 0.0)
         self.steps_done += 1
         return self.step_cost
@@ -250,6 +258,38 @@ class PeleChemistryCampaign:
         self.T = p["T"].copy()
         self.C = p["C"].copy()
         self.steps_done = p["steps_done"]
+
+    # -- resilience hooks ---------------------------------------------------
+
+    def elastic_domain(self) -> DomainSpec:
+        """Cells migrate whole: temperature plus the species vector."""
+        return DomainSpec(
+            nitems=self.T.shape[0],
+            bytes_per_item=8.0 * (1 + self.mechanism.n_species),
+            label="cells",
+        )
+
+    def sdc_targets(self) -> list[np.ndarray]:
+        """The live arrays a bit flip can strike."""
+        return [self.T, self.C]
+
+    def validate_state(self) -> None:
+        """Physical-plausibility audit: concentrations are clipped
+        non-negative every step and temperatures start (and stay) in the
+        hot-ignition window, so a sign or exponent flip is visible."""
+        require_finite("pele chemistry state", self.T, self.C)
+        if (self.C < 0.0).any():
+            bad = int(np.flatnonzero((self.C < 0.0).any(axis=1))[0])
+            raise SdcDetected(
+                f"negative species concentration in cell {bad}",
+                location=(bad,),
+            )
+        if (self.T < 500.0).any() or (self.T > 5000.0).any():
+            bad = int(np.flatnonzero((self.T < 500.0) | (self.T > 5000.0))[0])
+            raise SdcDetected(
+                f"temperature outside the ignition window in cell {bad}",
+                location=(bad,),
+            )
 
 
 def chemistry_flops_per_cell(mech: Mechanism, *, cvode: bool) -> float:

@@ -26,7 +26,9 @@ from repro.mpisim.decomposition import (
     DecompositionError,
     PencilDecomposition,
     SlabDecomposition,
+    balanced_counts,
     balanced_pencil_grid,
+    block_owners,
 )
 from repro.mpisim.topology import Topology
 
@@ -47,7 +49,9 @@ __all__ = [
     "allreduce_time",
     "alltoall_time",
     "alltoallv_time",
+    "balanced_counts",
     "balanced_pencil_grid",
+    "block_owners",
     "barrier_time",
     "bcast_time",
     "link_parameters",

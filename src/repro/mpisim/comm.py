@@ -91,6 +91,8 @@ class SimComm:
         self.clocks = np.zeros(nranks, dtype=float)
         self.failed = np.zeros(nranks, dtype=bool)
         self.stats = CommStats()
+        #: set by :meth:`shrink`: new-rank -> rank in the parent communicator
+        self.parent_ranks: tuple[int, ...] | None = None
 
     # -- rank failure (fault injection) -----------------------------------------
 
@@ -107,6 +109,65 @@ class SimComm:
             raise CommError(f"rank {rank} out of range")
         self.failed[rank] = False
         self.clocks[rank] = float(self.clocks.max())
+
+    def alive_ranks(self) -> list[int]:
+        """Ranks that have not failed, in rank order."""
+        return [int(r) for r in np.flatnonzero(~self.failed)]
+
+    def agree(self, values: Sequence[Any] | None = None, nbytes: float = 8.0,
+              op: Callable = np.logical_and) -> tuple[Any, tuple[int, ...]]:
+        """ULFM ``MPIX_Comm_agree``: fault-tolerant consensus among survivors.
+
+        Unlike the ordinary collectives, ``agree`` *never* raises
+        :class:`RankFailedError` — it runs over the alive ranks only,
+        reduces their contributions with *op* (logical AND by default,
+        matching the MPI semantics of agreeing on a bitmask), and returns
+        ``(agreed_value, failed_ranks)`` so the survivors share a
+        consistent view of who died.  ``values`` is indexed by *global*
+        rank (length ``nranks``); dead ranks' entries are ignored.  Costs
+        an allreduce over the survivor group.
+        """
+        alive = self.alive_ranks()
+        if not alive:
+            raise CommError("agree on a communicator with no alive ranks")
+        if values is None:
+            values = [True] * self.nranks
+        if len(values) != self.nranks:
+            raise CommError(f"expected {self.nranks} per-rank values, "
+                            f"got {len(values)}")
+        link = self.topology.internode_link(device_buffers=self.device_buffers)
+        t = cm.allreduce_time(len(alive), nbytes, link)
+        start = float(np.max(self.clocks[alive]))
+        self.clocks[alive] = start + t
+        self.stats.collectives += 1
+        self.stats.collective_bytes += nbytes * len(alive)
+        self.stats.total_comm_time += t * len(alive)
+        acc = values[alive[0]]
+        for r in alive[1:]:
+            acc = op(acc, values[r])
+        return acc, tuple(int(r) for r in np.flatnonzero(self.failed))
+
+    def shrink(self) -> "SimComm":
+        """ULFM ``MPIX_Comm_shrink``: a new communicator over the survivors.
+
+        The surviving ranks are renumbered densely (old rank order is
+        preserved: if rank 0 died, old rank 1 becomes new rank 0) and
+        carry their clocks over, synchronized to the shrink consensus —
+        building the shrunken communicator is itself an agreement, so the
+        survivors pay one ``agree`` before the new communicator exists.
+        ``parent_ranks[new_rank]`` maps back to the rank numbering of this
+        communicator.  Shrinking a fully-alive communicator returns an
+        identical copy; shrinking repeatedly after repeated failures keeps
+        working down to a single rank.
+        """
+        self.agree()  # the consensus that makes the survivor set common
+        alive = self.alive_ranks()
+        sub = SimComm(len(alive), self.topology.fabric,
+                      ranks_per_node=self.topology.ranks_per_node,
+                      device_buffers=self.device_buffers)
+        sub.clocks = self.clocks[alive].copy()
+        sub.parent_ranks = tuple(alive)
+        return sub
 
     def _check_alive(self, participants: Sequence[int] | None = None) -> None:
         dead = (self.failed if participants is None

@@ -12,9 +12,39 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 
 class DecompositionError(ValueError):
     pass
+
+
+def balanced_counts(nitems: int, nranks: int) -> np.ndarray:
+    """Items per rank under the balanced 1-D block partition.
+
+    The first ``nitems % nranks`` ranks carry one extra item — the
+    standard MPI block distribution, and the partition the elastic
+    recovery layer rebuilds after a shrink.
+    """
+    if nranks < 1:
+        raise DecompositionError("need at least one rank")
+    if nitems < 0:
+        raise DecompositionError("item count must be non-negative")
+    base, extra = divmod(nitems, nranks)
+    counts = np.full(nranks, base, dtype=np.int64)
+    counts[:extra] += 1
+    return counts
+
+
+def block_owners(nitems: int, nranks: int) -> np.ndarray:
+    """Owning rank of each item under :func:`balanced_counts`.
+
+    Returns an ``(nitems,)`` int array; comparing the owner maps before
+    and after a communicator shrink yields exactly the items that must
+    migrate to survivors.
+    """
+    counts = balanced_counts(nitems, nranks)
+    return np.repeat(np.arange(nranks, dtype=np.int64), counts)
 
 
 @dataclass(frozen=True)

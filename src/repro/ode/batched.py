@@ -31,6 +31,13 @@ import numpy as np
 
 from repro.linalg.batched import batched_lu_factor, batched_lu_solve_factored
 from repro.ode.bdf import IntegrationError
+from repro.resilience.abft import (
+    SdcDetected,
+    lu_checksum,
+    require_finite,
+    verify_lu,
+    verify_solve,
+)
 from repro.resilience.snapshot import Snapshot, require_kind
 
 #: Batched RHS: ``f(t, Y)`` with ``Y`` of shape (..., ncells, n); ``t`` a
@@ -152,7 +159,19 @@ class BatchedBdfState:
 
 
 class BatchedBdfIntegrator:
-    """Variable-step BDF(1,2) over a batch of independent stiff systems."""
+    """Variable-step BDF(1,2) over a batch of independent stiff systems.
+
+    ``sdc_guard=True`` arms the silent-data-corruption defenses: fresh
+    Newton factorizations are checksum-verified
+    (:func:`~repro.resilience.abft.verify_lu`), the first Newton solve of
+    every round is residual-checked against the reconstructed iteration
+    matrix — the held LU caches live across rounds, which is exactly the
+    window a bit flip hits — and accepted states must be finite and pass
+    the optional ``plausibility`` predicate (per-cell physical-bounds
+    check, e.g. temperature/mass-fraction windows).  Violations raise
+    :class:`~repro.resilience.abft.SdcDetected` instead of integrating on
+    corrupted state.
+    """
 
     def __init__(
         self,
@@ -166,6 +185,8 @@ class BatchedBdfIntegrator:
         max_newton: int = 6,
         max_jac_age: int = 50,
         gamma_drift_tol: float = 0.3,
+        sdc_guard: bool = False,
+        plausibility: Callable[[np.ndarray], np.ndarray] | None = None,
     ) -> None:
         self.rhs = rhs
         self.jac = jac
@@ -176,6 +197,8 @@ class BatchedBdfIntegrator:
         self.max_newton = max_newton
         self.max_jac_age = max_jac_age
         self.gamma_drift_tol = gamma_drift_tol
+        self.sdc_guard = sdc_guard
+        self.plausibility = plausibility
 
     # -- internals ------------------------------------------------------------
 
@@ -282,10 +305,13 @@ class BatchedBdfIntegrator:
                 M = -gamma[idx, None, None] * J[idx]
                 M[:, diag, diag] += 1.0
                 lu[idx], piv[idx] = batched_lu_factor(M)
+                if self.sdc_guard:
+                    verify_lu(lu[idx], piv[idx], lu_checksum(M))
                 gamma_fact[idx] = gamma[idx]
                 fact_valid[idx] = True
                 stats.cells_refactored += idx.size
             unconv = need & ~converged
+            audited = not self.sdc_guard
             for _ in range(self.max_newton):
                 if not unconv.any():
                     break
@@ -297,6 +323,18 @@ class BatchedBdfIntegrator:
                 uidx = np.flatnonzero(unconv)
                 delta = batched_lu_solve_factored(lu[uidx], piv[uidx],
                                                   -res[uidx])
+                if not audited:
+                    # first solve of the round residual-checks the *held*
+                    # factors: rebuild the iteration matrix they claim to
+                    # factor (J is only refreshed together with a refactor,
+                    # so gamma_fact + J reproduce it exactly) and demand
+                    # M·delta ≈ −res within the backward-stable envelope.
+                    # A bit flip in the cached lu/piv leaves a residual of
+                    # order the solve error, far outside roundoff.
+                    audited = True
+                    M_held = -gamma_fact[uidx, None, None] * J[uidx]
+                    M_held[:, diag, diag] += 1.0
+                    verify_solve(M_held, delta, -res[uidx], growth=4.0)
                 Yn[uidx] += delta
                 newly = self._wrms(delta, W[uidx]) < self.newton_tol
                 converged[uidx[newly]] = True
@@ -449,6 +487,20 @@ class BatchedBdfIntegrator:
                                 5.0)
                 h = np.where(accept, h * grow, h)
                 s.done = s.t >= t_end - tiny
+                if self.sdc_guard:
+                    require_finite("accepted state", s.Y[accept],
+                                   s.t[accept], s.h_prev[accept])
+                    if self.plausibility is not None:
+                        ok = np.asarray(self.plausibility(s.Y[accept]),
+                                        dtype=bool)
+                        if not ok.all():
+                            cell = int(np.flatnonzero(accept)[
+                                int(np.flatnonzero(~ok)[0])])
+                            raise SdcDetected(
+                                f"accepted state fails plausibility in "
+                                f"cell {cell} at t={s.t[cell]:.3e}",
+                                location=(cell,),
+                            )
             s.h = h
 
     def integrate(self, y0: np.ndarray, t0: float, t_end: float) -> BatchedBdfResult:

@@ -5,10 +5,28 @@ the §2 early-access experience): multi-month campaigns only produce
 numbers because they survive node losses.  This package provides the
 snapshot protocol + deterministic codec, a seeded fault injector wired
 through the simulated MPI and GPU substrates, a resilient campaign
-runner with checkpoint-interval accounting, and the Young/Daly optimal
-interval computed from the machine models.
+runner with checkpoint-interval accounting and pluggable recovery
+policies (restart / ULFM shrink-continue / spare-swap), Huang–Abraham
+ABFT checksums against silent data corruption, elastic domain
+redistribution onto survivors, and the Young/Daly optimal interval
+computed from the machine models.
 """
 
+from repro.resilience.abft import (
+    ROUNDOFF_SAFETY,
+    AbftReport,
+    ChecksummedGemm,
+    SdcDetected,
+    checksummed_matmul,
+    flip_bit,
+    gemm_with_checksums,
+    lu_checksum,
+    permute_checksum,
+    require_finite,
+    verify_gemm,
+    verify_lu,
+    verify_solve,
+)
 from repro.resilience.daly import (
     NODE_MTBF_SECONDS,
     daly_expected_runtime,
@@ -17,6 +35,14 @@ from repro.resilience.daly import (
     predicted_overhead,
     system_mtbf,
     young_daly_interval,
+)
+from repro.resilience.elastic import (
+    DomainSpec,
+    ShrinkPlan,
+    domain_of,
+    plan_shrink,
+    redistribute,
+    shrink_and_redistribute,
 )
 from repro.resilience.faults import (
     FATAL_KINDS,
@@ -29,10 +55,15 @@ from repro.resilience.faults import (
 )
 from repro.resilience.runner import (
     CheckpointCostModel,
+    RecoveryPolicy,
     ResilienceError,
     ResilienceStats,
     ResilientRunner,
+    RestartPolicy,
+    ShrinkContinuePolicy,
+    SpareSwapPolicy,
     SteppedApp,
+    make_policy,
 )
 from repro.resilience.snapshot import (
     Checkpointable,
@@ -48,29 +79,53 @@ from repro.resilience.snapshot import (
 __all__ = [
     "FATAL_KINDS",
     "NODE_MTBF_SECONDS",
+    "ROUNDOFF_SAFETY",
+    "AbftReport",
     "Checkpointable",
     "CheckpointCostModel",
+    "ChecksummedGemm",
     "DeviceOomFault",
+    "DomainSpec",
     "FaultEvent",
     "FaultInjector",
     "FaultKind",
     "RankFailureFault",
+    "RecoveryPolicy",
     "ResilienceError",
     "ResilienceStats",
     "ResilientRunner",
+    "RestartPolicy",
+    "SdcDetected",
+    "ShrinkContinuePolicy",
+    "ShrinkPlan",
     "SimulatedFault",
     "Snapshot",
     "SnapshotError",
+    "SpareSwapPolicy",
     "SteppedApp",
+    "checksummed_matmul",
     "daly_expected_runtime",
     "decode_snapshot",
+    "domain_of",
     "encode_snapshot",
+    "flip_bit",
+    "gemm_with_checksums",
+    "lu_checksum",
     "machine_checkpoint_cost",
+    "make_policy",
     "optimal_interval_for_machine",
+    "permute_checksum",
+    "plan_shrink",
     "predicted_overhead",
+    "redistribute",
+    "require_finite",
     "require_kind",
+    "shrink_and_redistribute",
     "snapshot_checksum",
     "snapshot_equal",
     "system_mtbf",
+    "verify_gemm",
+    "verify_lu",
+    "verify_solve",
     "young_daly_interval",
 ]

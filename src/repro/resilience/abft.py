@@ -1,0 +1,374 @@
+"""Huang–Abraham ABFT: checksum-augmented kernels that catch silent errors.
+
+Fail-stop crashes are the *easy* half of the exascale fault model: the
+§2 campaigns also lose nodes to silent data corruption — a bit flips in
+a register or an HBM row and the job keeps running, now computing with a
+wrong number.  Checkpoint/restart is blind to that: it will happily
+checkpoint the corruption.  Algorithm-based fault tolerance (Huang &
+Abraham 1984) instead carries *checksum invariants through the math*:
+
+* **GEMM** — augment ``C = A @ B`` to ``[A; 1ᵀA] @ [B, B·1]``.  The
+  extended product carries every row and column sum of ``C``; a single
+  corrupted element breaks exactly one row relation and one column
+  relation, which both *locates* ``(i, j)`` and recovers the true value
+  (the checksum discrepancy IS the error).  Overhead: one extra row and
+  column on an n×p product — O(1/n).
+* **LU** — the row-sum checksum ``c = A·e`` survives elimination:
+  ``P·A·e = L·(U·e)`` for the factors of a row-pivoted LU.  Verifying
+  that identity costs two O(n²) triangular sweeps against an O(n³)
+  factorization, and any corruption of the packed factors (or a wrong
+  pivot) breaks it.
+* **Residual plausibility** — for solves and implicit integrators, the
+  defining equation itself is the checksum: ``‖A·x − b‖`` bounded by a
+  roundoff envelope, state values finite and physically plausible.
+
+Every check uses an explicit *roundoff threshold* computed from the
+operands (entry-magnitude envelopes times machine epsilon times the
+accumulation length), so detection is exact above the threshold and
+false-positive-free on clean inputs — the property
+``tests/test_abft.py`` measures rather than assumes.  Integer kernels
+(the CoMet count-GEMMs) get zero-tolerance checksums: *every* single
+flip is detected and corrected.
+
+This module is pure numpy with no intra-repo imports, so the hot kernel
+modules (:mod:`repro.linalg.batched`, :mod:`repro.similarity.gemmtally`,
+:mod:`repro.ode.batched`) can adopt it without import cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Safety factor on the accumulated-roundoff envelope.  Large enough that
+#: clean inputs never trip the check (hypothesis-tested), small enough
+#: that any corruption visible above accumulated roundoff is caught.
+ROUNDOFF_SAFETY = 64.0
+
+_EPS = float(np.finfo(np.float64).eps)
+
+
+class SdcDetected(RuntimeError):
+    """A checksum invariant failed: the data has been silently corrupted.
+
+    ``location`` (when known) identifies the corrupted entry;
+    ``magnitude`` is the checksum discrepancy that exposed it.
+    """
+
+    def __init__(self, message: str, *, location: tuple | None = None,
+                 magnitude: float | None = None) -> None:
+        super().__init__(message)
+        self.location = location
+        self.magnitude = magnitude
+
+
+@dataclass
+class AbftReport:
+    """Outcome of one checksum verification pass."""
+
+    checked: int = 0      # checksum relations tested
+    detected: int = 0     # relations that failed
+    corrected: int = 0    # corrupted entries repaired in place
+    locations: tuple = ()  # located corrupt entries, ((i, j), ...)
+
+    @property
+    def clean(self) -> bool:
+        return self.detected == 0
+
+
+def require_finite(name: str, *arrays: np.ndarray) -> None:
+    """Raise :class:`SdcDetected` if any array holds a non-finite value.
+
+    The cheapest plausibility guard: an exponent-field bit flip almost
+    always lands in inf/NaN territory or astronomically far from the
+    trajectory, and every IEEE operation propagates it.
+    """
+    for arr in arrays:
+        if not np.all(np.isfinite(arr)):
+            bad = np.argwhere(~np.isfinite(np.asarray(arr)))
+            raise SdcDetected(
+                f"non-finite value in {name} at index {tuple(bad[0])}",
+                location=tuple(int(v) for v in bad[0]),
+            )
+
+
+# ---------------------------------------------------------------------------
+# GEMM: full row/column checksum augmentation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ChecksummedGemm:
+    """A product carrying its Huang–Abraham checksum rows and columns.
+
+    ``row_checksum[i]`` is the independently-computed Σ_j C[i, j] (from
+    the augmented operand ``B·1``), ``col_checksum[j]`` the Σ_i C[i, j]
+    (from ``1ᵀA``); the tolerances are the roundoff envelopes below which
+    a discrepancy is indistinguishable from floating-point noise.
+    """
+
+    C: np.ndarray
+    row_checksum: np.ndarray
+    col_checksum: np.ndarray
+    row_tol: np.ndarray
+    col_tol: np.ndarray
+
+    @property
+    def exact(self) -> bool:
+        """Integer tallies verify exactly: any discrepancy is corruption."""
+        return np.issubdtype(self.C.dtype, np.integer)
+
+
+def gemm_roundoff_tolerance(A: np.ndarray, B: np.ndarray
+                            ) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row / per-column detection thresholds for ``A @ B`` checksums.
+
+    ``row_tol[i] = safety · (m+p) · eps · Σ_jk |A[i,k]||B[k,j]|`` — the
+    magnitude envelope of row i's full accumulation, O(nm + mp) to build
+    (two matvecs against the operand magnitude sums, never an extra GEMM).
+    """
+    A = np.asarray(A, dtype=float)
+    B = np.asarray(B, dtype=float)
+    m, p = B.shape
+    growth = ROUNDOFF_SAFETY * (m + p) * _EPS
+    row_env = np.abs(A) @ np.abs(B).sum(axis=1)       # (n,)
+    col_env = np.abs(A).sum(axis=0) @ np.abs(B)       # (p,)
+    return growth * row_env, growth * col_env
+
+
+def gemm_with_checksums(A: np.ndarray, B: np.ndarray) -> ChecksummedGemm:
+    """Compute ``A @ B`` through the augmented ``(n+1)×(p+1)`` product.
+
+    One GEMM over ``[A; 1ᵀA] @ [B, B·1]`` yields the product *and* both
+    checksum families in a single pass — the augmentation the real ABFT
+    GEMMs fuse into the kernel, at O(1/n) extra flops.
+    """
+    A = np.asarray(A)
+    B = np.asarray(B)
+    if A.ndim != 2 or B.ndim != 2 or A.shape[1] != B.shape[0]:
+        raise ValueError(f"incompatible GEMM operands {A.shape} x {B.shape}")
+    Ac = np.vstack([A, A.sum(axis=0, keepdims=True)])
+    Br = np.hstack([B, B.sum(axis=1, keepdims=True)])
+    full = Ac @ Br
+    C = np.ascontiguousarray(full[:-1, :-1])
+    if np.issubdtype(C.dtype, np.integer):
+        n, p = C.shape
+        row_tol = np.zeros(n)
+        col_tol = np.zeros(p)
+    else:
+        row_tol, col_tol = gemm_roundoff_tolerance(A, B)
+    return ChecksummedGemm(C=C, row_checksum=full[:-1, -1].copy(),
+                           col_checksum=full[-1, :-1].copy(),
+                           row_tol=row_tol, col_tol=col_tol)
+
+
+def verify_gemm(g: ChecksummedGemm, *, correct: bool = True,
+                raise_on_detect: bool = True) -> AbftReport:
+    """Test both checksum families; locate, and if possible repair, errors.
+
+    A single corrupted product entry breaks exactly one row and one
+    column relation with matching discrepancies — located and subtracted
+    back out (``correct=True``).  A corruption that breaks only one
+    family (a damaged checksum entry itself) is detected but not
+    correctable; with ``raise_on_detect`` that raises
+    :class:`SdcDetected`, otherwise the report carries the verdict.
+    """
+    C = g.C
+    n, p = C.shape
+    # corrupted data may hold inf/NaN — the verifier must stay silent
+    # about the IEEE noise and loud about the verdict
+    with np.errstate(all="ignore"):
+        row_diff = g.row_checksum - C.sum(axis=1)
+        col_diff = g.col_checksum - C.sum(axis=0)
+    # NaN/inf discrepancies (exponent-field flips) are corruption too:
+    # a NaN never exceeds a tolerance by comparison, so test explicitly
+    bad_rows = np.flatnonzero(~np.isfinite(row_diff)
+                              | (np.abs(row_diff) > g.row_tol))
+    bad_cols = np.flatnonzero(~np.isfinite(col_diff)
+                              | (np.abs(col_diff) > g.col_tol))
+    report = AbftReport(checked=n + p,
+                        detected=int(bad_rows.size + bad_cols.size))
+    if report.clean:
+        return report
+
+    if correct and bad_rows.size == 1 and bad_cols.size == 1:
+        i, j = int(bad_rows[0]), int(bad_cols[0])
+        dr, dc = row_diff[i], col_diff[j]
+        tol = max(g.row_tol[i], g.col_tol[j], 0.0)
+        # the two families agree up to the cancellation noise of summing
+        # past the (possibly huge) corrupted entry: O(eps)·|discrepancy|
+        with np.errstate(all="ignore"):
+            match = (np.isfinite(dr) and np.isfinite(dc)
+                     and abs(dr - dc) <= max(tol,
+                                             ROUNDOFF_SAFETY * _EPS * abs(dr)))
+        if match:
+            C[i, j] += dr.astype(C.dtype) if g.exact else dr
+            report.corrected = 1
+            report.locations = ((i, j),)
+            return report
+
+    locations = tuple((int(i), -1) for i in bad_rows[:4]) + tuple(
+        (-1, int(j)) for j in bad_cols[:4])
+    report.locations = locations
+    if raise_on_detect:
+        diffs = np.concatenate([row_diff[bad_rows], col_diff[bad_cols]])
+        worst = float(np.abs(np.nan_to_num(diffs, nan=np.inf)).max())
+        raise SdcDetected(
+            f"GEMM checksum mismatch in {bad_rows.size} row(s) and "
+            f"{bad_cols.size} column(s)",
+            location=locations[0] if locations else None, magnitude=worst,
+        )
+    return report
+
+
+def checksummed_matmul(A: np.ndarray, B: np.ndarray, *,
+                       correct: bool = True) -> np.ndarray:
+    """``A @ B`` with end-to-end checksum verification (convenience)."""
+    g = gemm_with_checksums(A, B)
+    verify_gemm(g, correct=correct)
+    return g.C
+
+
+# ---------------------------------------------------------------------------
+# LU: the row-sum checksum survives elimination
+# ---------------------------------------------------------------------------
+
+
+def lu_checksum(mats: np.ndarray) -> np.ndarray:
+    """Row-sum checksum ``A·e`` of a stack of matrices, taken *before*
+    factorization.  Shape (batch, n)."""
+    mats = np.asarray(mats, dtype=float)
+    if mats.ndim != 3 or mats.shape[1] != mats.shape[2]:
+        raise ValueError(f"expected (batch, n, n) matrices, got {mats.shape}")
+    return mats.sum(axis=-1)
+
+
+def permute_checksum(checksum: np.ndarray, piv: np.ndarray) -> np.ndarray:
+    """Apply the factorization's row-swap sequence to the checksum: the
+    ``P·(A·e)`` side of the invariant."""
+    c = np.array(checksum, dtype=float, copy=True)
+    b, n = c.shape
+    rows = np.arange(b)
+    for k in range(n):
+        p = piv[:, k]
+        tmp = c[rows, k].copy()
+        c[rows, k] = c[rows, p]
+        c[rows, p] = tmp
+    return c
+
+
+def lu_checksum_residual(lu: np.ndarray, piv: np.ndarray,
+                         checksum: np.ndarray
+                         ) -> tuple[np.ndarray, np.ndarray]:
+    """``|L·(U·e) − P·(A·e)|`` per batch entry, with its roundoff envelope.
+
+    Two O(n²) triangular sweeps per matrix; any corruption of the packed
+    factors or the pivot vector breaks the identity somewhere at O(1)
+    extra memory.  Returns ``(residual, tolerance)``, both (batch, n).
+    """
+    lu = np.asarray(lu, dtype=float)
+    b, n, _ = lu.shape
+    with np.errstate(all="ignore"):  # corrupt factors may hold inf/NaN
+        upper = np.triu(lu)
+        lower = np.tril(lu, -1)
+        u_e = upper.sum(axis=-1)                          # U·e
+        recon = u_e + np.einsum("bkj,bj->bk", lower, u_e)  # L·(U·e), unit diag
+        target = permute_checksum(checksum, piv)
+        # magnitude envelope of the same two sweeps, for the threshold
+        ub = np.abs(upper).sum(axis=-1)
+        env = ub + np.einsum("bkj,bj->bk", np.abs(lower), ub)
+        tol = ROUNDOFF_SAFETY * 2 * n * _EPS * np.maximum(
+            env, np.abs(target)) + 1e-300
+        return np.abs(recon - target), tol
+
+
+def verify_lu(lu: np.ndarray, piv: np.ndarray, checksum: np.ndarray, *,
+              raise_on_detect: bool = True) -> AbftReport:
+    """Verify the Huang–Abraham LU invariant for a batched factorization."""
+    resid, tol = lu_checksum_residual(lu, piv, checksum)
+    bad = np.argwhere(~np.isfinite(resid) | (resid > tol))
+    report = AbftReport(checked=resid.size, detected=int(bad.shape[0]),
+                        locations=tuple(map(tuple, bad[:4].tolist())))
+    if report.detected and raise_on_detect:
+        i = tuple(int(v) for v in bad[0])
+        raise SdcDetected(
+            f"LU checksum invariant broken in {bad.shape[0]} row(s) "
+            f"(first: cell {i[0]}, row {i[1]})",
+            location=i, magnitude=float(resid[tuple(bad[0])]),
+        )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Solves and implicit steps: the equation is the checksum
+# ---------------------------------------------------------------------------
+
+
+def solve_residual_envelope(mats: np.ndarray, x: np.ndarray,
+                            rhs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """``|A·x − b|`` per equation with its backward-stable envelope.
+
+    For a solve that was computed correctly the residual is bounded by
+    ``O(n·eps)·(|A|·|x| + |b|)``; a corrupted solution entry drags the
+    residual of its whole column out of that envelope.
+    """
+    mats = np.asarray(mats, dtype=float)
+    x = np.asarray(x, dtype=float)
+    rhs = np.asarray(rhs, dtype=float)
+    n = mats.shape[-1]
+    squeeze = x.ndim == 2
+    if squeeze:  # vector rhs: lift to one-column matrices
+        x = x[..., None]
+        rhs = rhs[..., None]
+    with np.errstate(all="ignore"):  # corrupt solutions may hold inf/NaN
+        resid = np.abs(np.einsum("bij,bjm->bim", mats, x) - rhs)
+        env = np.einsum("bij,bjm->bim", np.abs(mats), np.abs(x)) + np.abs(rhs)
+        tol = ROUNDOFF_SAFETY * n * _EPS * env + 1e-300
+    if squeeze:
+        resid, tol = resid[..., 0], tol[..., 0]
+    return resid, tol
+
+
+def verify_solve(mats: np.ndarray, x: np.ndarray, rhs: np.ndarray, *,
+                 growth: float = 1.0,
+                 raise_on_detect: bool = True) -> AbftReport:
+    """Residual-plausibility guard for batched solves.
+
+    ``growth`` loosens the envelope for ill-conditioned systems (pivot
+    growth); the default covers the diagonally-dominant Newton matrices
+    the chemistry path factors.
+    """
+    resid, tol = solve_residual_envelope(mats, x, rhs)
+    bad = np.argwhere(~np.isfinite(resid) | (resid > growth * tol))
+    report = AbftReport(checked=resid.size, detected=int(bad.shape[0]),
+                        locations=tuple(map(tuple, bad[:4].tolist())))
+    if report.detected and raise_on_detect:
+        i = tuple(int(v) for v in bad[0])
+        raise SdcDetected(
+            f"solve residual outside roundoff envelope in "
+            f"{bad.shape[0]} equation(s) (first: cell {i[0]})",
+            location=i, magnitude=float(resid[tuple(bad[0])]),
+        )
+    return report
+
+
+def flip_bit(arr: np.ndarray, element: int, bit: int) -> float:
+    """Flip one bit of one float64 element in place; returns the old value.
+
+    The injection primitive the SDC fault kind fires through: a live
+    array is corrupted exactly the way a failing HBM row corrupts it —
+    in the bit pattern, not by adding noise.
+    """
+    if arr.dtype != np.float64:
+        raise TypeError(f"bit flips target float64 arrays, got {arr.dtype}")
+    if not 0 <= bit < 64:
+        raise ValueError(f"bit {bit} out of range")
+    flat = arr.reshape(-1)
+    if not np.shares_memory(flat, arr):
+        raise TypeError("bit flips need a contiguous live array, not a copy")
+    element %= flat.size
+    old = float(flat[element])
+    view = flat.view(np.uint64)
+    view[element] ^= np.uint64(1) << np.uint64(bit)
+    return old

@@ -28,15 +28,19 @@ import numpy as np
 from repro.gpu.device import Device
 from repro.gpu.memory import Allocation, OutOfDeviceMemory
 from repro.mpisim.comm import RankFailedError, SimComm
+from repro.resilience.abft import flip_bit
 
 
 class FaultKind(str, Enum):
     RANK_FAILURE = "rank_failure"
     DEVICE_OOM = "device_oom"
     LINK_DEGRADATION = "link_degradation"
+    SDC = "sdc"
 
 
-#: Kinds that kill the job step (vs. merely slowing it down).
+#: Kinds that kill the job step (vs. merely slowing it down).  SDC is the
+#: insidious non-member: the job keeps running on corrupted data, and only
+#: the ABFT checksums (:mod:`repro.resilience.abft`) can turn it fatal.
 FATAL_KINDS = frozenset({FaultKind.RANK_FAILURE, FaultKind.DEVICE_OOM})
 
 
@@ -50,6 +54,8 @@ class FaultEvent:
     #: link_degradation only: throughput divisor and how long it lasts.
     slowdown: float = 1.0
     duration: float = 0.0
+    #: sdc only: which bit of the targeted float64 element flips.
+    bit: int = -1
 
     @property
     def fatal(self) -> bool:
@@ -97,6 +103,10 @@ class FaultInjector:
             if m <= 0:
                 raise ValueError(f"MTBF for {kind.value} must be positive")
         self.events_fired: list[FaultEvent] = []
+        self.events_drawn: int = 0
+        self.events_requeued: int = 0
+        self.sdc_injected: list[tuple[FaultEvent, float]] = []
+        self._requeued: list[FaultEvent] = []
         self._oom_reservations: list[tuple[Device, list[Allocation]]] = []
         # draw each kind's first arrival in a fixed (enum) order so the
         # schedule depends only on the seed and the mtbf dict contents
@@ -114,6 +124,11 @@ class FaultInjector:
                 slowdown=self.degradation_slowdown,
                 duration=self.degradation_duration_fraction * self.mtbf[kind],
             )
+        elif kind is FaultKind.SDC:
+            # the extra bit draw happens only on SDC's own stream slots, so
+            # configs without SDC see the exact schedule they always did
+            event = FaultEvent(time=after + gap, kind=kind, target=target,
+                               bit=int(self.rng.integers(64)))
         else:
             event = FaultEvent(time=after + gap, kind=kind, target=target)
         self._next[kind] = event
@@ -121,26 +136,91 @@ class FaultInjector:
     # -- schedule ----------------------------------------------------------
 
     def peek(self) -> FaultEvent | None:
-        """The earliest pending event, without consuming it."""
-        if not self._next:
+        """The earliest pending event (requeued or fresh), without
+        consuming it."""
+        candidates = self._requeued + list(self._next.values())
+        if not candidates:
             return None
-        return min(self._next.values(), key=lambda e: e.time)
+        return min(candidates, key=lambda e: e.time)
 
     def pop(self) -> FaultEvent:
-        """Consume the earliest pending event and redraw its kind."""
+        """Consume the earliest pending event.
+
+        Requeued events come back *without* a redraw — they were drawn
+        (and counted) exactly once on their first pop.  Fresh events
+        redraw their kind's next arrival.  Every popped event must
+        subsequently be :meth:`fire`\\ d or :meth:`requeue`\\ d; the
+        identity ``events_drawn == len(events_fired) + pending requeued``
+        is what :meth:`assert_conserved` checks, so an event silently
+        dropped by a caller is an accounting error, not a quiet no-op.
+        """
         event = self.peek()
         if event is None:
             raise RuntimeError("no fault kinds enabled")
+        for i, e in enumerate(self._requeued):
+            if e == event:  # already counted drawn on its first pop
+                del self._requeued[i]
+                return event
+        self.events_drawn += 1
         self._draw_next(event.kind, event.time)
         return event
+
+    def requeue(self, event: FaultEvent) -> None:
+        """Put a popped-but-unfired event back on the schedule.
+
+        The escape hatch that makes dropping events impossible: a caller
+        that pops an event it cannot handle this step (e.g. a non-fatal
+        event landing past a rollback point) must requeue it rather than
+        forget it.
+        """
+        self.events_requeued += 1
+        self._requeued.append(event)
+
+    @property
+    def events_pending_requeued(self) -> int:
+        return len(self._requeued)
+
+    def assert_conserved(self) -> None:
+        """Every drawn event must be fired or still requeued.
+
+        Valid whenever all fires go through :meth:`pop` (the runner's
+        discipline); hand-constructed events fired directly break the
+        identity by design.
+        """
+        accounted = len(self.events_fired) + len(self._requeued)
+        if self.events_drawn != accounted:
+            raise AssertionError(
+                f"fault-event conservation violated: drawn "
+                f"{self.events_drawn}, fired {len(self.events_fired)} + "
+                f"requeued-pending {len(self._requeued)} = {accounted}"
+            )
 
     # -- firing through the substrates -------------------------------------
 
     def fire(self, event: FaultEvent, *, comm: SimComm | None = None,
-             device: Device | None = None) -> None:
+             device: Device | None = None,
+             arrays: list[np.ndarray] | None = None) -> None:
         """Make *event* happen.  Fatal kinds raise a :class:`SimulatedFault`
-        after routing the damage through the provided substrates."""
+        after routing the damage through the provided substrates.
+
+        ``arrays`` are the *live* state arrays an SDC event may strike:
+        the event's target deterministically selects one array and one
+        element, and :func:`~repro.resilience.abft.flip_bit` corrupts it
+        in place — silently, which is the whole point.  The injection is
+        recorded in ``sdc_injected`` (ground truth), so detection
+        coverage is *measured* against what was actually flipped rather
+        than assumed.
+        """
         self.events_fired.append(event)
+        if event.kind is FaultKind.SDC:
+            live = [a for a in (arrays or [])
+                    if a.dtype == np.float64 and a.size
+                    and a.flags["C_CONTIGUOUS"]]
+            if live:
+                arr = live[event.target % len(live)]
+                old = flip_bit(arr, event.target, event.bit)
+                self.sdc_injected.append((event, old))
+            return
         if event.kind is FaultKind.RANK_FAILURE:
             if comm is not None:
                 rank = event.target % comm.nranks

@@ -10,18 +10,32 @@ drives a long campaign the way production jobs on Frontier actually run:
   latency + bytes/bandwidth — the burst-buffer term of the Young/Daly δ);
 * when the :class:`~repro.resilience.faults.FaultInjector` fires a fatal
   event mid-step, roll the work since the last checkpoint into
-  ``lost_work_time``, pay restart + checkpoint read + exponential
-  backoff, restore from the last *valid* snapshot (checksum-verified,
-  with fallback to the previous one), and replay;
+  ``lost_work_time``, recover through the configured
+  :class:`RecoveryPolicy` — full ``restart`` (scheduler relaunch at full
+  width), ULFM-style ``shrink-continue`` (drop to the survivors,
+  redistribute the domain via :mod:`repro.resilience.elastic`, keep
+  going at degraded throughput), or ``spare-swap`` (activate a node from
+  a warm spare pool, falling back to shrink when the pool runs dry) —
+  then restore from the last *valid* snapshot (checksum-verified, with
+  fallback to the previous one) and replay;
+* fire non-fatal events through the injector too — a link degradation
+  slows overlapping steps, an SDC event flips a bit in the app's live
+  arrays (``sdc_targets()`` hook) and is caught *only* if the app's
+  checksum guards (``validate_state()`` hook, or an ABFT check inside
+  ``step()``) notice: detection coverage is measured, never assumed;
 * bound the retries: ``max_retries`` consecutive failures without
   reaching a new checkpoint raise :class:`ResilienceError`;
 * account everything into a :class:`ResilienceStats` whose
   ``overhead_fraction`` / ``inflation`` are the measured curve the
-  Young/Daly model in :mod:`repro.resilience.daly` predicts.
+  Young/Daly model in :mod:`repro.resilience.daly` predicts, and whose
+  event counters must satisfy the conservation identity — every drawn
+  fault event is fired or requeued, none silently dropped.
 
 Because snapshots are bit-exact and apps are deterministic, a
 fault-injected campaign finishes in *exactly* the same final state as a
-failure-free run — the acceptance test for this subsystem.
+failure-free run — under *any* recovery policy, which is the acceptance
+test for this subsystem (shrink-continue included: redistribution moves
+ownership and time, never values).
 """
 
 from __future__ import annotations
@@ -30,7 +44,9 @@ from dataclasses import dataclass, field
 from typing import Protocol, runtime_checkable
 
 from repro.gpu.device import Device
-from repro.mpisim.comm import SimComm
+from repro.mpisim.comm import CommError, SimComm
+from repro.resilience.abft import SdcDetected
+from repro.resilience.elastic import shrink_and_redistribute
 from repro.resilience.faults import (
     FaultEvent,
     FaultInjector,
@@ -105,16 +121,48 @@ class ResilienceStats:
     failures_by_kind: dict[str, int] = field(default_factory=dict)
     degradations_seen: int = 0
 
+    # silent-data-corruption ground truth vs. what the guards caught
+    sdc_injected: int = 0
+    sdc_detected: int = 0
+
+    # elastic-recovery bookkeeping
+    shrinks: int = 0
+    spares_used: int = 0
+    ranks_initial: int = 0
+    ranks_final: int = 0
+    migrated_bytes: float = 0.0
+
+    # fault-event conservation (mirrors the injector's counters)
+    events_drawn: int = 0
+    events_fired: int = 0
+    events_requeued_pending: int = 0
+
     useful_time: float = 0.0  # committed step work in the final trajectory
     lost_work_time: float = 0.0  # rolled-back (replayed or partial) work
     checkpoint_time: float = 0.0  # snapshot writes
     recovery_time: float = 0.0  # restart + backoff + checkpoint reads
     degraded_time: float = 0.0  # extra step time under degraded links
+    degraded_throughput_time: float = 0.0  # running below full width
     wall_clock: float = 0.0  # simulated campaign end time
 
     @property
     def overhead_time(self) -> float:
         return self.wall_clock - self.useful_time
+
+    def assert_event_conservation(self) -> None:
+        """Every drawn fault event must be fired or still requeued.
+
+        The accounting contract of satellite-grade fault injection: a
+        popped event a caller neither fired nor requeued is a *silently
+        dropped failure* — the campaign looked healthier than its own
+        failure process.  Raises :class:`AssertionError` on violation.
+        """
+        if self.events_drawn != self.events_fired + self.events_requeued_pending:
+            raise AssertionError(
+                f"fault-event conservation violated: drawn "
+                f"{self.events_drawn} != fired {self.events_fired} + "
+                f"requeued-pending {self.events_requeued_pending}"
+            )
 
     @property
     def overhead_fraction(self) -> float:
@@ -128,16 +176,148 @@ class ResilienceStats:
 
     def describe(self) -> str:
         fail = ", ".join(f"{k}x{v}" for k, v in sorted(self.failures_by_kind.items()))
+        elastic = ""
+        if self.shrinks or self.spares_used:
+            elastic = (
+                f", {self.shrinks} shrinks / {self.spares_used} spares "
+                f"({self.ranks_initial}->{self.ranks_final} ranks)"
+            )
+        sdc = ""
+        if self.sdc_injected:
+            sdc = f", SDC {self.sdc_detected}/{self.sdc_injected} detected"
         return (
             f"{self.steps_completed} steps (+{self.steps_replayed} replayed), "
             f"{self.checkpoints_written} checkpoints "
             f"({self.checkpoint_bytes / 1e6:.2f} MB), "
-            f"{self.recoveries} recoveries [{fail or 'no failures'}]; "
+            f"{self.recoveries} recoveries [{fail or 'no failures'}]{elastic}{sdc}; "
             f"wall {self.wall_clock:.1f}s = useful {self.useful_time:.1f}s "
             f"+ ckpt {self.checkpoint_time:.1f}s + lost {self.lost_work_time:.1f}s "
             f"+ recovery {self.recovery_time:.1f}s + degraded "
-            f"{self.degraded_time:.1f}s (overhead {self.overhead_fraction:.1%})"
+            f"{self.degraded_time:.1f}s + narrow {self.degraded_throughput_time:.1f}s "
+            f"(overhead {self.overhead_fraction:.1%})"
         )
+
+
+# ---------------------------------------------------------------------------
+# Recovery policies: what "come back from a fatal fault" costs
+# ---------------------------------------------------------------------------
+
+
+class RecoveryPolicy:
+    """How a campaign comes back from a fatal fault.
+
+    ``recover`` runs the policy's mechanics (relaunch / shrink /
+    spare activation) against the runner's substrates and returns the
+    simulated seconds they took — checkpoint read and backoff are priced
+    by the runner on top.  Policies may replace ``runner.comm`` (shrink)
+    and must leave the communicator in a steppable state.
+    """
+
+    name = "restart"
+
+    def recover(self, runner: "ResilientRunner", event: FaultEvent | None,
+                stats: ResilienceStats) -> float:
+        raise NotImplementedError
+
+
+class RestartPolicy(RecoveryPolicy):
+    """Classic checkpoint/restart: tear down, get replacement nodes,
+    relaunch at full width.  The scheduler round-trip is the dominant
+    cost; the failure leaves no lasting mark on throughput."""
+
+    name = "restart"
+
+    def recover(self, runner: "ResilientRunner", event: FaultEvent | None,
+                stats: ResilienceStats) -> float:
+        if runner.injector is not None:
+            runner.injector.clear(comm=runner.comm, device=runner.device)
+        return runner.cost_model.restart_cost
+
+
+class ShrinkContinuePolicy(RecoveryPolicy):
+    """ULFM shrink-and-continue: agree on the dead, shrink to the
+    survivors, redistribute the domain, keep stepping — no scheduler
+    round-trip, but every later step runs ``old/new`` slower (accounted
+    as ``degraded_throughput_time``)."""
+
+    name = "shrink-continue"
+
+    def recover(self, runner: "ResilientRunner", event: FaultEvent | None,
+                stats: ResilienceStats) -> float:
+        comm = runner.comm
+        if comm is None:
+            # nothing to shrink; degenerate to a restart
+            return RestartPolicy().recover(runner, event, stats)
+        if runner.injector is not None and runner.device is not None:
+            # the OOM'd device leaves the job with its node
+            runner.injector.clear(device=runner.device)
+        if (event is not None and event.kind is FaultKind.DEVICE_OOM
+                and not comm.failed.any()):
+            comm.fail_rank(event.target % comm.nranks)
+        if not comm.alive_ranks():
+            raise ResilienceError("no surviving ranks to shrink onto")
+        try:
+            new_comm, plan, _ = shrink_and_redistribute(runner.app, comm)
+        except CommError as exc:
+            raise ResilienceError(f"elastic shrink failed: {exc}") from exc
+        redist_time = max(new_comm.elapsed - comm.elapsed, 0.0)
+        runner.comm = new_comm
+        stats.shrinks += 1
+        stats.ranks_final = new_comm.nranks
+        if plan is not None:
+            stats.migrated_bytes += plan.migrated_bytes
+        if stats.ranks_initial > 0:
+            runner.throughput_factor = stats.ranks_initial / new_comm.nranks
+        return redist_time
+
+
+class SpareSwapPolicy(RecoveryPolicy):
+    """Warm spare pool: a failed node's work moves to an idle spare at
+    activation cost (no scheduler, no shrink) until the pool runs dry —
+    then degrade to shrink-and-continue."""
+
+    name = "spare-swap"
+
+    def __init__(self, spares: int = 2, activation_cost: float = 15.0) -> None:
+        if spares < 0:
+            raise ValueError("spare pool size must be non-negative")
+        if activation_cost < 0:
+            raise ValueError("activation cost must be non-negative")
+        self.spares = spares
+        self.spares_left = spares
+        self.activation_cost = activation_cost
+        self._fallback = ShrinkContinuePolicy()
+
+    def recover(self, runner: "ResilientRunner", event: FaultEvent | None,
+                stats: ResilienceStats) -> float:
+        if self.spares_left > 0:
+            self.spares_left -= 1
+            stats.spares_used += 1
+            if runner.injector is not None:
+                # the spare assumes the dead rank's identity
+                runner.injector.clear(comm=runner.comm, device=runner.device)
+            return self.activation_cost
+        return self._fallback.recover(runner, event, stats)
+
+
+_POLICY_NAMES = {
+    "restart": RestartPolicy,
+    "shrink": ShrinkContinuePolicy,
+    "shrink-continue": ShrinkContinuePolicy,
+    "spare": SpareSwapPolicy,
+    "spare-swap": SpareSwapPolicy,
+}
+
+
+def make_policy(name: str) -> RecoveryPolicy:
+    """Resolve a policy by CLI-friendly name."""
+    try:
+        return _POLICY_NAMES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown recovery policy {name!r}; "
+            f"choose from {sorted(set(_POLICY_NAMES))}"
+        ) from None
 
 
 @dataclass
@@ -162,6 +342,7 @@ class ResilientRunner:
         max_retries: int = 8,
         backoff_base: float = 1.0,
         keep_snapshots: int = 2,
+        policy: RecoveryPolicy | str = "restart",
     ) -> None:
         if checkpoint_interval < 1:
             raise ValueError("checkpoint_interval must be >= 1 step")
@@ -178,6 +359,9 @@ class ResilientRunner:
         self.max_retries = max_retries
         self.backoff_base = backoff_base
         self.keep_snapshots = keep_snapshots
+        self.policy = make_policy(policy) if isinstance(policy, str) else policy
+        #: step-time multiplier while running below the initial width
+        self.throughput_factor = 1.0
         self._checkpoints: list[_StoredCheckpoint] = []
 
     # -- checkpoint store ----------------------------------------------------
@@ -214,6 +398,8 @@ class ResilientRunner:
         if nsteps < 1:
             raise ValueError("campaign needs at least one step")
         stats = ResilienceStats()
+        if self.comm is not None:
+            stats.ranks_initial = stats.ranks_final = self.comm.nranks
         t_sim = 0.0
         pending_useful = 0.0  # committed-step work not yet checkpointed
         consecutive_failures = 0
@@ -226,7 +412,23 @@ class ResilientRunner:
         step = 0
         first_pass_through = 0  # highest step index ever committed
         while step < nsteps:
-            dt = self.app.step()
+            try:
+                dt = self.app.step()
+            except SdcDetected:
+                # an earlier undetected flip tripped an in-step ABFT
+                # guard: the state is corrupt, roll back to a checkpoint
+                stats.sdc_detected += 1
+                stats.lost_work_time += pending_useful
+                pending_useful = 0.0
+                stats.failures_by_kind["sdc"] = (
+                    stats.failures_by_kind.get("sdc", 0) + 1
+                )
+                consecutive_failures += 1
+                self._check_retries(consecutive_failures)
+                recovery, step = self._recover(stats, consecutive_failures,
+                                               use_policy=False)
+                t_sim += recovery
+                continue
             event = self._pending_event(t_sim + dt)
             if event is not None and event.fatal:
                 # the step dies mid-flight: everything since the last
@@ -244,18 +446,39 @@ class ResilientRunner:
                 except SimulatedFault:
                     pass  # detected; recover below
                 consecutive_failures += 1
-                if consecutive_failures > self.max_retries:
-                    raise ResilienceError(
-                        f"{consecutive_failures} consecutive failures without "
-                        f"reaching a checkpoint (max_retries={self.max_retries})"
-                    )
-                recovery, step = self._recover(stats, consecutive_failures)
+                self._check_retries(consecutive_failures)
+                recovery, step = self._recover(stats, consecutive_failures,
+                                               event=event)
                 t_sim += recovery
                 continue
 
-            # the step survived; account link degradation slowdowns
+            if event is not None and event.kind is FaultKind.SDC:
+                # the flip lands in live state *after* the step's math —
+                # silently; only the app's own guards can notice
+                self.injector.fire(event, arrays=self._sdc_arrays())
+                stats.sdc_injected = len(self.injector.sdc_injected)
+                if self._sdc_detected():
+                    stats.sdc_detected += 1
+                    stats.lost_work_time += pending_useful + dt
+                    pending_useful = 0.0
+                    t_sim = max(t_sim + dt, event.time)
+                    stats.failures_by_kind["sdc"] = (
+                        stats.failures_by_kind.get("sdc", 0) + 1
+                    )
+                    consecutive_failures += 1
+                    self._check_retries(consecutive_failures)
+                    recovery, step = self._recover(stats, consecutive_failures,
+                                                   use_policy=False)
+                    t_sim += recovery
+                    continue
+                # undetected: the corruption rides on — and will be
+                # checkpointed, which is exactly the danger being measured
+
+            # the step survived; account link degradation slowdowns and
+            # the throughput haircut of running below initial width
             extra = self._degradation_penalty(t_sim, dt, event, degradations, stats)
-            t_sim += dt + extra
+            narrow = dt * (self.throughput_factor - 1.0)
+            t_sim += dt + extra + narrow
             pending_useful += dt
             step += 1
             if step <= first_pass_through:
@@ -263,6 +486,7 @@ class ResilientRunner:
             else:
                 first_pass_through = step
             stats.degraded_time += extra
+            stats.degraded_throughput_time += narrow
 
             if step % self.checkpoint_interval == 0 or step == nsteps:
                 ckpt_time = self._write_checkpoint(step, stats)
@@ -278,6 +502,13 @@ class ResilientRunner:
         if self.comm is not None:
             # campaign time is visible on the simulated communicator too
             self.comm.advance_all(max(t_sim - self.comm.elapsed, 0.0))
+            stats.ranks_final = self.comm.nranks
+        if self.injector is not None:
+            stats.sdc_injected = len(self.injector.sdc_injected)
+            stats.events_drawn = self.injector.events_drawn
+            stats.events_fired = len(self.injector.events_fired)
+            stats.events_requeued_pending = self.injector.events_pending_requeued
+            stats.assert_event_conservation()
         return stats
 
     # -- helpers --------------------------------------------------------------
@@ -296,6 +527,9 @@ class ResilientRunner:
                              degradations: list[FaultEvent],
                              stats: ResilienceStats) -> float:
         if event is not None and event.kind is FaultKind.LINK_DEGRADATION:
+            # non-fatal, but still *fired*: conservation accounting means
+            # no popped event ever disappears into a local variable
+            self.injector.fire(event)
             degradations.append(event)
             stats.degradations_seen += 1
         active = [e for e in degradations if e.time + e.duration > t_sim]
@@ -307,14 +541,41 @@ class ResilientRunner:
                 extra += overlap * (e.slowdown - 1.0)
         return extra
 
-    def _recover(self, stats: ResilienceStats,
-                 consecutive_failures: int) -> tuple[float, int]:
-        """Pay restart + backoff + restore; returns ``(seconds, step)``."""
+    def _check_retries(self, consecutive_failures: int) -> None:
+        if consecutive_failures > self.max_retries:
+            raise ResilienceError(
+                f"{consecutive_failures} consecutive failures without "
+                f"reaching a checkpoint (max_retries={self.max_retries})"
+            )
+
+    def _sdc_arrays(self) -> list:
+        """The app's live corruptible arrays (``sdc_targets()`` hook)."""
+        hook = getattr(self.app, "sdc_targets", None)
+        return list(hook()) if callable(hook) else []
+
+    def _sdc_detected(self) -> bool:
+        """Run the app's checksum audit (``validate_state()`` hook)."""
+        validate = getattr(self.app, "validate_state", None)
+        if not callable(validate):
+            return False
+        try:
+            validate()
+        except SdcDetected:
+            return True
+        return False
+
+    def _recover(self, stats: ResilienceStats, consecutive_failures: int, *,
+                 event: FaultEvent | None = None,
+                 use_policy: bool = True) -> tuple[float, int]:
+        """Pay policy recovery + backoff + restore; returns
+        ``(seconds, step)``.  SDC rollbacks set ``use_policy=False`` —
+        the nodes are healthy, only the data is poisoned, so recovery is
+        a pure checkpoint rewind."""
         backoff = self.backoff_base * (2.0 ** (consecutive_failures - 1) - 1.0)
-        if self.injector is not None:
-            self.injector.clear(comm=self.comm, device=self.device)
+        policy_time = (self.policy.recover(self, event, stats)
+                       if use_policy else 0.0)
         restored_step, read_time = self._restore_latest_valid(stats)
-        total = self.cost_model.restart_cost + backoff + read_time
+        total = policy_time + backoff + read_time
         stats.recovery_time += total
         stats.recoveries += 1
         return total, restored_step

@@ -28,6 +28,12 @@ excluded from every tally.
 
 Everything here returns *integer* tallies and is verified exactly against
 the naive loops in :mod:`repro.similarity.ccc` / ``threeway``.
+
+Because the tallies are integers, the Huang–Abraham checksums here are
+*zero tolerance*: the row/column marginals of each (s, t) count matrix
+are recomputed independently through O(n·m) GEMVs (1/n of the tally GEMM
+cost), any discrepancy is corruption by definition, and a single flipped
+tally is located and corrected exactly (``tally_2way(..., abft=True)``).
 """
 
 from __future__ import annotations
@@ -38,6 +44,7 @@ import numpy as np
 
 from repro.gpu.kernel import KernelSpec
 from repro.hardware.gpu import Precision
+from repro.resilience.abft import AbftReport, ChecksummedGemm, verify_gemm
 
 #: Fields packed per machine word in the popcount path.
 WORD_BITS = 64
@@ -177,19 +184,75 @@ def einsum_tallies_3way(data: np.ndarray, *, n_states: int = 2,
     return counts
 
 
+def tally_marginal_checksums(data: np.ndarray, *, n_states: int = 2
+                             ) -> tuple[np.ndarray, np.ndarray]:
+    """Independent row/column marginals of the 2-way tally tensor.
+
+    ``row[s, t, i] = Σ_j counts[s, t, i, j] = P_s[i, :] · c_t`` where
+    ``c_t[m] = Σ_j P_t[j, m]`` is the per-field occupancy of state t —
+    one GEMV per state pair, O(S²·n·m) next to the O(S²·n²·m) tally GEMM
+    (the 1/n Huang–Abraham overhead).  Computed in int64, so the
+    checksums are exact and any mismatch against the tallies is
+    corruption by definition.
+    """
+    p = _state_planes(data, n_states, np.int64)      # (S, n, m)
+    occupancy = p.sum(axis=1)                        # (S, m)
+    row = np.einsum("snm,tm->stn", p, occupancy)     # Σ_j counts[s,t,i,j]
+    col = np.einsum("sm,tnm->stn", occupancy, p)     # Σ_i counts[s,t,i,j]
+    return row, col
+
+
+def verify_tallies(counts: np.ndarray, row_checksum: np.ndarray,
+                   col_checksum: np.ndarray, *, correct: bool = True,
+                   raise_on_detect: bool = True) -> AbftReport:
+    """Zero-tolerance checksum audit of a 2-way tally tensor.
+
+    Each (s, t) count matrix is checked against its independent marginals;
+    a single corrupted tally breaks exactly one row and one column sum
+    with matching discrepancies and is subtracted back out in place.
+    Returns the aggregate report; raises
+    :class:`~repro.resilience.abft.SdcDetected` on anything uncorrectable.
+    """
+    S = counts.shape[0]
+    n = counts.shape[2]
+    zeros = np.zeros(n)
+    total = AbftReport()
+    for s in range(S):
+        for t in range(S):
+            g = ChecksummedGemm(
+                C=counts[s, t], row_checksum=row_checksum[s, t],
+                col_checksum=col_checksum[s, t],
+                row_tol=zeros, col_tol=zeros,
+            )
+            sub = verify_gemm(g, correct=correct,
+                              raise_on_detect=raise_on_detect)
+            total.checked += sub.checked
+            total.detected += sub.detected
+            total.corrected += sub.corrected
+            total.locations += tuple((s, t) + loc for loc in sub.locations)
+    return total
+
+
 def tally_2way(data: np.ndarray, *, n_states: int = 2,
-               method: str = "popcount") -> np.ndarray:
+               method: str = "popcount", abft: bool = False) -> np.ndarray:
     """2-way tallies through the GEMM-recast engine.
 
     ``method='popcount'`` runs the bit-packed word sweeps (the DUO 2-bit
     path); ``'einsum'`` the batched one-hot matmul (the FP16 tensor-core
-    path, simulated in FP64); both are integer exact.
+    path, simulated in FP64); both are integer exact.  ``abft=True``
+    additionally audits the result against independently-computed
+    marginal checksums (exact, zero tolerance) before returning it.
     """
     if method == "popcount":
-        return popcount_tallies_2way(pack_alleles(data, n_states=n_states))
-    if method == "einsum":
-        return einsum_tallies_2way(data, n_states=n_states)
-    raise ValueError(f"unknown tally method {method!r}")
+        counts = popcount_tallies_2way(pack_alleles(data, n_states=n_states))
+    elif method == "einsum":
+        counts = einsum_tallies_2way(data, n_states=n_states)
+    else:
+        raise ValueError(f"unknown tally method {method!r}")
+    if abft:
+        row, col = tally_marginal_checksums(data, n_states=n_states)
+        verify_tallies(counts, row, col)
+    return counts
 
 
 def tally_3way(data: np.ndarray, *, n_states: int = 2,
@@ -231,7 +294,7 @@ def pack_kernel_spec(n_vectors: int, n_fields: int, *,
 
 
 def gemm_tally_kernel_spec(n_vectors: int, n_fields: int, *,
-                           n_states: int = 2,
+                           n_states: int = 2, abft: bool = False,
                            efficiency: float = 0.7) -> KernelSpec:
     """The batched count GEMM over packed operands as one launch.
 
@@ -239,13 +302,27 @@ def gemm_tally_kernel_spec(n_vectors: int, n_fields: int, *,
     mixed-precision throughput story lines up with §3.6; operands are the
     bit-packed planes (n_fields/8 bytes per vector per state), the tallies
     accumulate in FP32.
+
+    ``abft=True`` adds the Huang–Abraham marginal checksums: two GEMVs
+    per state pair plus the marginal comparison sweep — O(1/n) of the
+    tally GEMM, the canonical ABFT overhead ratio.
     """
     words = -(-n_fields // WORD_BITS)
+    flops = n_states**2 * 2.0 * float(n_vectors) ** 2 * n_fields
+    abft_written = 0.0
+    if abft:
+        # checksum GEMVs (2·2nm per state pair) + tally marginal sums
+        # (2n² per state pair) + the comparisons
+        flops += n_states**2 * (4.0 * n_vectors * n_fields
+                                + 2.0 * float(n_vectors) ** 2)
+        abft_written = float(n_states**2 * 2 * n_vectors * 8)
     return KernelSpec(
-        name=f"ccc_tally_gemm_{n_vectors}x{n_fields}",
-        flops=n_states**2 * 2.0 * float(n_vectors) ** 2 * n_fields / efficiency,
+        name=f"ccc_tally_gemm_{n_vectors}x{n_fields}"
+        + ("_abft" if abft else ""),
+        flops=flops / efficiency,
         bytes_read=float(2 * n_states * n_vectors * words * 8),
-        bytes_written=float(n_states**2 * n_vectors * n_vectors * 4),
+        bytes_written=float(n_states**2 * n_vectors * n_vectors * 4)
+        + abft_written,
         threads=max(n_vectors * n_vectors, 64),
         precision=Precision.FP16,
         uses_matrix_engine=True,

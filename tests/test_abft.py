@@ -1,0 +1,319 @@
+"""ABFT property tests: detection is total above roundoff, silent below.
+
+The two measurable claims the checksum layer makes (module docstring of
+:mod:`repro.resilience.abft`) are pinned here with hypothesis:
+
+* **zero false positives** — clean random inputs of every shape never
+  trip a checksum, however adversarial the magnitudes;
+* **100% detection above the roundoff threshold** — a single random bit
+  flip whose induced change exceeds the published tolerance is *always*
+  detected (and, for a product entry, located and corrected back to the
+  original value).  Flips below the threshold are indistinguishable from
+  accumulated roundoff by construction, so nothing is asserted there —
+  that boundary is the design, not a gap.
+
+Integer tallies have zero tolerance, so for them the property is
+unconditional: every flip of every bit is detected and corrected.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.linalg.batched import (
+    BatchedLU,
+    batched_lu_factor,
+    batched_lu_factor_checked,
+    batched_lu_solve_factored,
+)
+from repro.resilience.abft import (
+    AbftReport,
+    ChecksummedGemm,
+    SdcDetected,
+    checksummed_matmul,
+    flip_bit,
+    gemm_with_checksums,
+    lu_checksum,
+    lu_checksum_residual,
+    require_finite,
+    solve_residual_envelope,
+    verify_gemm,
+    verify_lu,
+    verify_solve,
+)
+from repro.similarity.gemmtally import (
+    tally_2way,
+    tally_marginal_checksums,
+    verify_tallies,
+)
+
+
+def _random_gemm(rng, n, m, p, scale):
+    A = scale * rng.standard_normal((n, m))
+    B = scale * rng.standard_normal((m, p))
+    return A, B
+
+
+# -- clean inputs: zero false positives ------------------------------------------
+
+
+class TestNoFalsePositives:
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           n=st.integers(min_value=1, max_value=24),
+           m=st.integers(min_value=1, max_value=24),
+           p=st.integers(min_value=1, max_value=24),
+           log_scale=st.integers(min_value=-8, max_value=8))
+    @settings(max_examples=200, deadline=None)
+    def test_clean_gemm_never_trips(self, seed, n, m, p, log_scale):
+        rng = np.random.default_rng(seed)
+        A, B = _random_gemm(rng, n, m, p, 10.0 ** log_scale)
+        report = verify_gemm(gemm_with_checksums(A, B))
+        assert report.clean
+        assert report.checked == n + p
+
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           batch=st.integers(min_value=1, max_value=6),
+           n=st.integers(min_value=1, max_value=16))
+    @settings(max_examples=150, deadline=None)
+    def test_clean_lu_never_trips(self, seed, batch, n):
+        rng = np.random.default_rng(seed)
+        mats = rng.standard_normal((batch, n, n))
+        mats[:, np.arange(n), np.arange(n)] += n  # well-conditioned
+        checksum = lu_checksum(mats)
+        lu, piv = batched_lu_factor(mats)
+        assert verify_lu(lu, piv, checksum).clean
+
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           batch=st.integers(min_value=1, max_value=6),
+           n=st.integers(min_value=1, max_value=16))
+    @settings(max_examples=150, deadline=None)
+    def test_clean_solve_never_trips(self, seed, batch, n):
+        rng = np.random.default_rng(seed)
+        mats = rng.standard_normal((batch, n, n))
+        mats[:, np.arange(n), np.arange(n)] += n
+        rhs = rng.standard_normal((batch, n))
+        lu, piv = batched_lu_factor(mats)
+        x = batched_lu_solve_factored(lu, piv, rhs)
+        assert verify_solve(mats, x, rhs).clean
+
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           nvec=st.integers(min_value=2, max_value=10),
+           nfields=st.integers(min_value=1, max_value=32))
+    @settings(max_examples=100, deadline=None)
+    def test_clean_tallies_never_trip(self, seed, nvec, nfields):
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 2, (nvec, nfields), dtype=np.int8)
+        counts = tally_2way(data, abft=True)  # raises on any mismatch
+        row, col = tally_marginal_checksums(data)
+        assert verify_tallies(counts, row, col).clean
+
+
+# -- single bit flips: total detection above the threshold -----------------------
+
+
+class TestGemmBitFlipDetection:
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           n=st.integers(min_value=2, max_value=16),
+           m=st.integers(min_value=2, max_value=16),
+           p=st.integers(min_value=2, max_value=16),
+           element=st.integers(min_value=0, max_value=2**30),
+           bit=st.integers(min_value=0, max_value=63))
+    @settings(max_examples=300, deadline=None)
+    def test_flip_above_threshold_is_detected_and_corrected(
+            self, seed, n, m, p, element, bit):
+        rng = np.random.default_rng(seed)
+        A, B = _random_gemm(rng, n, m, p, 1.0)
+        g = gemm_with_checksums(A, B)
+        i, j = divmod(element % (n * p), p)
+        original = g.C[i, j]
+        flip_bit(g.C, i * p + j, bit)
+        with np.errstate(all="ignore"):  # the flip may be inf/overflow
+            delta = g.C[i, j] - original
+        tol = max(g.row_tol[i], g.col_tol[j])
+        if not np.isfinite(delta):
+            # an exponent flip into inf/NaN: detectable, not correctable
+            # (the discrepancy itself overflows, so subtraction can't
+            # recover the original) — but never silent
+            with pytest.raises(SdcDetected):
+                verify_gemm(g, correct=True)
+            return
+        if abs(delta) <= 2.0 * tol:
+            return  # sub-roundoff flip: silence is within contract
+        report = verify_gemm(g, correct=True)
+        assert report.detected > 0
+        assert report.corrected == 1
+        assert report.locations == ((i, j),)
+        # the repair is exact up to the envelope plus the cancellation
+        # noise of subtracting the (possibly huge) corrupted value back
+        eps = float(np.finfo(np.float64).eps)
+        assert abs(g.C[i, j] - original) <= tol + 64.0 * eps * abs(delta)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           bit=st.integers(min_value=52, max_value=62))
+    @settings(max_examples=50, deadline=None)
+    def test_checksum_entry_flip_is_detected_uncorrectable(self, seed, bit):
+        """Damage to the checksum itself breaks one family only: detected,
+        reported as uncorrectable, never silently 'repaired'."""
+        rng = np.random.default_rng(seed)
+        A, B = _random_gemm(rng, 6, 8, 5, 1.0)
+        g = gemm_with_checksums(A, B)
+        before = g.C.copy()
+        flip_bit(g.row_checksum, seed % g.row_checksum.size, bit)
+        with pytest.raises(SdcDetected):
+            verify_gemm(g, correct=True)
+        np.testing.assert_array_equal(g.C, before)
+
+    def test_checksummed_matmul_end_to_end(self):
+        rng = np.random.default_rng(0)
+        A, B = _random_gemm(rng, 12, 9, 7, 1.0)
+        np.testing.assert_allclose(checksummed_matmul(A, B), A @ B)
+
+
+class TestLuBitFlipDetection:
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           batch=st.integers(min_value=1, max_value=4),
+           n=st.integers(min_value=2, max_value=12),
+           element=st.integers(min_value=0, max_value=2**30),
+           bit=st.integers(min_value=0, max_value=63))
+    @settings(max_examples=300, deadline=None)
+    def test_factor_flip_above_threshold_is_detected(
+            self, seed, batch, n, element, bit):
+        rng = np.random.default_rng(seed)
+        mats = rng.standard_normal((batch, n, n))
+        mats[:, np.arange(n), np.arange(n)] += n
+        checksum = lu_checksum(mats)
+        lu, piv = batched_lu_factor(mats)
+        b, rest = divmod(element % lu.size, n * n)
+        i, j = divmod(rest, n)
+        original = lu[b, i, j]
+        flip_bit(lu, element % lu.size, bit)
+        with np.errstate(all="ignore"):  # the flip may be inf/overflow
+            delta = lu[b, i, j] - original
+            # the flip's provable effect on the identity at row i: a U
+            # entry shifts U.e[i] by delta directly; an L entry enters
+            # scaled by U.e[j] (lower rows multiply the U row sums)
+            u_e = np.triu(np.where(np.isfinite(lu), lu, 0.0)).sum(axis=-1)
+            effect = delta if j >= i else delta * u_e[b, j]
+        _, tol = lu_checksum_residual(lu, piv, checksum)
+        if np.isfinite(effect) and abs(effect) <= 4.0 * tol[b, i]:
+            return  # effect within the roundoff envelope: silence allowed
+        with pytest.raises(SdcDetected):
+            verify_lu(lu, piv, checksum)
+
+    def test_factor_checked_round_trip_and_held_audit(self):
+        rng = np.random.default_rng(5)
+        mats = rng.standard_normal((8, 6, 6))
+        mats[:, np.arange(6), np.arange(6)] += 6.0
+        lu, piv = batched_lu_factor_checked(mats)
+        ref_lu, ref_piv = batched_lu_factor(mats)
+        np.testing.assert_array_equal(lu, ref_lu)
+        np.testing.assert_array_equal(piv, ref_piv)
+        held = BatchedLU(mats, abft=True)
+        assert held.verify().clean
+        flip_bit(held.lu, 13, 60)  # corrupt the resident factors
+        with pytest.raises(SdcDetected):
+            held.verify()
+
+
+class TestSolveBitFlipDetection:
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           batch=st.integers(min_value=1, max_value=4),
+           n=st.integers(min_value=2, max_value=12),
+           element=st.integers(min_value=0, max_value=2**30),
+           bit=st.integers(min_value=0, max_value=63))
+    @settings(max_examples=300, deadline=None)
+    def test_solution_flip_above_threshold_is_detected(
+            self, seed, batch, n, element, bit):
+        rng = np.random.default_rng(seed)
+        mats = rng.standard_normal((batch, n, n))
+        mats[:, np.arange(n), np.arange(n)] += n
+        rhs = rng.standard_normal((batch, n))
+        lu, piv = batched_lu_factor(mats)
+        x = batched_lu_solve_factored(lu, piv, rhs)
+        b, j = divmod(element % x.size, n)
+        original = x[b, j]
+        flip_bit(x, element % x.size, bit)
+        with np.errstate(all="ignore"):  # the flip may be inf/overflow
+            delta = x[b, j] - original
+            # equation j moves by at least the diagonal times the flip
+            _, tol = solve_residual_envelope(mats, x, rhs)
+            effect = mats[b, j, j] * delta
+        if np.isfinite(effect) and abs(effect) <= 4.0 * tol[b, j]:
+            return
+        with pytest.raises(SdcDetected):
+            verify_solve(mats, x, rhs)
+
+
+class TestIntegerTallyFlips:
+    """Zero-tolerance checksums: *every* flip detected and corrected."""
+
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           element=st.integers(min_value=0, max_value=2**30),
+           bit=st.integers(min_value=0, max_value=40))
+    @settings(max_examples=200, deadline=None)
+    def test_every_count_flip_detected_and_corrected(self, seed, element, bit):
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 2, (6, 40), dtype=np.int8)
+        counts = tally_2way(data)
+        reference = counts.copy()
+        row, col = tally_marginal_checksums(data)
+        flat = counts.reshape(-1)
+        idx = element % flat.size
+        flat[idx] ^= np.int64(1) << np.int64(bit)
+        if flat[idx] == reference.reshape(-1)[idx]:
+            return  # the xor was a no-op only if the bit round-tripped
+        report = verify_tallies(counts, row, col, correct=True)
+        assert report.detected > 0
+        assert report.corrected == 1
+        np.testing.assert_array_equal(counts, reference)
+
+    def test_located_flip_names_the_state_pair(self):
+        rng = np.random.default_rng(1)
+        data = rng.integers(0, 2, (5, 32), dtype=np.int8)
+        counts = tally_2way(data)
+        row, col = tally_marginal_checksums(data)
+        counts[1, 0, 3, 2] += 7
+        report = verify_tallies(counts, row, col)
+        assert report.locations == ((1, 0, 3, 2),)
+
+
+# -- plausibility primitives -----------------------------------------------------
+
+
+class TestPrimitives:
+    def test_require_finite_passes_and_fails(self):
+        require_finite("ok", np.ones(3), np.zeros((2, 2)))
+        bad = np.ones(4)
+        bad[2] = np.nan
+        with pytest.raises(SdcDetected) as exc:
+            require_finite("state", bad)
+        assert exc.value.location == (2,)
+
+    def test_flip_bit_is_an_involution(self):
+        arr = np.linspace(-3.0, 7.0, 16)
+        before = arr.copy()
+        old = flip_bit(arr, 5, 17)
+        assert old == before[5]
+        assert arr[5] != before[5]
+        flip_bit(arr, 5, 17)
+        np.testing.assert_array_equal(arr, before)
+
+    def test_flip_bit_rejects_bad_targets(self):
+        with pytest.raises(TypeError):
+            flip_bit(np.zeros(4, dtype=np.float32), 0, 0)
+        with pytest.raises(ValueError):
+            flip_bit(np.zeros(4), 0, 64)
+        with pytest.raises(TypeError):
+            # a slice reshape(-1) must copy: flipping the copy would be
+            # a silent no-op on the live array, so it is refused
+            flip_bit(np.zeros((4, 5))[:, ::2], 0, 0)
+
+    def test_report_clean_property(self):
+        assert AbftReport().clean
+        assert not AbftReport(checked=3, detected=1).clean
+
+    def test_checksummed_gemm_exact_flag(self):
+        g = ChecksummedGemm(C=np.zeros((2, 2), dtype=np.int64),
+                            row_checksum=np.zeros(2), col_checksum=np.zeros(2),
+                            row_tol=np.zeros(2), col_tol=np.zeros(2))
+        assert g.exact

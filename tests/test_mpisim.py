@@ -447,3 +447,91 @@ class TestRankFailure:
             comm.fail_rank(5)
         with pytest.raises(CommError):
             comm.restore_rank(-1)
+
+
+class TestShrinkAgree:
+    """ULFM-style fault-tolerant collectives: agree and shrink."""
+
+    def test_agree_never_raises_and_names_the_dead(self):
+        comm = SimComm(6, SLINGSHOT_11)
+        comm.fail_rank(2)
+        comm.fail_rank(4)
+        agreed, failed = comm.agree()
+        assert bool(agreed) is True
+        assert failed == (2, 4)
+        # and it still costs a collective on the survivors' clocks
+        assert comm.elapsed > 0.0
+        assert comm.clocks[2] == 0.0  # the dead don't participate
+
+    def test_agree_reduces_over_survivors_only(self):
+        comm = SimComm(4, SLINGSHOT_11)
+        comm.fail_rank(1)
+        values = [7, 999, 3, 5]  # rank 1's poisoned entry must be ignored
+        agreed, failed = comm.agree(values, op=min)
+        assert agreed == 3
+        assert failed == (1,)
+
+    def test_agree_validation(self):
+        comm = SimComm(3, SLINGSHOT_11)
+        with pytest.raises(CommError):
+            comm.agree([1, 2])  # wrong length
+        for r in range(3):
+            comm.fail_rank(r)
+        with pytest.raises(CommError):
+            comm.agree()  # nobody left to agree
+
+    def test_shrink_renumbers_survivors_in_order(self):
+        comm = SimComm(5, SLINGSHOT_11)
+        comm.advance(3, 2.5)
+        comm.fail_rank(0)
+        comm.fail_rank(2)
+        sub = comm.shrink()
+        assert sub.nranks == 3
+        assert sub.parent_ranks == (1, 3, 4)
+        # old rank 3 (now new rank 1) carried its clock through the
+        # shrink consensus, which synchronizes the survivor group
+        assert sub.elapsed >= 2.5
+        sub.barrier()  # fully functional communicator
+
+    def test_shrink_of_healthy_comm_is_identity(self):
+        comm = SimComm(4, SLINGSHOT_11)
+        sub = comm.shrink()
+        assert sub.nranks == 4
+        assert sub.parent_ranks == (0, 1, 2, 3)
+
+    def test_repeated_failures_shrink_down_to_one(self):
+        comm = SimComm(4, SLINGSHOT_11)
+        lineage = [comm]
+        while comm.nranks > 1:
+            comm.fail_rank(comm.nranks - 1)
+            comm = comm.shrink()
+            lineage.append(comm)
+        assert [c.nranks for c in lineage] == [4, 3, 2, 1]
+        # a single-rank communicator still "collects"
+        comm.barrier()
+        assert comm.allreduce([42.0], nbytes=8) is not None
+
+    def test_rank_zero_failure_promotes_rank_one(self):
+        comm = SimComm(3, SLINGSHOT_11)
+        comm.fail_rank(0)
+        sub = comm.shrink()
+        assert sub.nranks == 2
+        assert sub.parent_ranks == (1, 2)
+        sub.sendrecv(0, 1, "root moved", nbytes=64)
+
+    def test_shrink_pays_the_agree_collective(self):
+        comm = SimComm(8, SLINGSHOT_11)
+        before = comm.stats.collectives
+        comm.fail_rank(5)
+        comm.shrink()
+        assert comm.stats.collectives == before + 1
+
+    def test_dead_ranks_stay_dead_across_collectives_until_shrink(self):
+        from repro.mpisim import RankFailedError
+
+        comm = SimComm(4, SLINGSHOT_11)
+        comm.fail_rank(1)
+        with pytest.raises(RankFailedError):
+            comm.allreduce([1.0] * 4, nbytes=8)
+        sub = comm.shrink()
+        sub.allreduce([1.0] * 3, nbytes=8)  # survivors carry on

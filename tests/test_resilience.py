@@ -589,3 +589,352 @@ class TestDeterminismAudit:
         assert not offenders, (
             "stdlib `random` imported in src/ (unseedable ambient state):\n  "
             + "\n  ".join(offenders))
+
+
+# -- elastic redistribution planning --------------------------------------------
+
+
+class TestElasticPlan:
+    def test_plan_conserves_every_item(self):
+        from repro.resilience import plan_shrink
+
+        plan = plan_shrink(100, survivors=[0, 1, 2], old_nranks=4,
+                           bytes_per_item=16.0)
+        assert plan.new_nranks == 3
+        # the dead rank's block comes back from the checkpoint
+        assert plan.reloaded_items == 25
+        assert plan.send_items.sum() == plan.migrated_items
+        assert plan.migrated_items + plan.reloaded_items <= 100
+        assert plan.migrated_bytes == plan.migrated_items * 16.0
+        assert plan.reloaded_bytes == 25 * 16.0
+
+    def test_no_failures_means_no_motion(self):
+        from repro.resilience import plan_shrink
+
+        plan = plan_shrink(64, survivors=range(8), old_nranks=8)
+        assert plan.migrated_items == 0
+        assert plan.reloaded_items == 0
+
+    def test_plan_validation(self):
+        from repro.mpisim.decomposition import DecompositionError
+        from repro.resilience import plan_shrink
+
+        with pytest.raises(DecompositionError):
+            plan_shrink(10, survivors=[], old_nranks=4)
+        with pytest.raises(DecompositionError):
+            plan_shrink(10, survivors=[1, 1], old_nranks=4)
+        with pytest.raises(DecompositionError):
+            plan_shrink(10, survivors=[5], old_nranks=4)
+
+    def test_redistribute_charges_the_shrunk_comm(self):
+        from repro.resilience import plan_shrink, redistribute
+
+        plan = plan_shrink(4096, survivors=[0, 1, 2], old_nranks=4,
+                           bytes_per_item=1024.0)
+        comm = SimComm(3, SLINGSHOT_11)
+        dt = redistribute(comm, plan)
+        assert dt > 0.0
+        assert comm.elapsed == pytest.approx(dt)
+
+    def test_redistribute_rejects_wrong_width(self):
+        from repro.mpisim.decomposition import DecompositionError
+        from repro.resilience import plan_shrink, redistribute
+
+        plan = plan_shrink(10, survivors=[0, 1], old_nranks=4)
+        with pytest.raises(DecompositionError):
+            redistribute(SimComm(4, SLINGSHOT_11), plan)
+
+    def test_shrink_and_redistribute_end_to_end(self):
+        from repro.resilience import shrink_and_redistribute
+
+        app = ExaskyCampaign(nparticles=512, seed=0)
+        comm = SimComm(8, SLINGSHOT_11)
+        comm.fail_rank(3)
+        new_comm, plan, dt = shrink_and_redistribute(app, comm)
+        assert new_comm.nranks == 7
+        assert new_comm.parent_ranks == (0, 1, 2, 4, 5, 6, 7)
+        assert plan is not None and plan.reloaded_items == 64
+        assert dt >= 0.0
+
+    def test_apps_advertise_their_domains(self):
+        from repro.resilience import DomainSpec, domain_of
+
+        assert domain_of(ExaskyCampaign(nparticles=64, seed=0)).nitems == 64
+        pele = domain_of(PeleChemistryCampaign(ncells=4, seed=0))
+        assert pele.nitems == 4 and pele.label == "cells"
+        h = AmrHierarchy(Box(lo=(0, 0, 0), hi=(15, 15, 15)), max_grid_size=8)
+        spec = domain_of(h)
+        assert spec.label == "boxes" and spec.nitems == len(h.levels[0].boxes)
+        assert domain_of(object()) is None  # not elastic: fine
+
+        class Liar:
+            def elastic_domain(self):
+                return 42
+
+        with pytest.raises(TypeError):
+            domain_of(Liar())
+        with pytest.raises(ValueError):
+            DomainSpec(nitems=-1, bytes_per_item=8.0)
+
+
+# -- recovery policies ----------------------------------------------------------
+
+
+def _policy_campaign(policy, *, nsteps=24, mtbf=0.3, seed=7):
+    from repro.hardware.interconnect import SLINGSHOT_11 as fabric
+
+    app = ExaskyCampaign(nparticles=256, seed=3)
+    comm = SimComm(8, fabric)
+    inj = FaultInjector(rng=np.random.default_rng(seed),
+                        mtbf={FaultKind.RANK_FAILURE: mtbf})
+    runner = ResilientRunner(
+        app, checkpoint_interval=4, injector=inj, comm=comm,
+        cost_model=CheckpointCostModel(restart_cost=0.02),
+        policy=policy, backoff_base=0.0, max_retries=50,
+    )
+    stats = runner.run(nsteps)
+    return app, stats, runner
+
+
+def _failure_free_reference(nsteps=24):
+    app = ExaskyCampaign(nparticles=256, seed=3)
+    for _ in range(nsteps):
+        app.step()
+    return app
+
+
+class TestRecoveryPolicies:
+    def test_make_policy_resolves_all_names(self):
+        from repro.resilience import (
+            RestartPolicy,
+            ShrinkContinuePolicy,
+            SpareSwapPolicy,
+            make_policy,
+        )
+
+        assert isinstance(make_policy("restart"), RestartPolicy)
+        assert isinstance(make_policy("shrink"), ShrinkContinuePolicy)
+        assert isinstance(make_policy("shrink-continue"), ShrinkContinuePolicy)
+        assert isinstance(make_policy("spare"), SpareSwapPolicy)
+        assert isinstance(make_policy("spare-swap"), SpareSwapPolicy)
+        with pytest.raises(ValueError):
+            make_policy("pray")
+
+    def test_spare_pool_validation(self):
+        from repro.resilience import SpareSwapPolicy
+
+        with pytest.raises(ValueError):
+            SpareSwapPolicy(spares=-1)
+        with pytest.raises(ValueError):
+            SpareSwapPolicy(activation_cost=-1.0)
+
+    def test_restart_recovers_at_full_width(self):
+        reference = _failure_free_reference()
+        app, stats, runner = _policy_campaign("restart")
+        assert stats.recoveries >= 1
+        assert stats.shrinks == 0
+        assert stats.ranks_final == stats.ranks_initial == 8
+        assert stats.degraded_throughput_time == 0.0
+        assert np.array_equal(app.pos, reference.pos)
+        assert np.array_equal(app.vel, reference.vel)
+
+    def test_shrink_continue_finishes_bit_identical_without_restart(self):
+        """The tentpole acceptance: shrink-continue completes the campaign
+        on the survivors and ends in exactly the failure-free bits."""
+        reference = _failure_free_reference()
+        app, stats, runner = _policy_campaign("shrink")
+        assert stats.recoveries >= 1
+        assert stats.shrinks >= 1
+        assert runner.comm.nranks == 8 - stats.shrinks
+        assert stats.ranks_final == runner.comm.nranks
+        # running narrower is slower: the haircut is accounted, and the
+        # factor matches initial/current width
+        assert stats.degraded_throughput_time > 0.0
+        assert runner.throughput_factor == pytest.approx(8 / runner.comm.nranks)
+        assert stats.migrated_bytes >= 0.0
+        # and the answer is still *exactly* the answer
+        assert np.array_equal(app.pos, reference.pos)
+        assert np.array_equal(app.vel, reference.vel)
+        assert app.steps_done == reference.steps_done
+
+    def test_spare_swap_consumes_pool_then_shrinks(self):
+        from repro.resilience import SpareSwapPolicy
+
+        reference = _failure_free_reference()
+        policy = SpareSwapPolicy(spares=1, activation_cost=0.005)
+        app, stats, runner = _policy_campaign(policy)
+        assert stats.spares_used >= 1
+        assert policy.spares_left == 0
+        if stats.recoveries > stats.spares_used:
+            # pool ran dry: later failures degraded to shrink-continue
+            assert stats.shrinks == stats.recoveries - stats.spares_used
+        assert np.array_equal(app.pos, reference.pos)
+        assert np.array_equal(app.vel, reference.vel)
+
+    def test_accounting_identity_includes_throughput_haircut(self):
+        _, stats, _ = _policy_campaign("shrink")
+        assert stats.overhead_time == pytest.approx(
+            stats.checkpoint_time + stats.lost_work_time
+            + stats.recovery_time + stats.degraded_time
+            + stats.degraded_throughput_time)
+
+    def test_shrink_exhaustion_raises_resilience_error(self):
+        with pytest.raises(ResilienceError):
+            _policy_campaign("shrink", nsteps=200, mtbf=0.05)
+
+
+# -- fault-event conservation ----------------------------------------------------
+
+
+class TestEventConservation:
+    def test_pop_fire_requeue_identity(self):
+        inj = FaultInjector(rng=np.random.default_rng(2),
+                            mtbf={FaultKind.RANK_FAILURE: 1.0,
+                                  FaultKind.LINK_DEGRADATION: 1.0})
+        fired, deferred = [], set()
+        for _ in range(10):
+            e = inj.pop()
+            if e.kind is FaultKind.LINK_DEGRADATION and id(e) not in deferred:
+                inj.requeue(e)  # comes back on the next pop, counted once
+                deferred.add(id(e))
+            else:
+                try:
+                    inj.fire(e)
+                except Exception:
+                    pass
+                fired.append(e)
+        inj.assert_conserved()
+        assert inj.events_drawn == len(fired) + inj.events_pending_requeued
+
+    def test_requeued_event_comes_back_without_redraw(self):
+        inj = FaultInjector(rng=np.random.default_rng(3),
+                            mtbf={FaultKind.RANK_FAILURE: 1.0})
+        first = inj.pop()
+        drawn_after_first = inj.events_drawn
+        inj.requeue(first)
+        again = inj.pop()
+        assert again == first
+        assert inj.events_drawn == drawn_after_first  # counted once
+        try:
+            inj.fire(again)
+        except Exception:
+            pass
+        inj.assert_conserved()
+
+    def test_dropped_event_is_an_accounting_error(self):
+        inj = FaultInjector(rng=np.random.default_rng(4),
+                            mtbf={FaultKind.RANK_FAILURE: 1.0})
+        inj.pop()  # ... and silently forget it
+        with pytest.raises(AssertionError, match="conservation"):
+            inj.assert_conserved()
+
+    def test_runner_stats_satisfy_conservation(self):
+        inj = FaultInjector(rng=np.random.default_rng(5),
+                            mtbf={FaultKind.RANK_FAILURE: 7.0,
+                                  FaultKind.LINK_DEGRADATION: 9.0})
+        stats = ResilientRunner(
+            CountingApp(), checkpoint_interval=4, injector=inj,
+            cost_model=CheckpointCostModel(latency=0.1, restart_cost=1.0),
+            max_retries=50, backoff_base=0.0,
+        ).run(30)
+        assert stats.events_drawn > 0
+        stats.assert_event_conservation()  # also asserted inside run()
+        assert stats.events_drawn == stats.events_fired + (
+            stats.events_requeued_pending)
+
+
+# -- silent data corruption through the runner -----------------------------------
+
+
+class GuardedApp(CountingApp):
+    """CountingApp carrying a full redundant copy: 100% SDC detection."""
+
+    snapshot_kind = "test.guarded"
+
+    def __init__(self, step_cost=1.0):
+        super().__init__(step_cost)
+        self.x_ref = self.x.copy()
+
+    def step(self):
+        dt = super().step()
+        self.x_ref = self.x.copy()
+        return dt
+
+    def restore(self, snap):
+        super().restore(snap)
+        self.x_ref = self.x.copy()
+
+    def sdc_targets(self):
+        return [self.x]  # the reference copy is never struck
+
+    def validate_state(self):
+        from repro.resilience import SdcDetected
+
+        if self.x.view(np.uint64).tobytes() != self.x_ref.view(
+                np.uint64).tobytes():
+            raise SdcDetected("counting state diverged from its shadow")
+
+
+class TestSdcThroughRunner:
+    def test_guarded_app_detects_every_flip_and_replays_exactly(self):
+        clean = GuardedApp()
+        for _ in range(30):
+            clean.step()
+
+        app = GuardedApp()
+        inj = FaultInjector(rng=np.random.default_rng(9),
+                            mtbf={FaultKind.SDC: 6.0})
+        stats = ResilientRunner(
+            app, checkpoint_interval=5, injector=inj,
+            cost_model=CheckpointCostModel(latency=0.1, restart_cost=1.0),
+            max_retries=50, backoff_base=0.0,
+        ).run(30)
+        assert stats.sdc_injected >= 1
+        assert stats.sdc_detected == stats.sdc_injected  # coverage: 100%
+        assert stats.failures_by_kind.get("sdc") == stats.sdc_detected
+        assert stats.recoveries == stats.sdc_detected
+        assert stats.steps_replayed >= 1
+        # every flip was caught before a checkpoint could absorb it
+        assert app.count == clean.count
+        assert app.x.tobytes() == clean.x.tobytes()
+
+    def test_unguarded_app_checkpoints_the_corruption(self):
+        """Without guards the flip rides on: the campaign 'succeeds' with
+        a wrong answer — the measured danger ABFT exists to close."""
+        clean = CountingApp()
+        for _ in range(30):
+            clean.step()
+
+        app = CountingApp()  # has no sdc_targets/validate_state hooks
+        inj = FaultInjector(rng=np.random.default_rng(9),
+                            mtbf={FaultKind.SDC: 6.0})
+        stats = ResilientRunner(
+            app, checkpoint_interval=5, injector=inj,
+            cost_model=CheckpointCostModel(latency=0.1, restart_cost=1.0),
+            max_retries=50, backoff_base=0.0,
+        ).run(30)
+        # no live arrays were advertised, so nothing was struck — but the
+        # events still fired and the books still balance
+        assert stats.sdc_detected == 0
+        assert stats.recoveries == 0
+        stats.assert_event_conservation()
+        assert app.count == clean.count
+
+    def test_exasky_guards_catch_exponent_flips(self):
+        from repro.resilience import SdcDetected, flip_bit
+
+        app = ExaskyCampaign(nparticles=64, seed=1)
+        app.step()
+        app.validate_state()  # clean state passes
+        flip_bit(app.pos, 17, 62)  # exponent-field strike
+        with pytest.raises(SdcDetected):
+            app.validate_state()
+
+    def test_pele_guards_catch_nonphysical_state(self):
+        from repro.resilience import SdcDetected
+
+        app = PeleChemistryCampaign(ncells=4, seed=0)
+        app.validate_state()
+        app.T[2] = 1e12  # far outside any flame
+        with pytest.raises(SdcDetected):
+            app.validate_state()
