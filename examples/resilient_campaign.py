@@ -24,7 +24,12 @@ resilience subsystem end to end:
    sweet spot lands where sqrt(2 delta M) says it should.
 
 ``--policy {restart,shrink,spare}`` selects the recovery policy the
-main campaign uses; all three end in the same bits.
+main campaign uses; all three end in the same bits.  ``--trace PATH``
+turns on the unified observability layer and writes one merged
+Chrome-trace/Perfetto JSON of the whole demo — spans from the simulated
+communicator, the resilience runner, the batched solver and the GPU
+perf model on a single timeline.  Tracing is observation-only: the
+returned final state is bit-identical with it on or off.
 """
 
 import numpy as np
@@ -48,11 +53,21 @@ from repro.resilience import (
 )
 
 
-def main(fast: bool = False, policy: str = "restart") -> None:
+def main(fast: bool = False, policy: str = "restart",
+         trace: str | None = None) -> dict:
     """Run the full demo; ``fast`` shrinks the campaign and the Daly sweep
     (fewer steps, particles and seeds) without dropping any assertion —
     the bit-identical-recovery checks run in both modes.  ``policy``
-    picks the main campaign's recovery strategy."""
+    picks the main campaign's recovery strategy.  ``trace`` (a path)
+    records the demo through :mod:`repro.observability` and writes the
+    merged Chrome-trace JSON there.  Returns the final state and fault
+    accounting of the main campaign, so a differential harness can
+    assert traced and untraced runs are identical."""
+    tracer = None
+    if trace is not None:
+        from repro.observability import Tracer
+
+        tracer = Tracer()
     print("=== Young/Daly intervals from the machine models ===")
     nbytes = 16 << 30  # 16 GiB of state per node, a typical PeleC plotfile
     for machine in (SUMMIT, FRONTIER):
@@ -76,7 +91,7 @@ def main(fast: bool = False, policy: str = "restart") -> None:
                     cost_model=cost).run(nsteps)
 
     app = campaign()
-    comm = SimComm(16, FRONTIER.node.interconnect)
+    comm = SimComm(16, FRONTIER.node.interconnect, tracer=tracer)
     device = Device(FRONTIER.node.gpu)
     injector = FaultInjector(
         rng=np.random.default_rng(43),
@@ -95,7 +110,7 @@ def main(fast: bool = False, policy: str = "restart") -> None:
         app, checkpoint_interval=interval, injector=injector,
         cost_model=cost, comm=comm, device=device, max_retries=30,
         backoff_base=0.0,  # compressed timescale: skip the exponential waits
-        policy=chosen,
+        policy=chosen, tracer=tracer,
     )
     stats = runner.run(nsteps)
     print(f"  {stats.describe()}")
@@ -135,9 +150,11 @@ def main(fast: bool = False, policy: str = "restart") -> None:
     print("\n=== The Figure 2 campaign surviving rank failures ===")
     from repro.experiments.figure2 import run_figure2_resilient
 
+    fig2_device = Device(FRONTIER.node.gpu) if tracer is not None else None
     fig2 = run_figure2_resilient(nsteps=4 if fast else 8,
                                  checkpoint_interval=2,
-                                 ncells=4 if fast else 8, mtbf=7.0)
+                                 ncells=4 if fast else 8, mtbf=7.0,
+                                 tracer=tracer, device=fig2_device)
     print("  " + fig2.render().replace("\n", "\n  "))
     assert all(fig2.checks().values()), fig2.checks()
 
@@ -171,6 +188,40 @@ def main(fast: bool = False, policy: str = "restart") -> None:
               f"{np.mean(measured):6.1%}  (Daly predicts {pred:6.1%})"
               f"{marker}")
 
+    if tracer is not None:
+        from pathlib import Path
+
+        from repro.observability import (
+            export_chrome_trace,
+            hot_spans_report,
+            subsystems_in_trace,
+            validate_chrome_trace,
+        )
+
+        devices = [d for d in (device, fig2_device) if d is not None]
+        doc = export_chrome_trace(tracer, devices)
+        payload = validate_chrome_trace(doc)
+        Path(trace).write_text(doc)
+        print(f"\n=== Merged Chrome trace -> {trace} ===")
+        print(f"  {len(payload['traceEvents'])} events, subsystems: "
+              + ", ".join(sorted(subsystems_in_trace(payload))))
+        print("  " + hot_spans_report(tracer, top=8).replace("\n", "\n  "))
+
+    # the differential harness's contract: everything the demo computed
+    # that tracing must not perturb, in one comparable payload
+    return {
+        "pos": app.pos.copy(),
+        "vel": app.vel.copy(),
+        "steps_done": int(app.steps_done),
+        "events_drawn": int(stats.events_drawn),
+        "events_fired": int(stats.events_fired),
+        "events_requeued_pending": int(stats.events_requeued_pending),
+        "recoveries": int(stats.recoveries),
+        "failures_by_kind": dict(stats.failures_by_kind),
+        "shrink_recoveries": int(shrink_stats.recoveries),
+        "fig2_bit_identical": bool(fig2.bit_identical),
+    }
+
 
 if __name__ == "__main__":
     import argparse
@@ -181,5 +232,7 @@ if __name__ == "__main__":
     parser.add_argument("--policy", choices=("restart", "shrink", "spare"),
                         default="restart",
                         help="recovery policy for the main campaign")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a merged Chrome-trace JSON of the demo")
     cli = parser.parse_args()
-    main(fast=cli.fast, policy=cli.policy)
+    main(fast=cli.fast, policy=cli.policy, trace=cli.trace)

@@ -51,7 +51,11 @@ from repro.gpu.perfmodel import time_kernel_sequence
 from repro.hardware.catalog import CORI, EAGLE, FRONTIER, SUMMIT, THETA
 from repro.hardware.gpu import Precision
 from repro.hardware.machine import MachineSpec
+from repro.mpisim.comm import SimComm
 from repro.mpisim.costmodel import link_parameters, ranks_per_nic
+from repro.gpu.device import Device
+from repro.ode.batched import BatchedBdfStats
+from repro.observability.tracer import Tracer
 
 #: Cells resident on one node in the single-node benchmark.
 CELLS_PER_NODE = 256**3
@@ -194,7 +198,10 @@ class PeleChemistryCampaign:
     def __init__(self, *, ncells: int = 16, dt_chem: float = 5e-7,
                  seed: int = 0, mechanism: str = "h2-o2",
                  rtol: float = 1e-6, atol: float = 1e-9,
-                 sdc_guard: bool = False) -> None:
+                 sdc_guard: bool = False,
+                 tracer: Tracer | None = None,
+                 comm: SimComm | None = None,
+                 device: Device | None = None) -> None:
         if mechanism not in _CAMPAIGN_MECHANISMS:
             raise ValueError(
                 f"unknown mechanism {mechanism!r}; "
@@ -206,6 +213,14 @@ class PeleChemistryCampaign:
         self.rtol = rtol
         self.atol = atol
         self.sdc_guard = sdc_guard
+        # observation-only substrates: the tracer records solver spans,
+        # the communicator carries a per-step halo exchange and the
+        # device replays the step as a kernel launch — none of them feed
+        # back into (T, C, steps_done), so traced and untraced campaigns
+        # stay bit-identical (the differential test's contract)
+        self.tracer = tracer
+        self.comm = comm
+        self.device = device
         rng = np.random.default_rng(seed)
         self.T = rng.uniform(1200.0, 1600.0, ncells)
         self.C = rng.uniform(0.05, 1.0, (ncells, self.mechanism.n_species))
@@ -228,10 +243,38 @@ class PeleChemistryCampaign:
 
         integ = BatchedBdfIntegrator(rhs, jac=jac, rtol=self.rtol,
                                      atol=self.atol, max_steps=20_000,
-                                     sdc_guard=self.sdc_guard)
-        self.C = np.maximum(integ.integrate(self.C, 0.0, self.dt_chem).y, 0.0)
+                                     sdc_guard=self.sdc_guard,
+                                     tracer=self.tracer)
+        res = integ.integrate(self.C, 0.0, self.dt_chem)
+        self.C = np.maximum(res.y, 0.0)
         self.steps_done += 1
+        self._observe_step(res.stats)
         return self.step_cost
+
+    def _observe_step(self, stats: BatchedBdfStats) -> None:
+        """Per-step activity on the attached observation substrates.
+
+        A ring halo exchange plus a stability allreduce on the simulated
+        communicator (what the real multi-rank campaign would do between
+        chemistry advances) and one fused chemistry launch on the device
+        perf model.  Results are discarded: the campaign state never
+        depends on either substrate, only the timeline does.
+        """
+        comm = self.comm
+        if comm is not None and comm.nranks > 1 and not comm.failed.any():
+            halo_bytes = float(self.C.nbytes) / comm.nranks
+            for r in range(comm.nranks):
+                comm.sendrecv(r, (r + 1) % comm.nranks,
+                              float(self.T[r % self.T.shape[0]]), halo_bytes)
+            comm.allreduce([float(self.steps_done)] * comm.nranks, 8.0,
+                           op=np.maximum)
+        if self.device is not None:
+            self.device.launch_sync(
+                campaign_chemistry_kernel_spec(stats, self.mechanism))
+        tr = self.tracer
+        if tr is not None:
+            tr.metrics.counter("pele.steps").inc()
+            tr.metrics.counter("pele.rhs_sweeps").inc(stats.rhs_sweeps)
 
     def snapshot(self) -> Snapshot:
         return Snapshot(self.snapshot_kind, self.snapshot_version, {
@@ -290,6 +333,32 @@ class PeleChemistryCampaign:
                 f"temperature outside the ignition window in cell {bad}",
                 location=(bad,),
             )
+
+
+def campaign_chemistry_kernel_spec(stats: BatchedBdfStats,
+                                   mech: Mechanism) -> KernelSpec:
+    """One campaign step's batched chemistry advance as a fused launch.
+
+    Sized from the integration's *actual* work counters (RHS sweeps and
+    LU refactorizations), so the device timeline reflects what the
+    solver really did that step.
+    """
+    n = mech.n_species
+    rates = rates_flop_count(mech)
+    solve = (2.0 / 3.0) * n**3 + 2.0 * n**2
+    flops = (stats.rhs_sweeps * rates * max(stats.ncells, 1)
+             + stats.cells_refactored * solve)
+    state_bytes = float(max(stats.ncells, 1) * (n + 1) * 8)
+    return KernelSpec(
+        name="campaign_chem_advance",
+        flops=max(flops, 1.0),
+        bytes_read=4 * state_bytes,
+        bytes_written=state_bytes,
+        threads=max(stats.ncells, 64),
+        precision=Precision.FP64,
+        registers_per_thread=160,
+        workgroup_size=128,
+    )
 
 
 def chemistry_flops_per_cell(mech: Mechanism, *, cvode: bool) -> float:

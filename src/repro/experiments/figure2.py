@@ -150,13 +150,21 @@ class Figure2ResilientResult:
 
 def run_figure2_resilient(*, nsteps: int = 10, checkpoint_interval: int = 3,
                           ncells: int = 12, mtbf: float = 8.0,
-                          seed: int = 0) -> Figure2ResilientResult:
+                          seed: int = 0, tracer=None,
+                          device=None) -> Figure2ResilientResult:
     """Drive the Figure 2 chemistry campaign through ``ResilientRunner``
     with injected rank failures, and verify restart exactness.
 
     The MTBF default is tuned to the campaign's simulated length so a
     handful of failures fire (a compressed stand-in for hours-scale MTBF
     over a weeks-scale campaign).
+
+    ``tracer`` (a :class:`repro.observability.Tracer`) and ``device`` (a
+    :class:`repro.gpu.device.Device`) observe the *fault-injected* run
+    only — communicator traffic, checkpoint/recovery spans, solver
+    rounds and kernel launches all land on one timeline — while the
+    failure-free reference stays bare, so the bit-identical check also
+    proves instrumentation never feeds back into the physics.
     """
     from repro.resilience import (
         CheckpointCostModel,
@@ -172,10 +180,18 @@ def run_figure2_resilient(*, nsteps: int = 10, checkpoint_interval: int = 3,
     from repro.hardware.interconnect import IB_EDR_DUAL
     from repro.mpisim import SimComm
 
-    def campaign():
-        return pele.PeleChemistryCampaign(ncells=ncells, seed=seed)
+    span = None
+    if tracer is not None:
+        span = tracer.begin("experiments.figure2_resilient",
+                            cat="experiments", pid="experiments",
+                            tid="campaign", nsteps=int(nsteps),
+                            ncells=int(ncells))
 
-    # failure-free reference: same campaign, no injector
+    def campaign(**observers):
+        return pele.PeleChemistryCampaign(ncells=ncells, seed=seed,
+                                          **observers)
+
+    # failure-free reference: same campaign, no injector, no observers
     reference = campaign()
     cost = CheckpointCostModel(restart_cost=2.0, latency=1e-3)
     clean = ResilientRunner(reference, checkpoint_interval=checkpoint_interval,
@@ -183,9 +199,9 @@ def run_figure2_resilient(*, nsteps: int = 10, checkpoint_interval: int = 3,
     clean.run(nsteps)
 
     # fault-injected run through a simulated communicator
-    app = campaign()
     fabric = SUMMIT.node.interconnect or IB_EDR_DUAL
-    comm = SimComm(8, fabric)
+    comm = SimComm(8, fabric, tracer=tracer)
+    app = campaign(tracer=tracer, comm=comm, device=device)
     injector = FaultInjector(
         rng=np.random.default_rng(seed + 1),
         mtbf={FaultKind.RANK_FAILURE: mtbf},
@@ -193,8 +209,10 @@ def run_figure2_resilient(*, nsteps: int = 10, checkpoint_interval: int = 3,
     )
     runner = ResilientRunner(app, checkpoint_interval=checkpoint_interval,
                              injector=injector, cost_model=cost, comm=comm,
-                             max_retries=20)
+                             max_retries=20, tracer=tracer)
     stats = runner.run(nsteps)
+    if span is not None:
+        tracer.end(span, recoveries=stats.recoveries)
 
     delta = cost.write_time(len(encode_snapshot(app.snapshot())))
     w_opt = young_daly_interval(delta, mtbf)

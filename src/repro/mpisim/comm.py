@@ -22,13 +22,21 @@ Clock semantics:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 import numpy as np
 
 from repro.hardware.interconnect import InterconnectSpec
 from repro.mpisim import costmodel as cm
 from repro.mpisim.topology import Topology
+
+if TYPE_CHECKING:  # pragma: no cover - import only for annotations
+    from repro.observability.tracer import Tracer
+
+#: Fixed histogram bucket edges for traced communication (seconds/bytes).
+#: Fixed at module scope so every traced run bins identically.
+COMM_TIME_EDGES = (1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0)
+COMM_BYTES_EDGES = (64.0, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9)
 
 
 class CommError(RuntimeError):
@@ -82,12 +90,16 @@ class SimComm:
         *,
         ranks_per_node: int = 1,
         device_buffers: bool = False,
+        tracer: "Tracer | None" = None,
     ) -> None:
         if nranks < 1:
             raise CommError("communicator needs at least one rank")
         self.nranks = nranks
         self.topology = Topology(nranks=nranks, ranks_per_node=ranks_per_node, fabric=fabric)
         self.device_buffers = device_buffers
+        #: observation-only span/metric sink; ``None`` keeps every
+        #: instrumented site a single pointer test (tracing off is free)
+        self.tracer = tracer
         self.clocks = np.zeros(nranks, dtype=float)
         self.failed = np.zeros(nranks, dtype=bool)
         self.stats = CommStats()
@@ -142,6 +154,7 @@ class SimComm:
         self.stats.collectives += 1
         self.stats.collective_bytes += nbytes * len(alive)
         self.stats.total_comm_time += t * len(alive)
+        self._trace_collective("agree", start, t, nbytes, len(alive))
         acc = values[alive[0]]
         for r in alive[1:]:
             acc = op(acc, values[r])
@@ -164,7 +177,8 @@ class SimComm:
         alive = self.alive_ranks()
         sub = SimComm(len(alive), self.topology.fabric,
                       ranks_per_node=self.topology.ranks_per_node,
-                      device_buffers=self.device_buffers)
+                      device_buffers=self.device_buffers,
+                      tracer=self.tracer)
         sub.clocks = self.clocks[alive].copy()
         sub.parent_ranks = tuple(alive)
         return sub
@@ -176,6 +190,35 @@ class SimComm:
             ranks = (np.flatnonzero(self.failed) if participants is None
                      else [r for r in participants if self.failed[r]])
             raise RankFailedError(list(ranks))
+
+    # -- tracing (observation only: reads clocks, never moves them) -------------
+
+    def _trace_collective(self, name: str, start: float, t: float,
+                          nbytes: float, participants: int) -> None:
+        tr = self.tracer
+        if tr is None:
+            return
+        tr.record(name, start, t, cat="mpisim", pid="mpisim",
+                  tid="collectives", nbytes=float(nbytes),
+                  participants=int(participants))
+        m = tr.metrics
+        m.counter("mpisim.collectives").inc()
+        m.counter("mpisim.collective_bytes").inc(float(nbytes) * participants)
+        m.histogram("mpisim.collective_time", COMM_TIME_EDGES).observe(t)
+
+    def _trace_p2p(self, name: str, src: int, dst: int, start: float,
+                   t: float, nbytes: float) -> None:
+        tr = self.tracer
+        if tr is None:
+            return
+        tr.record(name, start, t, cat="mpisim", pid="mpisim",
+                  tid=f"rank{dst}", src=int(src), dst=int(dst),
+                  nbytes=float(nbytes))
+        m = tr.metrics
+        m.counter(f"mpisim.edge[{src}->{dst}].messages").inc()
+        m.counter(f"mpisim.edge[{src}->{dst}].bytes").inc(float(nbytes))
+        m.histogram("mpisim.p2p_time", COMM_TIME_EDGES).observe(t)
+        m.histogram("mpisim.p2p_bytes", COMM_BYTES_EDGES).observe(float(nbytes))
 
     # -- clock helpers ---------------------------------------------------------
 
@@ -205,7 +248,8 @@ class SimComm:
     # -- internal ------------------------------------------------------------------
 
     def _sync_collective(self, nbytes: float, time_fn: Callable[..., float],
-                         *, participants: Sequence[int] | None = None) -> None:
+                         *, participants: Sequence[int] | None = None,
+                         name: str = "collective") -> None:
         self._check_alive(participants)
         ranks = range(self.nranks) if participants is None else participants
         p = len(list(ranks)) if participants is not None else self.nranks
@@ -217,6 +261,7 @@ class SimComm:
         self.stats.collectives += 1
         self.stats.collective_bytes += nbytes * p
         self.stats.total_comm_time += t * p
+        self._trace_collective(name, start, t, nbytes, p)
 
     # -- point-to-point ---------------------------------------------------------------
 
@@ -233,6 +278,7 @@ class SimComm:
         self.stats.p2p_messages += 1
         self.stats.p2p_bytes += nbytes
         self.stats.total_comm_time += 2 * t
+        self._trace_p2p("sendrecv", src, dst, done - t, t, nbytes)
         return payload
 
     def isendrecv(self, src: int, dst: int, nbytes: float) -> PendingOp:
@@ -246,6 +292,7 @@ class SimComm:
         self.stats.p2p_messages += 1
         self.stats.p2p_bytes += nbytes
         self.stats.total_comm_time += 2 * t
+        self._trace_p2p("isendrecv", src, dst, done - t, t, nbytes)
         return PendingOp(complete_at={src: done, dst: done}, comm=self)
 
     # -- collectives with data semantics ----------------------------------------------
@@ -253,7 +300,7 @@ class SimComm:
     def bcast(self, value: Any, nbytes: float, root: int = 0) -> list[Any]:
         """Broadcast: every rank receives *value* (deep-shared, numpy-copied)."""
         self._check_root(root)
-        self._sync_collective(nbytes, cm.bcast_time)
+        self._sync_collective(nbytes, cm.bcast_time, name="bcast")
         return [np.copy(value) if isinstance(value, np.ndarray) else value
                 for _ in range(self.nranks)]
 
@@ -261,7 +308,7 @@ class SimComm:
                root: int = 0) -> Any:
         self._check_inputs(values)
         self._check_root(root)
-        self._sync_collective(nbytes, cm.reduce_time)
+        self._sync_collective(nbytes, cm.reduce_time, name="reduce")
         acc = values[0]
         for v in values[1:]:
             acc = op(acc, v)
@@ -269,7 +316,7 @@ class SimComm:
 
     def allreduce(self, values: Sequence[Any], nbytes: float, op: Callable = np.add) -> list[Any]:
         self._check_inputs(values)
-        self._sync_collective(nbytes, cm.allreduce_time)
+        self._sync_collective(nbytes, cm.allreduce_time, name="allreduce")
         acc = values[0]
         for v in values[1:]:
             acc = op(acc, v)
@@ -278,20 +325,20 @@ class SimComm:
 
     def allgather(self, values: Sequence[Any], nbytes: float) -> list[list[Any]]:
         self._check_inputs(values)
-        self._sync_collective(nbytes, cm.allgather_time)
+        self._sync_collective(nbytes, cm.allgather_time, name="allgather")
         gathered = list(values)
         return [list(gathered) for _ in range(self.nranks)]
 
     def gather(self, values: Sequence[Any], nbytes: float, root: int = 0) -> list[Any]:
         self._check_inputs(values)
         self._check_root(root)
-        self._sync_collective(nbytes, cm.reduce_time)
+        self._sync_collective(nbytes, cm.reduce_time, name="gather")
         return list(values)
 
     def scatter(self, values: Sequence[Any], nbytes: float, root: int = 0) -> list[Any]:
         self._check_inputs(values)
         self._check_root(root)
-        self._sync_collective(nbytes, cm.bcast_time)
+        self._sync_collective(nbytes, cm.bcast_time, name="scatter")
         return list(values)
 
     def alltoall(self, matrix: Sequence[Sequence[Any]], nbytes_per_pair: float) -> list[list[Any]]:
@@ -299,7 +346,8 @@ class SimComm:
         if len(matrix) != self.nranks or any(len(row) != self.nranks for row in matrix):
             raise CommError(f"alltoall needs an {self.nranks}x{self.nranks} payload matrix")
         self._sync_collective(nbytes_per_pair * self.nranks, lambda p, n, l:
-                              cm.alltoall_time(p, nbytes_per_pair, l))
+                              cm.alltoall_time(p, nbytes_per_pair, l),
+                              name="alltoall")
         return [[matrix[src][dst] for src in range(self.nranks)]
                 for dst in range(self.nranks)]
 
@@ -318,6 +366,8 @@ class SimComm:
         self.stats.collectives += 1
         self.stats.collective_bytes += nbytes_per_pair * self.nranks * self.nranks
         self.stats.total_comm_time += t * self.nranks
+        self._trace_collective("ialltoall", start, t,
+                               nbytes_per_pair * self.nranks, self.nranks)
         out = [[matrix[src][dst] for src in range(self.nranks)]
                for dst in range(self.nranks)]
         return out, PendingOp(complete_at=done, comm=self)
@@ -336,7 +386,8 @@ class SimComm:
         for color, members in groups.items():
             sub = SimComm(len(members), self.topology.fabric,
                           ranks_per_node=self.topology.ranks_per_node,
-                          device_buffers=self.device_buffers)
+                          device_buffers=self.device_buffers,
+                          tracer=self.tracer)
             sub.clocks = self.clocks[members].copy()
             out[color] = sub
         return out
@@ -354,13 +405,16 @@ class SimComm:
         start = float(self.clocks.max())
         self.clocks[:] = start + t
         self.stats.collectives += 1
-        self.stats.collective_bytes += float(sum(sum(r) for r in nbytes))
+        total_bytes = float(sum(sum(r) for r in nbytes))
+        self.stats.collective_bytes += total_bytes
         self.stats.total_comm_time += t * self.nranks
+        self._trace_collective("alltoallv", start, t,
+                               total_bytes / self.nranks, self.nranks)
         return [[matrix[src][dst] for src in range(self.nranks)]
                 for dst in range(self.nranks)]
 
     def barrier(self) -> None:
-        self._sync_collective(0.0, cm.barrier_time)
+        self._sync_collective(0.0, cm.barrier_time, name="barrier")
 
     # -- validation --------------------------------------------------------------
 

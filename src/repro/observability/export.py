@@ -1,0 +1,225 @@
+"""One merged Chrome-trace/Perfetto JSON for the whole reproduction.
+
+The paper's teams tuned off *unified* timelines — kernel launches next
+to MPI phases next to checkpoint stalls.  This exporter merges a
+:class:`~repro.observability.tracer.Tracer`'s spans/instants/metrics
+with the existing per-device launch records from
+:mod:`repro.gpu.trace` into one ``chrome://tracing`` document:
+processes are lanes (subsystems, ranks, devices), tids are
+streams/sub-lanes, and every span is a complete event (``"ph": "X"``)
+with microsecond ``ts``/``dur``.
+
+Also here: the text-mode views a terminal reader wants — the "hot
+spans" table (where did the time go, by span name) and the metrics
+report.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.report import render_table
+from repro.gpu.device import Device
+from repro.gpu.trace import to_chrome_trace
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracer import Tracer
+
+
+class TraceFormatError(ValueError):
+    """The document does not satisfy the Chrome-trace event contract."""
+
+
+class _LaneTable:
+    """Deterministic lane -> integer pid/tid assignment with metadata."""
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+        self._pids: dict[str, int] = {}
+        self._tids: dict[tuple[int, str], int] = {}
+
+    def pid(self, name: str) -> int:
+        if name not in self._pids:
+            self._pids[name] = pid = len(self._pids) + 1
+            self.events.append({
+                "name": "process_name", "ph": "M", "pid": pid,
+                "args": {"name": name},
+            })
+        return self._pids[name]
+
+    def tid(self, pid: int, name: str) -> int:
+        key = (pid, name)
+        if key not in self._tids:
+            per_pid = sum(1 for p, _ in self._tids if p == pid)
+            self._tids[key] = tid = per_pid + 1
+            self.events.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "args": {"name": name},
+            })
+        return self._tids[key]
+
+
+def merged_trace_events(tracer: Tracer | None = None,
+                        devices: Sequence[Device] = ()) -> list[dict]:
+    """All trace events — tracer spans + device launch records — with
+    lanes mapped onto integer pids/tids (metadata events included)."""
+    lanes = _LaneTable()
+    events: list[dict] = []
+    if tracer is not None:
+        for span in tracer.spans:
+            if span.dur is None:
+                continue  # still open: not a timeline interval yet
+            pid = lanes.pid(span.pid)
+            events.append({
+                "name": span.name, "cat": span.cat or "repro", "ph": "X",
+                "pid": pid, "tid": lanes.tid(pid, span.tid),
+                "ts": span.ts * 1e6, "dur": span.dur * 1e6,
+                "args": dict(span.args),
+            })
+        for inst in tracer.instants:
+            pid = lanes.pid(inst.pid)
+            events.append({
+                "name": inst.name, "cat": inst.cat or "repro", "ph": "i",
+                "pid": pid, "tid": lanes.tid(pid, inst.tid),
+                "ts": inst.ts * 1e6, "s": "t", "args": dict(inst.args),
+            })
+        end_ts = max((s.end_ts for s in tracer.closed_spans()), default=0.0)
+        for name, counter in sorted(tracer.metrics.counters.items()):
+            pid = lanes.pid("metrics")
+            events.append({
+                "name": name, "ph": "C", "pid": pid,
+                "tid": lanes.tid(pid, "counters"),
+                "ts": end_ts * 1e6, "args": {"value": counter.value},
+            })
+    for device in devices:
+        dev_doc = json.loads(to_chrome_trace(device))
+        pid = lanes.pid(f"gpu{device.device_id} ({device.spec.name})")
+        for event in dev_doc["traceEvents"]:
+            if event.get("ph") == "M":
+                continue  # superseded by the lane table's metadata
+            event["pid"] = pid
+            event["tid"] = lanes.tid(pid, f"stream{event.get('tid', 0)}")
+            event["cat"] = "gpu"
+            events.append(event)
+    return lanes.events + events
+
+
+def export_chrome_trace(tracer: Tracer | None = None,
+                        devices: Sequence[Device] = (), *,
+                        indent: int | None = None) -> str:
+    """The merged timeline as a Chrome-trace JSON document."""
+    return json.dumps(
+        {"traceEvents": merged_trace_events(tracer, devices),
+         "displayTimeUnit": "ms"},
+        indent=indent,
+    )
+
+
+def validate_chrome_trace(payload: str | dict) -> dict:
+    """Assert the document honours the Chrome-trace contract.
+
+    Checks what a viewer actually depends on: a ``traceEvents`` list,
+    a string ``ph`` per event, numeric ``ts`` and non-negative ``dur``
+    on every complete event, names throughout.  Returns the parsed
+    document; raises :class:`TraceFormatError` on the first violation.
+    """
+    data = json.loads(payload) if isinstance(payload, str) else payload
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        raise TraceFormatError("document has no traceEvents list")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise TraceFormatError(f"event {i} is not an object")
+        ph = event.get("ph")
+        if not isinstance(ph, str) or not ph:
+            raise TraceFormatError(f"event {i} has no phase ('ph')")
+        if not isinstance(event.get("name"), str):
+            raise TraceFormatError(f"event {i} ({ph}) has no name")
+        if ph == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+            raise TraceFormatError(f"event {i} ({event['name']}) has no ts")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or isinstance(dur, bool):
+                raise TraceFormatError(
+                    f"complete event {i} ({event['name']}) has no dur")
+            if dur < 0:
+                raise TraceFormatError(
+                    f"complete event {i} ({event['name']}) has negative "
+                    f"dur {dur}")
+    return data
+
+
+# ---------------------------------------------------------------------------
+# Text views: hot spans and metrics
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SpanSummary:
+    """Aggregate of every span sharing one name."""
+
+    name: str
+    cat: str
+    count: int
+    total: float
+    max: float
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+def summarize_spans(tracer: Tracer) -> list[SpanSummary]:
+    """Per-name span aggregates, hottest (largest total) first."""
+    totals: dict[str, list] = {}
+    for span in tracer.closed_spans():
+        agg = totals.setdefault(span.name, [span.cat, 0, 0.0, 0.0])
+        agg[1] += 1
+        agg[2] += span.dur
+        agg[3] = max(agg[3], span.dur)
+    out = [SpanSummary(name=k, cat=v[0], count=v[1], total=v[2], max=v[3])
+           for k, v in totals.items()]
+    return sorted(out, key=lambda s: (-s.total, s.name))
+
+
+def hot_spans_report(tracer: Tracer, *, top: int = 15,
+                     unit: str = "s") -> str:
+    """The table a latency hunter reads first: time by span name."""
+    rows = [
+        (s.name, s.cat, str(s.count), f"{s.total:.3e} {unit}",
+         f"{s.mean:.3e} {unit}", f"{s.max:.3e} {unit}")
+        for s in summarize_spans(tracer)[:top]
+    ]
+    return render_table(
+        ("Span", "Subsystem", "Count", "Total", "Mean", "Max"),
+        rows,
+        title="Hot spans",
+    )
+
+
+def metrics_report(metrics: MetricsRegistry) -> str:
+    """Counters, gauges and histogram summaries as one text table."""
+    rows: list[tuple[str, str, str]] = []
+    for name, c in sorted(metrics.counters.items()):
+        rows.append((name, "counter", f"{c.value:g}"))
+    for name, g in sorted(metrics.gauges.items()):
+        rows.append((name, "gauge", f"{g.value:g}"))
+    for name, h in sorted(metrics.histograms.items()):
+        rows.append((name, "histogram",
+                     f"n={h.count} mean={h.mean:.3e} total={h.total:.3e}"))
+    return render_table(("Metric", "Kind", "Value"), rows, title="Metrics")
+
+
+def subsystems_in_trace(payload: str | dict) -> set[str]:
+    """The set of subsystem categories with at least one complete event —
+    the acceptance check that a merged trace actually covers the stack."""
+    data = json.loads(payload) if isinstance(payload, str) else payload
+    return {
+        e.get("cat", "")
+        for e in data.get("traceEvents", ())
+        if e.get("ph") == "X"
+    }

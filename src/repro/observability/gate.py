@@ -1,0 +1,110 @@
+"""CI regression gate: recorded span totals vs ``BENCH_repro_speed.json``.
+
+The ROADMAP keeps ``--durations`` in the tier-1 invocation so runtime
+regressions *in the reproduction itself* surface early; this gate makes
+that check explicit and mechanical.  A benchmark wraps its measured
+stages in wall-clock spans (``Tracer(clock=time.perf_counter)``, the
+clock injected by the benchmark — this package never imports ``time``),
+and the gate compares each span's total against the corresponding entry
+recorded in ``BENCH_repro_speed.json``:
+
+    measured <= reference * slow_factor + slack
+
+A missing span is itself a failure — "the instrumentation disappeared"
+is exactly the kind of silent regression a gate exists to catch.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.observability.export import summarize_spans
+from repro.observability.tracer import Tracer
+
+
+class BenchRegressionError(AssertionError):
+    """At least one gated measurement fell outside its band."""
+
+
+@dataclass(frozen=True)
+class GateCheck:
+    """One span-total-vs-recorded-band comparison."""
+
+    name: str
+    reference_key: tuple[str, ...]
+    reference: float
+    limit: float
+    measured: float | None  # None: the span never appeared
+
+    @property
+    def ok(self) -> bool:
+        return self.measured is not None and self.measured <= self.limit
+
+    def describe(self) -> str:
+        key = "/".join(self.reference_key)
+        if self.measured is None:
+            return (f"{self.name}: MISSING (no span recorded; "
+                    f"reference {key} = {self.reference:.4g} s)")
+        verdict = "ok" if self.ok else "REGRESSION"
+        return (f"{self.name}: {self.measured:.4g} s vs limit "
+                f"{self.limit:.4g} s (recorded {key} = "
+                f"{self.reference:.4g} s) [{verdict}]")
+
+
+class BenchRegressionGate:
+    """Compare measured span totals against recorded benchmark bands."""
+
+    def __init__(self, bench: Mapping | str | Path, *,
+                 slow_factor: float = 6.0, slack: float = 0.15) -> None:
+        if slow_factor <= 0:
+            raise ValueError("slow_factor must be positive")
+        if slack < 0:
+            raise ValueError("slack must be non-negative")
+        if isinstance(bench, (str, Path)):
+            bench = json.loads(Path(bench).read_text())
+        self.bench = dict(bench)
+        self.slow_factor = slow_factor
+        self.slack = slack
+
+    def reference(self, key: Sequence[str]) -> float:
+        """Walk a key path into the recorded benchmark document."""
+        node = self.bench
+        for part in key:
+            if not isinstance(node, Mapping) or part not in node:
+                raise KeyError(
+                    f"benchmark record has no entry {'/'.join(key)!r}")
+            node = node[part]
+        if not isinstance(node, (int, float)) or isinstance(node, bool):
+            raise KeyError(f"benchmark entry {'/'.join(key)!r} is not a number")
+        return float(node)
+
+    def check(self, name: str, measured: float | None,
+              reference_key: Sequence[str]) -> GateCheck:
+        ref = self.reference(reference_key)
+        return GateCheck(
+            name=name,
+            reference_key=tuple(reference_key),
+            reference=ref,
+            limit=ref * self.slow_factor + self.slack,
+            measured=measured,
+        )
+
+    def check_span_totals(self, tracer: Tracer,
+                          mapping: Mapping[str, Sequence[str]]
+                          ) -> list[GateCheck]:
+        """Gate every ``span name -> bench key path`` pair in *mapping*."""
+        totals = {s.name: s.total for s in summarize_spans(tracer)}
+        return [self.check(name, totals.get(name), key)
+                for name, key in mapping.items()]
+
+    @staticmethod
+    def assert_ok(checks: Sequence[GateCheck]) -> None:
+        bad = [c for c in checks if not c.ok]
+        if bad:
+            raise BenchRegressionError(
+                "benchmark regression gate failed:\n  "
+                + "\n  ".join(c.describe() for c in bad)
+            )

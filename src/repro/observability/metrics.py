@@ -1,0 +1,125 @@
+"""Metrics primitives: counters, gauges, fixed-bucket histograms.
+
+The porting teams in the paper read two kinds of evidence off their
+tools: timelines (spans, :mod:`repro.observability.tracer`) and
+*aggregates* — message volumes per link, Jacobian-reuse rates, checkpoint
+bytes.  This module is the aggregate side: a tiny Prometheus-shaped
+metric set with hard invariants the property suite can enforce:
+
+* a :class:`Counter` is monotone — ``inc`` rejects negative amounts, so
+  a counter's value never decreases;
+* a :class:`Histogram` has *fixed* bucket edges chosen at creation and
+  its bucket counts always sum to the observation count;
+* everything is plain arithmetic on caller-supplied values — no clocks,
+  no ambient state, bit-effect-free by construction.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+
+class MetricsError(ValueError):
+    """Misuse of a metric (negative counter increment, bad edges, ...)."""
+
+
+@dataclass
+class Counter:
+    """A monotonically non-decreasing accumulator."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricsError(
+                f"counter {self.name!r}: negative increment {amount!r} "
+                f"(counters are monotone; use a Gauge)"
+            )
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value that may move either way."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram: ``counts[i]`` tallies observations in
+    ``[edges[i-1], edges[i])`` with underflow/overflow buckets at the
+    ends, so ``sum(counts) == count`` always holds."""
+
+    def __init__(self, name: str, edges: tuple[float, ...]) -> None:
+        e = tuple(float(x) for x in edges)
+        if not e:
+            raise MetricsError(f"histogram {name!r}: needs at least one edge")
+        if any(b <= a for a, b in zip(e, e[1:])):
+            raise MetricsError(
+                f"histogram {name!r}: edges must be strictly increasing, got {e}"
+            )
+        self.name = name
+        self.edges = e
+        self.counts = [0] * (len(e) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        self.counts[bisect_right(self.edges, v)] += 1
+        self.count += 1
+        self.total += v
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+        }
+
+
+@dataclass
+class MetricsRegistry:
+    """Get-or-create store for every metric a traced run produces."""
+
+    counters: dict[str, Counter] = field(default_factory=dict)
+    gauges: dict[str, Gauge] = field(default_factory=dict)
+    histograms: dict[str, Histogram] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str, edges: tuple[float, ...] = ()) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram(name, edges)
+        return h
+
+    def to_dict(self) -> dict:
+        return {
+            "counters": {k: v.value for k, v in sorted(self.counters.items())},
+            "gauges": {k: v.value for k, v in sorted(self.gauges.items())},
+            "histograms": {
+                k: v.to_dict() for k, v in sorted(self.histograms.items())
+            },
+        }

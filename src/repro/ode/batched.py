@@ -25,7 +25,7 @@ tolerances (the ablation bench asserts this).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -39,6 +39,9 @@ from repro.resilience.abft import (
     verify_solve,
 )
 from repro.resilience.snapshot import Snapshot, require_kind
+
+if TYPE_CHECKING:  # pragma: no cover - import only for annotations
+    from repro.observability.tracer import Tracer
 
 #: Batched RHS: ``f(t, Y)`` with ``Y`` of shape (..., ncells, n); ``t`` a
 #: scalar or (ncells,) array.  Leading axes must broadcast (they carry the
@@ -187,6 +190,7 @@ class BatchedBdfIntegrator:
         gamma_drift_tol: float = 0.3,
         sdc_guard: bool = False,
         plausibility: Callable[[np.ndarray], np.ndarray] | None = None,
+        tracer: "Tracer | None" = None,
     ) -> None:
         self.rhs = rhs
         self.jac = jac
@@ -199,6 +203,9 @@ class BatchedBdfIntegrator:
         self.gamma_drift_tol = gamma_drift_tol
         self.sdc_guard = sdc_guard
         self.plausibility = plausibility
+        #: observation-only span/metric sink on the tracer's ordinal tick
+        #: clock (solver rounds are ordinal, not simulated-time, events)
+        self.tracer = tracer
 
     # -- internals ------------------------------------------------------------
 
@@ -212,6 +219,17 @@ class BatchedBdfIntegrator:
 
     def _build_jacobian(self, t, Y: np.ndarray,
                         stats: BatchedBdfStats) -> np.ndarray:
+        tr = self.tracer
+        if tr is None:
+            return self._build_jacobian_impl(t, Y, stats)
+        with tr.span("ode.jacobian", cat="ode", pid="ode", tid="batched",
+                     cells=int(Y.shape[0])):
+            out = self._build_jacobian_impl(t, Y, stats)
+        tr.metrics.counter("ode.jac_builds").inc()
+        return out
+
+    def _build_jacobian_impl(self, t, Y: np.ndarray,
+                             stats: BatchedBdfStats) -> np.ndarray:
         """(ncells, n, n) Jacobians: analytic, or one-shot vectorized FD.
 
         The FD path stacks all n perturbed copies of the whole batch into
@@ -274,6 +292,34 @@ class BatchedBdfIntegrator:
     def _newton(self, t_new, Y, Y_prev, Y_pred, a0, a1, a2, h, gamma, active,
                 J, J_valid, jac_age, lu, piv, gamma_fact, fact_valid,
                 stats) -> tuple[np.ndarray, np.ndarray]:
+        tr = self.tracer
+        if tr is None:
+            return self._newton_impl(
+                t_new, Y, Y_prev, Y_pred, a0, a1, a2, h, gamma, active,
+                J, J_valid, jac_age, lu, piv, gamma_fact, fact_valid, stats)
+        iters0 = stats.newton_iters
+        refact0 = stats.cells_refactored
+        with tr.span("ode.newton", cat="ode", pid="ode", tid="batched",
+                     cells=int(active.sum())) as sp:
+            converged, Yn = self._newton_impl(
+                t_new, Y, Y_prev, Y_pred, a0, a1, a2, h, gamma, active,
+                J, J_valid, jac_age, lu, piv, gamma_fact, fact_valid, stats)
+            sp.args["iters"] = stats.newton_iters - iters0
+            sp.args["converged"] = int(converged.sum())
+        m = tr.metrics
+        m.counter("ode.newton_calls").inc()
+        m.counter("ode.newton_iters").inc(stats.newton_iters - iters0)
+        refactored = stats.cells_refactored - refact0
+        m.counter("ode.cells_refactored").inc(refactored)
+        reused = int(active.sum()) - refactored
+        if reused > 0:
+            # Jacobian/LU reuse hits: cells solved on held factors
+            m.counter("ode.lu_reuse_hits").inc(reused)
+        return converged, Yn
+
+    def _newton_impl(self, t_new, Y, Y_prev, Y_pred, a0, a1, a2, h, gamma,
+                     active, J, J_valid, jac_age, lu, piv, gamma_fact,
+                     fact_valid, stats) -> tuple[np.ndarray, np.ndarray]:
         """Masked modified-Newton solve across the batch.
 
         Returns ``(converged, Yn)``.  LU factors persist across calls and
@@ -419,6 +465,19 @@ class BatchedBdfIntegrator:
         """
         if s.finished:
             return
+        tr = self.tracer
+        if tr is None:
+            self._step_round_impl(s)
+            return
+        with tr.span("ode.step_round", cat="ode", pid="ode", tid="batched",
+                     active_cells=int((~s.done).sum())) as sp:
+            self._step_round_impl(s)
+            sp.args["round"] = s.stats.step_rounds
+        tr.metrics.counter("ode.step_rounds").inc()
+
+    def _step_round_impl(self, s: BatchedBdfState) -> None:
+        if s.finished:
+            return
         t_end, tiny = s.t_end, 1e-14 * s.t_scale
         stats = s.stats
         with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
@@ -505,7 +564,16 @@ class BatchedBdfIntegrator:
 
     def integrate(self, y0: np.ndarray, t0: float, t_end: float) -> BatchedBdfResult:
         """Advance every cell of ``y0`` (ncells, n) from *t0* to *t_end*."""
-        state = self.start(y0, t0, t_end)
-        while not state.finished:
-            self.step_round(state)
+        tr = self.tracer
+        if tr is None:
+            state = self.start(y0, t0, t_end)
+            while not state.finished:
+                self.step_round(state)
+            return state.result()
+        with tr.span("ode.integrate", cat="ode", pid="ode", tid="batched",
+                     ncells=int(np.asarray(y0).shape[0])) as sp:
+            state = self.start(y0, t0, t_end)
+            while not state.finished:
+                self.step_round(state)
+            sp.args["rounds"] = state.stats.step_rounds
         return state.result()

@@ -41,7 +41,7 @@ ownership and time, never values).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 from repro.gpu.device import Device
 from repro.mpisim.comm import CommError, SimComm
@@ -60,6 +60,9 @@ from repro.resilience.snapshot import (
     require_kind,
     snapshot_checksum,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import only for annotations
+    from repro.observability.tracer import Tracer
 
 
 class ResilienceError(RuntimeError):
@@ -343,6 +346,7 @@ class ResilientRunner:
         backoff_base: float = 1.0,
         keep_snapshots: int = 2,
         policy: RecoveryPolicy | str = "restart",
+        tracer: "Tracer | None" = None,
     ) -> None:
         if checkpoint_interval < 1:
             raise ValueError("checkpoint_interval must be >= 1 step")
@@ -360,13 +364,17 @@ class ResilientRunner:
         self.backoff_base = backoff_base
         self.keep_snapshots = keep_snapshots
         self.policy = make_policy(policy) if isinstance(policy, str) else policy
+        #: observation-only span/metric sink on the campaign's simulated
+        #: clock; ``None`` keeps every instrumented site one pointer test
+        self.tracer = tracer
         #: step-time multiplier while running below the initial width
         self.throughput_factor = 1.0
         self._checkpoints: list[_StoredCheckpoint] = []
 
     # -- checkpoint store ----------------------------------------------------
 
-    def _write_checkpoint(self, step: int, stats: ResilienceStats) -> float:
+    def _write_checkpoint(self, step: int, stats: ResilienceStats,
+                          t_sim: float = 0.0) -> float:
         blob = encode_snapshot(self.app.snapshot())
         self._checkpoints.append(
             _StoredCheckpoint(step=step, blob=blob,
@@ -375,7 +383,16 @@ class ResilientRunner:
         del self._checkpoints[:-self.keep_snapshots]
         stats.checkpoints_written += 1
         stats.checkpoint_bytes += len(blob)
-        return self.cost_model.write_time(len(blob))
+        cost = self.cost_model.write_time(len(blob))
+        tr = self.tracer
+        if tr is not None:
+            tr.record("resilience.checkpoint", t_sim, cost, cat="resilience",
+                      pid="resilience", tid="runner", step=int(step),
+                      nbytes=len(blob))
+            tr.metrics.counter("resilience.checkpoints").inc()
+            tr.metrics.counter("resilience.checkpoint_bytes").inc(
+                float(len(blob)))
+        return cost
 
     def _restore_latest_valid(self, stats: ResilienceStats) -> tuple[int, float]:
         """Restore the newest checksum-valid checkpoint; returns
@@ -400,6 +417,20 @@ class ResilientRunner:
         stats = ResilienceStats()
         if self.comm is not None:
             stats.ranks_initial = stats.ranks_final = self.comm.nranks
+        tr = self.tracer
+        run_idx = None
+        if tr is not None:
+            run_idx = tr.begin("resilience.run", ts=0.0, cat="resilience",
+                               pid="resilience", tid="runner",
+                               nsteps=int(nsteps), policy=self.policy.name)
+        try:
+            return self._run_loop(nsteps, stats, tr)
+        finally:
+            if run_idx is not None:
+                tr.end(run_idx, ts=stats.wall_clock)
+
+    def _run_loop(self, nsteps: int, stats: ResilienceStats,
+                  tr: "Tracer | None") -> ResilienceStats:
         t_sim = 0.0
         pending_useful = 0.0  # committed-step work not yet checkpointed
         consecutive_failures = 0
@@ -419,6 +450,7 @@ class ResilientRunner:
                 # guard: the state is corrupt, roll back to a checkpoint
                 stats.sdc_detected += 1
                 stats.lost_work_time += pending_useful
+                self._trace_fault("sdc", t_sim, pending_useful)
                 pending_useful = 0.0
                 stats.failures_by_kind["sdc"] = (
                     stats.failures_by_kind.get("sdc", 0) + 1
@@ -426,7 +458,7 @@ class ResilientRunner:
                 consecutive_failures += 1
                 self._check_retries(consecutive_failures)
                 recovery, step = self._recover(stats, consecutive_failures,
-                                               use_policy=False)
+                                               use_policy=False, t_sim=t_sim)
                 t_sim += recovery
                 continue
             event = self._pending_event(t_sim + dt)
@@ -436,6 +468,8 @@ class ResilientRunner:
                 # step) is lost work
                 partial = min(max(event.time - t_sim, 0.0), dt)
                 stats.lost_work_time += pending_useful + partial
+                self._trace_fault(event.kind.value, event.time,
+                                  pending_useful + partial)
                 pending_useful = 0.0
                 t_sim = max(t_sim + partial, event.time)
                 stats.failures_by_kind[event.kind.value] = (
@@ -448,7 +482,7 @@ class ResilientRunner:
                 consecutive_failures += 1
                 self._check_retries(consecutive_failures)
                 recovery, step = self._recover(stats, consecutive_failures,
-                                               event=event)
+                                               event=event, t_sim=t_sim)
                 t_sim += recovery
                 continue
 
@@ -460,6 +494,7 @@ class ResilientRunner:
                 if self._sdc_detected():
                     stats.sdc_detected += 1
                     stats.lost_work_time += pending_useful + dt
+                    self._trace_fault("sdc", event.time, pending_useful + dt)
                     pending_useful = 0.0
                     t_sim = max(t_sim + dt, event.time)
                     stats.failures_by_kind["sdc"] = (
@@ -489,7 +524,7 @@ class ResilientRunner:
             stats.degraded_throughput_time += narrow
 
             if step % self.checkpoint_interval == 0 or step == nsteps:
-                ckpt_time = self._write_checkpoint(step, stats)
+                ckpt_time = self._write_checkpoint(step, stats, t_sim)
                 t_sim += ckpt_time
                 stats.checkpoint_time += ckpt_time
                 stats.useful_time += pending_useful
@@ -509,6 +544,12 @@ class ResilientRunner:
             stats.events_fired = len(self.injector.events_fired)
             stats.events_requeued_pending = self.injector.events_pending_requeued
             stats.assert_event_conservation()
+        if tr is not None:
+            m = tr.metrics
+            m.gauge("resilience.useful_time").set(stats.useful_time)
+            m.gauge("resilience.wall_clock").set(stats.wall_clock)
+            m.gauge("resilience.overhead_fraction").set(stats.overhead_fraction)
+            m.counter("resilience.steps_replayed").inc(stats.steps_replayed)
         return stats
 
     # -- helpers --------------------------------------------------------------
@@ -564,9 +605,22 @@ class ResilientRunner:
             return True
         return False
 
+    def _trace_fault(self, kind: str, t: float, lost_work: float) -> None:
+        """Mark a fired fault on the timeline and bump its counters."""
+        tr = self.tracer
+        if tr is None:
+            return
+        tr.instant(f"fault.{kind}", ts=t, cat="resilience",
+                   pid="resilience", tid="runner",
+                   lost_work=float(lost_work))
+        m = tr.metrics
+        m.counter(f"resilience.faults[{kind}]").inc()
+        m.counter("resilience.lost_work_seconds").inc(float(lost_work))
+
     def _recover(self, stats: ResilienceStats, consecutive_failures: int, *,
                  event: FaultEvent | None = None,
-                 use_policy: bool = True) -> tuple[float, int]:
+                 use_policy: bool = True,
+                 t_sim: float = 0.0) -> tuple[float, int]:
         """Pay policy recovery + backoff + restore; returns
         ``(seconds, step)``.  SDC rollbacks set ``use_policy=False`` —
         the nodes are healthy, only the data is poisoned, so recovery is
@@ -578,4 +632,15 @@ class ResilientRunner:
         total = policy_time + backoff + read_time
         stats.recovery_time += total
         stats.recoveries += 1
+        tr = self.tracer
+        if tr is not None:
+            idx = tr.begin("resilience.recovery", ts=t_sim, cat="resilience",
+                           pid="resilience", tid="runner",
+                           policy=self.policy.name if use_policy else "rewind",
+                           restored_step=int(restored_step))
+            tr.record("resilience.restore", t_sim + policy_time + backoff,
+                      read_time, cat="resilience", pid="resilience",
+                      tid="runner", restored_step=int(restored_step))
+            tr.end(idx, ts=t_sim + total)
+            tr.metrics.counter("resilience.recoveries").inc()
         return total, restored_step

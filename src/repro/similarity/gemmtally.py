@@ -44,6 +44,7 @@ import numpy as np
 
 from repro.gpu.kernel import KernelSpec
 from repro.hardware.gpu import Precision
+from repro.observability.tracer import NULL_TRACER, Tracer
 from repro.resilience.abft import AbftReport, ChecksummedGemm, verify_gemm
 
 #: Fields packed per machine word in the popcount path.
@@ -234,7 +235,8 @@ def verify_tallies(counts: np.ndarray, row_checksum: np.ndarray,
 
 
 def tally_2way(data: np.ndarray, *, n_states: int = 2,
-               method: str = "popcount", abft: bool = False) -> np.ndarray:
+               method: str = "popcount", abft: bool = False,
+               tracer: Tracer | None = None) -> np.ndarray:
     """2-way tallies through the GEMM-recast engine.
 
     ``method='popcount'`` runs the bit-packed word sweeps (the DUO 2-bit
@@ -242,27 +244,56 @@ def tally_2way(data: np.ndarray, *, n_states: int = 2,
     path, simulated in FP64); both are integer exact.  ``abft=True``
     additionally audits the result against independently-computed
     marginal checksums (exact, zero tolerance) before returning it.
+    ``tracer`` records the pack/count/verify phases as ordinal spans;
+    the tallies themselves are unaffected.
     """
-    if method == "popcount":
-        counts = popcount_tallies_2way(pack_alleles(data, n_states=n_states))
-    elif method == "einsum":
-        counts = einsum_tallies_2way(data, n_states=n_states)
-    else:
-        raise ValueError(f"unknown tally method {method!r}")
-    if abft:
-        row, col = tally_marginal_checksums(data, n_states=n_states)
-        verify_tallies(counts, row, col)
+    tr = tracer if tracer is not None else NULL_TRACER
+    with tr.span("similarity.tally_2way", cat="similarity", pid="similarity",
+                 tid="tally", method=method, n=int(np.asarray(data).shape[0])):
+        if method == "popcount":
+            with tr.span("similarity.pack", cat="similarity",
+                         pid="similarity", tid="tally"):
+                packed = pack_alleles(data, n_states=n_states)
+            with tr.span("similarity.count_popcount", cat="similarity",
+                         pid="similarity", tid="tally"):
+                counts = popcount_tallies_2way(packed)
+        elif method == "einsum":
+            with tr.span("similarity.count_gemm", cat="similarity",
+                         pid="similarity", tid="tally"):
+                counts = einsum_tallies_2way(data, n_states=n_states)
+        else:
+            raise ValueError(f"unknown tally method {method!r}")
+        if abft:
+            with tr.span("similarity.abft_verify", cat="similarity",
+                         pid="similarity", tid="tally"):
+                row, col = tally_marginal_checksums(data, n_states=n_states)
+                verify_tallies(counts, row, col)
+    tr.metrics.counter("similarity.tallies_2way").inc()
     return counts
 
 
 def tally_3way(data: np.ndarray, *, n_states: int = 2,
-               method: str = "popcount") -> np.ndarray:
+               method: str = "popcount",
+               tracer: Tracer | None = None) -> np.ndarray:
     """3-way tallies through the GEMM-recast engine."""
-    if method == "popcount":
-        return popcount_tallies_3way(pack_alleles(data, n_states=n_states))
-    if method == "einsum":
-        return einsum_tallies_3way(data, n_states=n_states)
-    raise ValueError(f"unknown tally method {method!r}")
+    tr = tracer if tracer is not None else NULL_TRACER
+    with tr.span("similarity.tally_3way", cat="similarity", pid="similarity",
+                 tid="tally", method=method, n=int(np.asarray(data).shape[0])):
+        if method == "popcount":
+            with tr.span("similarity.pack", cat="similarity",
+                         pid="similarity", tid="tally"):
+                packed = pack_alleles(data, n_states=n_states)
+            with tr.span("similarity.count_popcount", cat="similarity",
+                         pid="similarity", tid="tally"):
+                counts = popcount_tallies_3way(packed)
+        elif method == "einsum":
+            with tr.span("similarity.count_gemm", cat="similarity",
+                         pid="similarity", tid="tally"):
+                counts = einsum_tallies_3way(data, n_states=n_states)
+        else:
+            raise ValueError(f"unknown tally method {method!r}")
+    tr.metrics.counter("similarity.tallies_3way").inc()
+    return counts
 
 
 # ---------------------------------------------------------------------------

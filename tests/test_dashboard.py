@@ -1,0 +1,68 @@
+"""Direct unit tests for the COE readiness dashboard (§6).
+
+The dashboard is the management-facing synthesis of every Table 2
+application; these tests pin its structure — one reviewed row per app,
+achieved factors taken from the apps' own measured speedups, verdicts
+consistent with the targets — independently of the experiment smoke
+tests.
+"""
+
+import pytest
+
+from repro.apps import TABLE2_APPS
+from repro.core.challenge import ReviewVerdict
+from repro.experiments.dashboard import (
+    TARGET_FACTORS,
+    Dashboard,
+    DashboardRow,
+    build_dashboard,
+)
+
+
+class TestTargets:
+    def test_every_table2_app_has_a_committed_target(self):
+        assert set(TARGET_FACTORS) == set(TABLE2_APPS)
+
+    def test_targets_are_caar_scale(self):
+        assert all(1.0 < f <= 4.0 for f in TARGET_FACTORS.values())
+
+
+class TestBuildDashboard:
+    @pytest.fixture(scope="class")
+    def dashboard(self):
+        return build_dashboard()
+
+    def test_one_row_per_application(self, dashboard):
+        assert [r.application for r in dashboard.rows] == list(TABLE2_APPS)
+
+    def test_achieved_factors_are_the_apps_measured_speedups(self, dashboard):
+        for row in dashboard.rows:
+            assert row.achieved_factor == pytest.approx(
+                TABLE2_APPS[row.application].speedup())
+            assert row.target_factor == TARGET_FACTORS[row.application]
+
+    def test_verdicts_follow_the_targets(self, dashboard):
+        for row in dashboard.rows:
+            if row.verdict is ReviewVerdict.ON_TRACK:
+                assert row.achieved_factor >= row.target_factor * 0.9
+        assert dashboard.all_on_track == all(
+            r.verdict is ReviewVerdict.ON_TRACK for r in dashboard.rows)
+
+    def test_render_lists_every_app_with_factors(self, dashboard):
+        text = dashboard.render()
+        assert "COE readiness dashboard" in text
+        for row in dashboard.rows:
+            assert row.application in text
+            assert f"{row.target_factor:.1f}x" in text
+
+
+class TestDashboardShape:
+    def test_all_on_track_is_false_with_one_miss(self):
+        rows = (
+            DashboardRow("A", 4.0, 4.0, ReviewVerdict.ON_TRACK),
+            DashboardRow("B", 1.0, 4.0, ReviewVerdict.OFF_TRACK),
+        )
+        assert not Dashboard(rows=rows).all_on_track
+
+    def test_empty_dashboard_is_vacuously_on_track(self):
+        assert Dashboard(rows=()).all_on_track

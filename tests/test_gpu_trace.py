@@ -1,0 +1,118 @@
+"""Direct unit tests for the GPU launch-trace exporter and its stats.
+
+:mod:`repro.gpu.trace` feeds the merged observability timeline, so its
+arithmetic — event timestamps, gap detection, utilization — gets pinned
+here against hand-built launch records with known intervals, not just
+whatever a live device happens to produce.
+"""
+
+import json
+
+import pytest
+
+from repro.gpu.device import Device, LaunchRecord
+from repro.gpu.kernel import KernelSpec
+from repro.gpu.perfmodel import time_kernel
+from repro.gpu.trace import TimelineStats, timeline_stats, to_chrome_trace
+from repro.hardware.catalog import FRONTIER
+from repro.hardware.gpu import V100, Precision
+
+
+def _kernel(flops: float = 1e9) -> KernelSpec:
+    return KernelSpec(name="k", flops=flops, bytes_read=1e6,
+                      bytes_written=1e6, threads=4096,
+                      precision=Precision.FP64)
+
+
+def _record(device: Device, start: float, dur: float, *,
+            name: str = "k", stream: int = 0) -> LaunchRecord:
+    """A launch record with an exact (start, start+dur) interval."""
+    import dataclasses
+
+    timing = dataclasses.replace(time_kernel(_kernel(), device.spec),
+                                 compute_time=dur, memory_time=0.0)
+    return LaunchRecord(kernel=name, stream_id=stream, enqueued_at=start,
+                        completes_at=start + dur, timing=timing)
+
+
+class TestChromeTraceExport:
+    def test_events_carry_microsecond_intervals(self):
+        device = Device(FRONTIER.node.gpu, device_id=3)
+        device.trace.append(_record(device, 0.5, 0.25, name="gemm"))
+        data = json.loads(to_chrome_trace(device))
+        assert data["displayTimeUnit"] == "ms"
+        meta, event = data["traceEvents"]
+        assert meta["ph"] == "M" and meta["pid"] == 3
+        assert "simulated-gpu" in meta["args"]["name"]
+        assert event["name"] == "gemm" and event["ph"] == "X"
+        assert event["ts"] == pytest.approx(0.5e6)
+        assert event["dur"] == pytest.approx(0.25e6)
+        assert {"bound", "occupancy", "enqueued_at_us"} <= set(event["args"])
+
+    def test_process_name_override_and_stream_rows(self):
+        device = Device(V100)
+        device.trace.append(_record(device, 0.0, 1.0, stream=0))
+        device.trace.append(_record(device, 2.0, 1.0, stream=5))
+        data = json.loads(to_chrome_trace(device, process_name="lane"))
+        meta = data["traceEvents"][0]
+        assert meta["args"]["name"].startswith("lane")
+        tids = [e["tid"] for e in data["traceEvents"] if e["ph"] == "X"]
+        assert tids == [0, 5]
+
+    def test_live_launches_produce_one_event_each(self):
+        device = Device(V100)
+        for _ in range(3):
+            device.launch_sync(_kernel())
+        data = json.loads(to_chrome_trace(device))
+        xs = [e for e in data["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) == 3
+        assert all(e["dur"] > 0 for e in xs)
+
+
+class TestTimelineStats:
+    def test_empty_trace_is_fully_utilized_by_convention(self):
+        stats = timeline_stats(Device(V100))
+        assert stats == TimelineStats(kernels=0, busy_time=0.0, span=0.0,
+                                      largest_gap=0.0)
+        assert stats.utilization == 1.0
+
+    def test_known_gap_geometry(self):
+        # [0,1] then [3,4] then [4.5,5]: gaps of 2.0 and 0.5
+        device = Device(V100)
+        device.trace.append(_record(device, 0.0, 1.0))
+        device.trace.append(_record(device, 3.0, 1.0))
+        device.trace.append(_record(device, 4.5, 0.5))
+        stats = timeline_stats(device)
+        assert stats.kernels == 3
+        assert stats.busy_time == pytest.approx(2.5)
+        assert stats.span == pytest.approx(5.0)
+        assert stats.largest_gap == pytest.approx(2.0)
+        assert stats.utilization == pytest.approx(0.5)
+
+    def test_overlapping_streams_leave_no_gap(self):
+        # [0,2] and [1,3] overlap: busy double-counts (per-stream work),
+        # but there is no idle hole in the timeline
+        device = Device(V100)
+        device.trace.append(_record(device, 0.0, 2.0, stream=0))
+        device.trace.append(_record(device, 1.0, 2.0, stream=1))
+        stats = timeline_stats(device)
+        assert stats.largest_gap == 0.0
+        assert stats.span == pytest.approx(3.0)
+        assert stats.busy_time == pytest.approx(4.0)
+
+    def test_unsorted_trace_is_handled(self):
+        device = Device(V100)
+        device.trace.append(_record(device, 10.0, 1.0))
+        device.trace.append(_record(device, 0.0, 1.0))
+        stats = timeline_stats(device)
+        assert stats.span == pytest.approx(11.0)
+        assert stats.largest_gap == pytest.approx(9.0)
+
+    def test_sync_launch_sequence_has_launch_latency_gaps(self):
+        device = Device(FRONTIER.node.gpu)
+        for _ in range(4):
+            device.launch_sync(_kernel())
+        stats = timeline_stats(device)
+        assert stats.kernels == 4
+        assert 0.0 < stats.utilization < 1.0
+        assert stats.largest_gap > 0.0

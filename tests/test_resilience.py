@@ -590,6 +590,37 @@ class TestDeterminismAudit:
             "stdlib `random` imported in src/ (unseedable ambient state):\n  "
             + "\n  ".join(offenders))
 
+    #: modules whose span timestamps must be simulated/ordinal time only.
+    #: (Benchmarks inject ``time.perf_counter`` *into* the tracer from
+    #: outside; the instrumented substrates themselves never touch the
+    #: wall clock, so two seeded runs export byte-identical traces.)
+    _SIM_TIME_MODULES = (
+        "observability", "mpisim", "resilience", "ode", "similarity",
+        "gpu", "experiments",
+    )
+
+    def test_no_wall_clock_in_sim_time_span_modules(self):
+        offenders = []
+        for module in self._SIM_TIME_MODULES:
+            for path in sorted((SRC / "repro" / module).rglob("*.py")):
+                tree = ast.parse(path.read_text(), filename=str(path))
+                for node in ast.walk(tree):
+                    if isinstance(node, (ast.Import, ast.ImportFrom)):
+                        names = (
+                            [a.name for a in node.names]
+                            if isinstance(node, ast.Import)
+                            else [node.module or ""]
+                        )
+                        if any(n == "time" or n.startswith("time.")
+                               for n in names):
+                            offenders.append(
+                                f"{path.relative_to(SRC)}:{node.lineno}")
+        assert not offenders, (
+            "wall-clock import in a sim-time span module (span timestamps "
+            "must come from simulated clocks or the deterministic tick; "
+            "benchmarks inject perf_counter from outside):\n  "
+            + "\n  ".join(offenders))
+
 
 # -- elastic redistribution planning --------------------------------------------
 
