@@ -1,0 +1,342 @@
+"""Optional numba-JIT backend: the same kernels, compiled to machine code.
+
+Auto-detected at import of :mod:`repro.backend` (``HAVE_NUMBA``); when
+numba is absent this module still imports cleanly and the backend simply
+reports unavailable — the container/CI contract is "skip gracefully,
+never fail at import".
+
+Design constraints, in the spirit of the paper's single-source ports:
+
+* every kernel implements the *identical algorithm and operation order*
+  as the numpy reference (same pivot tie-breaking, same accumulation
+  order per cell), so parity holds far inside the suite's 1e-9 band and
+  tallies are integer-exact;
+* no ``fastmath``, no ``parallel`` — reassociation or nondeterministic
+  reductions would break the repo's bit-identical resilience contracts;
+* popcounts go through a 16-bit lookup table (four lookups per packed
+  word) rather than SWAR intrinsics, keeping the uint arithmetic simple
+  enough to type-check on every numba version CI meets.
+
+Kernels compile lazily on first use; the first call in a process pays
+the JIT cost (seconds), which the benchmarks warm up out of band.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.backend.base import ArrayBackend, ChemRateTables, FusedRatesKernel
+from repro.backend.numpy_backend import POP16
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the numpy-only container path
+    HAVE_NUMBA = False
+
+    def njit(*args, **kwargs):  # type: ignore[misc]
+        """Placeholder so kernel definitions below still parse."""
+        if args and callable(args[0]):
+            return args[0]
+
+        def wrap(fn):
+            return fn
+
+        return wrap
+
+
+# -- batched dense linalg ----------------------------------------------------
+
+
+@njit(cache=False)
+def _lu_factor_kernel(lu, piv):  # pragma: no cover - requires numba
+    B, n, _ = lu.shape
+    for bi in range(B):
+        for k in range(n):
+            p = k
+            best = abs(lu[bi, k, k])
+            for i in range(k + 1, n):
+                v = abs(lu[bi, i, k])
+                if v > best:  # strict: first maximum, like np.argmax
+                    best = v
+                    p = i
+            piv[bi, k] = p
+            if p != k:
+                for j in range(n):
+                    tmp = lu[bi, k, j]
+                    lu[bi, k, j] = lu[bi, p, j]
+                    lu[bi, p, j] = tmp
+            pivot = lu[bi, k, k]
+            safe = pivot if abs(pivot) > 0.0 else 1.0
+            for i in range(k + 1, n):
+                lu[bi, i, k] /= safe
+            for i in range(k + 1, n):
+                lik = lu[bi, i, k]
+                for j in range(k + 1, n):
+                    lu[bi, i, j] -= lik * lu[bi, k, j]
+
+
+@njit(cache=False)
+def _lu_solve_kernel(lu, piv, x):  # pragma: no cover - requires numba
+    B, n, _ = lu.shape
+    nrhs = x.shape[2]
+    for bi in range(B):
+        for k in range(n):
+            p = piv[bi, k]
+            if p != k:
+                for m in range(nrhs):
+                    tmp = x[bi, k, m]
+                    x[bi, k, m] = x[bi, p, m]
+                    x[bi, p, m] = tmp
+        for k in range(1, n):  # forward: L has unit diagonal
+            for m in range(nrhs):
+                acc = 0.0
+                for j in range(k):
+                    acc += lu[bi, k, j] * x[bi, j, m]
+                x[bi, k, m] -= acc
+        for k in range(n - 1, -1, -1):  # backward
+            for m in range(nrhs):
+                acc = 0.0
+                for j in range(k + 1, n):
+                    acc += lu[bi, k, j] * x[bi, j, m]
+                x[bi, k, m] = (x[bi, k, m] - acc) / lu[bi, k, k]
+
+
+@njit(cache=False)
+def _inv_kernel(mats, out):  # pragma: no cover - requires numba
+    B = mats.shape[0]
+    for bi in range(B):
+        out[bi] = np.linalg.inv(mats[bi])
+
+
+# -- fused chemistry rates ---------------------------------------------------
+
+
+@njit(cache=False)
+def _wdot_kernel(kf, kr, C, fwd_idx, rev_idx, has_rev,
+                 net_rows, net_cols, net_vals, q,
+                 out):  # pragma: no cover - requires numba
+    B, n = C.shape
+    R = kf.shape[1]
+    Lf = fwd_idx.shape[1]
+    Lp = rev_idx.shape[1]
+    E = net_rows.shape[0]
+    for c in range(B):
+        for r in range(R):
+            qf = kf[c, r]
+            for col in range(Lf):
+                s = fwd_idx[r, col]
+                if s < n:
+                    qf *= C[c, s]
+            if has_rev[r]:
+                qr = kr[c, r]
+                for col in range(Lp):
+                    s = rev_idx[r, col]
+                    if s < n:
+                        qr *= C[c, s]
+                q[r] = qf - qr
+            else:
+                q[r] = qf
+        for s in range(n):
+            out[c, s] = 0.0
+        for e in range(E):
+            out[c, net_cols[e]] += net_vals[e] * q[net_rows[e]]
+
+
+class _NumbaRates(FusedRatesKernel):
+    def wdot(self, kf: np.ndarray, kr: np.ndarray,
+             C: np.ndarray) -> np.ndarray:  # pragma: no cover - needs numba
+        t = self.tables
+        n = t.n_species
+        C = np.ascontiguousarray(C, dtype=np.float64)
+        lead = np.broadcast_shapes(C.shape[:-1], kf.shape[:-1])
+        kf2 = np.ascontiguousarray(
+            np.broadcast_to(kf, lead + kf.shape[-1:]), dtype=np.float64
+        ).reshape(-1, t.n_reactions)
+        kr2 = np.ascontiguousarray(
+            np.broadcast_to(kr, lead + kr.shape[-1:]), dtype=np.float64
+        ).reshape(-1, t.n_reactions)
+        C2 = np.ascontiguousarray(
+            np.broadcast_to(C, lead + (n,))).reshape(-1, n)
+        out = np.empty_like(C2)
+        q = np.empty(t.n_reactions)
+        _wdot_kernel(kf2, kr2, C2, t.fwd_idx, t.rev_idx,
+                     np.ascontiguousarray(t.has_reverse),
+                     t.net_rows, t.net_cols, t.net_vals, q, out)
+        return out.reshape(lead + (n,))
+
+
+# -- bit-plane popcount tallies ----------------------------------------------
+
+
+@njit(cache=False)
+def _tally2_kernel(words16, table, out):  # pragma: no cover - requires numba
+    n, S, W4 = words16.shape
+    for s in range(S):
+        for t in range(S):
+            for i in range(n):
+                for j in range(n):
+                    acc = 0
+                    for w in range(W4):
+                        acc += table[words16[i, s, w] & words16[j, t, w]]
+                    out[s, t, i, j] = acc
+
+
+@njit(cache=False)
+def _tally3_kernel(words16, table, out):  # pragma: no cover - requires numba
+    n, S, W4 = words16.shape
+    for s in range(S):
+        for t in range(S):
+            for u in range(S):
+                for i in range(n):
+                    for j in range(n):
+                        for k in range(n):
+                            acc = 0
+                            for w in range(W4):
+                                acc += table[words16[i, s, w]
+                                             & words16[j, t, w]
+                                             & words16[k, u, w]]
+                            out[s, t, u, i, j, k] = acc
+
+
+# -- pairwise short-range forces ---------------------------------------------
+
+
+@njit(cache=False)
+def _short_forces_kernel(x, masses, box, rs, cutoff, G, periodic,
+                         out):  # pragma: no cover - requires numba
+    n = x.shape[0]
+    pref = 1.0 / (rs * math.sqrt(math.pi))
+    for i in range(n):
+        for j in range(i + 1, n):
+            dx = x[j, 0] - x[i, 0]
+            dy = x[j, 1] - x[i, 1]
+            dz = x[j, 2] - x[i, 2]
+            if periodic:
+                dx -= box * math.floor(dx / box + 0.5)
+                dy -= box * math.floor(dy / box + 0.5)
+                dz -= box * math.floor(dz / box + 0.5)
+            r2 = dx * dx + dy * dy + dz * dz
+            if r2 <= 0.0:
+                continue
+            r = math.sqrt(r2)
+            if r >= cutoff:
+                continue
+            fmag = G * (math.erfc(r / (2.0 * rs)) / r2
+                        + math.exp(-r2 / (4.0 * rs * rs)) * pref / r)
+            f = masses[i] * masses[j] * fmag / r
+            out[i, 0] += f * dx
+            out[i, 1] += f * dy
+            out[i, 2] += f * dz
+            out[j, 0] -= f * dx
+            out[j, 1] -= f * dy
+            out[j, 2] -= f * dz
+
+
+@njit(cache=False)
+def _direct_forces_kernel(x, masses, G, out):  # pragma: no cover - numba
+    n = x.shape[0]
+    for i in range(n):
+        for j in range(i + 1, n):
+            dx = x[j, 0] - x[i, 0]
+            dy = x[j, 1] - x[i, 1]
+            dz = x[j, 2] - x[i, 2]
+            r2 = dx * dx + dy * dy + dz * dz
+            if r2 <= 0.0:
+                continue
+            r = math.sqrt(r2)
+            f = G * masses[i] * masses[j] / (r2 * r)
+            out[i, 0] += f * dx
+            out[i, 1] += f * dy
+            out[i, 2] += f * dz
+            out[j, 0] -= f * dx
+            out[j, 1] -= f * dy
+            out[j, 2] -= f * dz
+
+
+class NumbaBackend(ArrayBackend):  # pragma: no cover - requires numba
+    """JIT-compiled backend; only constructible when numba imports."""
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        if not HAVE_NUMBA:
+            from repro.backend.base import BackendUnavailable
+
+            raise BackendUnavailable(
+                "numba is not installed; `pip install numba` or use the "
+                "numpy backend")
+
+    def lu_factor(self, mats: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        lu = np.array(mats, dtype=np.float64, copy=True, order="C")
+        if lu.ndim != 3 or lu.shape[1] != lu.shape[2]:
+            raise ValueError(f"expected (batch, n, n) matrices, got {lu.shape}")
+        piv = np.empty((lu.shape[0], lu.shape[1]), dtype=np.intp)
+        _lu_factor_kernel(lu, piv)
+        return lu, piv
+
+    def lu_solve(self, lu: np.ndarray, piv: np.ndarray,
+                 rhs: np.ndarray) -> np.ndarray:
+        b, n, _ = lu.shape
+        x = np.array(rhs, dtype=np.float64, copy=True, order="C")
+        vector_rhs = x.ndim == 2
+        if vector_rhs:
+            x = x[..., None]
+        if x.shape[:2] != (b, n):
+            raise ValueError(
+                f"rhs shape {np.shape(rhs)} does not match factors {lu.shape}")
+        _lu_solve_kernel(np.ascontiguousarray(lu, dtype=np.float64),
+                         np.ascontiguousarray(piv), x)
+        return x[..., 0] if vector_rhs else x
+
+    def inv(self, mats: np.ndarray) -> np.ndarray:
+        mats = np.ascontiguousarray(mats, dtype=np.float64)
+        out = np.empty_like(mats)
+        _inv_kernel(mats, out)
+        return out
+
+    def inv_apply(self, inv: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+        # one batched matmul is already a single fused call; BLAS wins here
+        return np.matmul(inv, rhs[..., None])[..., 0]
+
+    def rates_kernel(self, tables: ChemRateTables) -> FusedRatesKernel:
+        return _NumbaRates(tables)
+
+    def popcount_tallies_2way(self, words: np.ndarray) -> np.ndarray:
+        n, S, W = words.shape
+        words16 = np.ascontiguousarray(words).view(np.uint16)
+        words16 = words16.reshape(n, S, W * 4)
+        out = np.empty((S, S, n, n), dtype=np.int64)
+        _tally2_kernel(words16, POP16, out)
+        return out
+
+    def popcount_tallies_3way(self, words: np.ndarray) -> np.ndarray:
+        n, S, W = words.shape
+        words16 = np.ascontiguousarray(words).view(np.uint16)
+        words16 = words16.reshape(n, S, W * 4)
+        out = np.empty((S, S, S, n, n, n), dtype=np.int64)
+        _tally3_kernel(words16, POP16, out)
+        return out
+
+    def pairwise_forces(self, x: np.ndarray, masses: np.ndarray, *,
+                        G: float, rs: float | None = None,
+                        cutoff: float | None = None,
+                        box_size: float | None = None) -> np.ndarray:
+        x = np.ascontiguousarray(x, dtype=np.float64)
+        masses = np.ascontiguousarray(masses, dtype=np.float64)
+        out = np.zeros_like(x)
+        if len(x) < 2:
+            return out
+        if rs is not None:
+            _short_forces_kernel(
+                x, masses,
+                float(box_size) if box_size is not None else 1.0,
+                float(rs),
+                float(cutoff) if cutoff is not None else np.inf,
+                float(G), box_size is not None, out)
+        else:
+            _direct_forces_kernel(x, masses, float(G), out)
+        return out

@@ -1,0 +1,171 @@
+"""The numpy reference backend: always available, defines the semantics.
+
+Every kernel here is *fused* relative to the paths it replaced:
+
+* chemistry rates collapse the generated kernel's ~700 tiny array ops
+  per sweep (one per unrolled reaction term) into ~6 whole-batch ops —
+  two gathers, two multiplies, one subtract, one GEMM against the net
+  stoichiometry matrix;
+* the Newton solve path trades the 2n-einsum triangular sweeps for one
+  batched inversion per refactorization plus a single matmul per
+  iteration;
+* the popcount tallies AND/popcount/reduce *all* state pairs in one
+  broadcast sweep over (n·S)-row word blocks instead of S² separate
+  pack-then-AND-then-popcount temporaries.
+
+The bit-exact LU factor/solve reference lives in
+:mod:`repro.linalg.batched`; this backend re-exports it so alternate
+backends have a single semantic anchor.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+from scipy.special import erfc
+
+from repro.backend.base import ArrayBackend, ChemRateTables, FusedRatesKernel
+
+# -- popcount primitives (shared with repro.similarity.gemmtally) -----------
+
+#: Byte-popcount lookup, built once at import (never per engine instance).
+POP8 = np.array([bin(v).count("1") for v in range(256)], dtype=np.uint8)
+#: 16-bit popcount lookup for compiled backends (4 lookups per uint64).
+POP16 = (POP8[np.arange(1 << 16) & 0xFF]
+         + POP8[np.arange(1 << 16) >> 8]).astype(np.uint8)
+
+if hasattr(np, "bitwise_count"):  # numpy >= 2.0: the hardware popcount
+    def popcount_words(words: np.ndarray) -> np.ndarray:
+        return np.bitwise_count(words)
+else:  # pragma: no cover - exercised only on numpy 1.x
+    def popcount_words(words: np.ndarray) -> np.ndarray:
+        return POP8[words.view(np.uint8)].reshape(*words.shape, 8).sum(axis=-1)
+
+
+#: Word-sweep temporary budget (elements) for the fused tally kernels.
+_SWEEP_BUDGET = 1 << 24
+
+
+@lru_cache(maxsize=128)
+def triu_pairs(n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Memoized ``np.triu_indices(n, k=1)`` — campaigns evaluate forces
+    for the same particle count thousands of times; callers must treat
+    the returned arrays as read-only."""
+    return np.triu_indices(n, k=1)
+
+
+def short_range_pair_magnitude(r: np.ndarray, rs: float, *,
+                               G: float = 1.0) -> np.ndarray:
+    """erfc-filtered short-range force magnitude for unit masses."""
+    return G * (
+        erfc(r / (2 * rs)) / r**2
+        + np.exp(-(r**2) / (4 * rs**2)) / (rs * np.sqrt(np.pi) * r)
+    )
+
+
+class _NumpyRates(FusedRatesKernel):
+    def __init__(self, tables: ChemRateTables) -> None:
+        super().__init__(tables)
+        self._any_reverse = bool(tables.has_reverse.any())
+
+    def wdot(self, kf: np.ndarray, kr: np.ndarray,
+             C: np.ndarray) -> np.ndarray:
+        t = self.tables
+        # dummy-species column: padded gather indices hit a constant 1.0
+        C1 = np.concatenate(
+            [C, np.ones(C.shape[:-1] + (1,), dtype=C.dtype)], axis=-1)
+        q = kf * C1[..., t.fwd_idx[:, 0]]
+        for col in range(1, t.fwd_idx.shape[1]):
+            q = q * C1[..., t.fwd_idx[:, col]]
+        if self._any_reverse:
+            qr = kr * C1[..., t.rev_idx[:, 0]]
+            for col in range(1, t.rev_idx.shape[1]):
+                qr = qr * C1[..., t.rev_idx[:, col]]
+            q = q - qr
+        return q @ t.net
+
+
+class NumpyBackend(ArrayBackend):
+    """Reference implementation on plain numpy (+ scipy.special)."""
+
+    name = "numpy"
+
+    # -- batched dense linalg ---------------------------------------------
+
+    def lu_factor(self, mats: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        from repro.linalg.batched import batched_lu_factor
+
+        return batched_lu_factor(mats)
+
+    def lu_solve(self, lu: np.ndarray, piv: np.ndarray,
+                 rhs: np.ndarray) -> np.ndarray:
+        from repro.linalg.batched import batched_lu_solve_factored
+
+        return batched_lu_solve_factored(lu, piv, rhs)
+
+    def inv(self, mats: np.ndarray) -> np.ndarray:
+        return np.linalg.inv(mats)
+
+    def inv_apply(self, inv: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+        return np.matmul(inv, rhs[..., None])[..., 0]
+
+    # -- fused chemistry rates --------------------------------------------
+
+    def rates_kernel(self, tables: ChemRateTables) -> FusedRatesKernel:
+        return _NumpyRates(tables)
+
+    # -- bit-plane popcount tallies ---------------------------------------
+
+    def popcount_tallies_2way(self, words: np.ndarray) -> np.ndarray:
+        n, S, W = words.shape
+        flat = words.reshape(n * S, W)
+        counts = np.zeros((n * S, n * S), dtype=np.int64)
+        block = max(1, _SWEEP_BUDGET // max(1, (n * S) ** 2))
+        for w0 in range(0, W, block):
+            blk = flat[:, w0:w0 + block]
+            counts += popcount_words(blk[:, None, :] & blk[None, :, :]).sum(
+                axis=-1, dtype=np.int64)
+        return np.ascontiguousarray(
+            counts.reshape(n, S, n, S).transpose(1, 3, 0, 2))
+
+    def popcount_tallies_3way(self, words: np.ndarray) -> np.ndarray:
+        n, S, _ = words.shape
+        counts = np.empty((S,) * 3 + (n,) * 3, dtype=np.int64)
+        for s in range(S):
+            for t in range(S):
+                pair = words[:, s, None, :] & words[None, :, t, :]
+                for u in range(S):
+                    tri = pair[:, :, None, :] & words[None, None, :, u, :]
+                    counts[s, t, u] = popcount_words(tri).sum(
+                        axis=-1, dtype=np.int64)
+        return counts
+
+    # -- pairwise short-range forces --------------------------------------
+
+    def pairwise_forces(self, x: np.ndarray, masses: np.ndarray, *,
+                        G: float, rs: float | None = None,
+                        cutoff: float | None = None,
+                        box_size: float | None = None) -> np.ndarray:
+        n = len(x)
+        forces = np.zeros_like(x)
+        if n < 2:
+            return forces
+        ii, jj = triu_pairs(n)
+        d = x[jj] - x[ii]
+        if box_size is not None:
+            d -= box_size * np.round(d / box_size)
+        r = np.sqrt((d * d).sum(axis=1))
+        keep = r > 0.0
+        if cutoff is not None:
+            keep &= r < cutoff
+        ii, jj, d, r = ii[keep], jj[keep], d[keep], r[keep]
+        if rs is not None:
+            fmag = masses[ii] * masses[jj] * short_range_pair_magnitude(
+                r, rs, G=G)
+            fvec = (fmag / r)[:, None] * d
+        else:
+            fvec = (G * masses[ii] * masses[jj] / r**3)[:, None] * d
+        np.add.at(forces, ii, fvec)
+        np.add.at(forces, jj, -fvec)
+        return forces

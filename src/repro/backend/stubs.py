@@ -1,0 +1,45 @@
+"""Registration stubs for GPU array libraries (cupy, JAX).
+
+The paper's portability chapters end with the same kernels running on
+NVIDIA, AMD and Intel devices from one source; the registry mirrors that
+trajectory by reserving names for the device-array engines.  Each stub
+registers the name, reports whether the library is importable, and
+refuses construction with a pointed message — the :class:`ArrayBackend`
+surface in :mod:`repro.backend.base` is the porting contract an
+implementation must fill in (and the parity suite in
+``tests/test_backend.py`` is its acceptance test).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+
+from repro.backend.base import BackendUnavailable
+
+
+def library_present(module: str) -> bool:
+    """True when *module* is importable (no import side effects)."""
+    try:
+        return importlib.util.find_spec(module) is not None
+    except (ImportError, ValueError):  # pragma: no cover - exotic paths
+        return False
+
+
+def make_stub_factory(name: str, module: str):
+    """A factory that always raises with porting guidance."""
+
+    def factory():
+        present = library_present(module)
+        hint = (
+            f"{module} is importable but the {name!r} backend is a "
+            f"registration stub"
+            if present else
+            f"{module} is not installed"
+        )
+        raise BackendUnavailable(
+            f"backend {name!r} is not implemented yet ({hint}); implement "
+            f"repro.backend.base.ArrayBackend for it and register the "
+            f"factory — tests/test_backend.py is the acceptance suite"
+        )
+
+    return factory

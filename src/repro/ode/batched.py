@@ -29,7 +29,7 @@ from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
-from repro.linalg.batched import batched_lu_factor, batched_lu_solve_factored
+from repro.backend import ArrayBackend, resolve_backend
 from repro.ode.bdf import IntegrationError
 from repro.resilience.abft import (
     SdcDetected,
@@ -91,7 +91,7 @@ _STATE_ARRAYS = (
     ("Y_prev", float), ("h_prev", float), ("have_prev", bool),
     ("past_t", float), ("past_y", float), ("past_cnt", np.int64),
     ("J", float), ("J_valid", bool), ("jac_age", np.int64),
-    ("lu", float), ("piv", np.intp), ("gamma_fact", float),
+    ("lu", float), ("piv", np.intp), ("inv", float), ("gamma_fact", float),
     ("fact_valid", bool), ("steps_per_cell", np.int64), ("done", bool),
 )
 
@@ -123,6 +123,7 @@ class BatchedBdfState:
     jac_age: np.ndarray
     lu: np.ndarray
     piv: np.ndarray
+    inv: np.ndarray
     gamma_fact: np.ndarray
     fact_valid: np.ndarray
     steps_per_cell: np.ndarray
@@ -130,7 +131,9 @@ class BatchedBdfState:
     stats: BatchedBdfStats = field(default_factory=BatchedBdfStats)
 
     snapshot_kind = "ode.batched_bdf_state"
-    snapshot_version = 1
+    #: v2 added the held Newton inverse (the backend fast path's factor
+    #: cache) so mid-integration restores resume bit-identically on it.
+    snapshot_version = 2
 
     @property
     def finished(self) -> bool:
@@ -191,8 +194,11 @@ class BatchedBdfIntegrator:
         sdc_guard: bool = False,
         plausibility: Callable[[np.ndarray], np.ndarray] | None = None,
         tracer: "Tracer | None" = None,
+        backend: "str | ArrayBackend | None" = None,
     ) -> None:
         self.rhs = rhs
+        #: array engine for the Newton factor/solve kernels ("auto" default)
+        self._backend = resolve_backend(backend)
         self.jac = jac
         self.rtol = rtol
         self.atol = atol
@@ -215,7 +221,9 @@ class BatchedBdfIntegrator:
     @staticmethod
     def _wrms(E: np.ndarray, W: np.ndarray) -> np.ndarray:
         """Per-cell weighted RMS norm over the species axis."""
-        return np.sqrt(np.mean((E * W) ** 2, axis=-1))
+        EW = E * W
+        # einsum sidesteps np.mean's reduction machinery on this hot path
+        return np.sqrt(np.einsum("...j,...j->...", EW, EW) / EW.shape[-1])
 
     def _build_jacobian(self, t, Y: np.ndarray,
                         stats: BatchedBdfStats) -> np.ndarray:
@@ -274,36 +282,48 @@ class BatchedBdfIntegrator:
         pts_y = np.concatenate([past_y, Yn[:, None, :]], axis=1)       # (B, 5, n)
         order = np.where(have_prev, 2, 1)
         npts = np.minimum(past_cnt, order + 1) + 1                     # in {2,3,4}
+        # only compute the difference levels some cell actually selects —
+        # after warmup that is usually just m=4, a third of the old work
         dds = {}
         for m in (2, 3, 4):
+            if not (npts == m).any():
+                continue
             Tm = pts_t[:, -m:]
             Yv = pts_y[:, -m:, :]
             for level in range(1, m):
                 denom = (Tm[:, level:] - Tm[:, :-level])[:, :, None]
                 Yv = (Yv[:, 1:, :] - Yv[:, :-1, :]) / denom
             dds[m] = Yv[:, 0, :]
-        dd = np.where((npts == 2)[:, None], dds[2],
-                      np.where((npts == 3)[:, None], dds[3], dds[4]))
+        if len(dds) == 1:
+            dd = next(iter(dds.values()))
+        else:
+            fill = np.zeros_like(pts_y[:, 0, :])
+            dd = np.where((npts == 2)[:, None], dds.get(2, fill),
+                          np.where((npts == 3)[:, None], dds.get(3, fill),
+                                   dds.get(4, fill)))
         err_vec = np.where((order == 1)[:, None],
                            h[:, None] ** 2 * dd,
                            (4.0 / 3.0) * h[:, None] ** 3 * dd)
         return self._wrms(err_vec, W)
 
     def _newton(self, t_new, Y, Y_prev, Y_pred, a0, a1, a2, h, gamma, active,
-                J, J_valid, jac_age, lu, piv, gamma_fact, fact_valid,
+                J, J_valid, jac_age, lu, piv, inv, gamma_fact, fact_valid,
                 stats) -> tuple[np.ndarray, np.ndarray]:
         tr = self.tracer
         if tr is None:
             return self._newton_impl(
                 t_new, Y, Y_prev, Y_pred, a0, a1, a2, h, gamma, active,
-                J, J_valid, jac_age, lu, piv, gamma_fact, fact_valid, stats)
+                J, J_valid, jac_age, lu, piv, inv, gamma_fact, fact_valid,
+                stats)
         iters0 = stats.newton_iters
         refact0 = stats.cells_refactored
         with tr.span("ode.newton", cat="ode", pid="ode", tid="batched",
-                     cells=int(active.sum())) as sp:
+                     cells=int(active.sum()),
+                     backend=self._backend.name) as sp:
             converged, Yn = self._newton_impl(
                 t_new, Y, Y_prev, Y_pred, a0, a1, a2, h, gamma, active,
-                J, J_valid, jac_age, lu, piv, gamma_fact, fact_valid, stats)
+                J, J_valid, jac_age, lu, piv, inv, gamma_fact, fact_valid,
+                stats)
             sp.args["iters"] = stats.newton_iters - iters0
             sp.args["converged"] = int(converged.sum())
         m = tr.metrics
@@ -318,17 +338,28 @@ class BatchedBdfIntegrator:
         return converged, Yn
 
     def _newton_impl(self, t_new, Y, Y_prev, Y_pred, a0, a1, a2, h, gamma,
-                     active, J, J_valid, jac_age, lu, piv, gamma_fact,
+                     active, J, J_valid, jac_age, lu, piv, inv, gamma_fact,
                      fact_valid, stats) -> tuple[np.ndarray, np.ndarray]:
         """Masked modified-Newton solve across the batch.
 
-        Returns ``(converged, Yn)``.  LU factors persist across calls and
-        are refactored per cell only when the Jacobian was refreshed or
-        gamma drifted; a cell that fails with a *reused* Jacobian gets one
-        fresh-Jacobian retry (CVODE's recovery ladder) before its step is
-        abandoned.
+        Returns ``(converged, Yn)``.  Newton factors persist across calls
+        and are refactored per cell only when the Jacobian was refreshed
+        or gamma drifted; a cell that fails with a *reused* Jacobian gets
+        one fresh-Jacobian retry (CVODE's recovery ladder) before its step
+        is abandoned.
+
+        Without ``sdc_guard`` the factor cache is the backend's explicit
+        inverse — one ``inv`` per refactorization, one matmul per
+        iteration — which modified Newton tolerates because each iterate
+        is corrected by the next residual.  With ``sdc_guard`` the LU
+        factor/solve path is kept: the checksum and residual audits
+        (:func:`verify_lu`/:func:`verify_solve`) are contracts on a
+        backward-stable triangular solve, which an explicit inverse does
+        not honor.
         """
         B, n = Y.shape
+        use_inv = not self.sdc_guard
+        be = self._backend
         diag = np.arange(n)
         Yn = np.where(active[:, None], Y_pred, Y)
         W = self._error_weights(Y_pred)
@@ -350,8 +381,10 @@ class BatchedBdfIntegrator:
             if idx.size:
                 M = -gamma[idx, None, None] * J[idx]
                 M[:, diag, diag] += 1.0
-                lu[idx], piv[idx] = batched_lu_factor(M)
-                if self.sdc_guard:
+                if use_inv:
+                    inv[idx] = be.inv(M)
+                else:
+                    lu[idx], piv[idx] = be.lu_factor(M)
                     verify_lu(lu[idx], piv[idx], lu_checksum(M))
                 gamma_fact[idx] = gamma[idx]
                 fact_valid[idx] = True
@@ -367,8 +400,10 @@ class BatchedBdfIntegrator:
                 res = Yn + ((a1[:, None] * Y + a2[:, None] * Y_prev)
                             - h[:, None] * F) / a0[:, None]
                 uidx = np.flatnonzero(unconv)
-                delta = batched_lu_solve_factored(lu[uidx], piv[uidx],
-                                                  -res[uidx])
+                if use_inv:
+                    delta = be.inv_apply(inv[uidx], -res[uidx])
+                else:
+                    delta = be.lu_solve(lu[uidx], piv[uidx], -res[uidx])
                 if not audited:
                     # first solve of the round residual-checks the *held*
                     # factors: rebuild the iteration matrix they claim to
@@ -449,6 +484,7 @@ class BatchedBdfIntegrator:
             jac_age=np.zeros(B, dtype=np.int64),
             lu=np.zeros((B, n, n)),
             piv=np.zeros((B, n), dtype=np.intp),
+            inv=np.zeros((B, n, n)),
             gamma_fact=np.zeros(B),
             fact_valid=np.zeros(B, dtype=bool),
             steps_per_cell=np.zeros(B, dtype=np.int64),
@@ -504,7 +540,7 @@ class BatchedBdfIntegrator:
 
             converged, Yn = self._newton(
                 t_new, s.Y, s.Y_prev, Y_pred, a0, a1, a2, h, gamma, active,
-                s.J, s.J_valid, s.jac_age, s.lu, s.piv, s.gamma_fact,
+                s.J, s.J_valid, s.jac_age, s.lu, s.piv, s.inv, s.gamma_fact,
                 s.fact_valid, stats)
             newton_failed = active & ~converged
             if newton_failed.any():
@@ -571,7 +607,8 @@ class BatchedBdfIntegrator:
                 self.step_round(state)
             return state.result()
         with tr.span("ode.integrate", cat="ode", pid="ode", tid="batched",
-                     ncells=int(np.asarray(y0).shape[0])) as sp:
+                     ncells=int(np.asarray(y0).shape[0]),
+                     backend=self._backend.name) as sp:
             state = self.start(y0, t0, t_end)
             while not state.finished:
                 self.step_round(state)

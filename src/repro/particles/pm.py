@@ -18,6 +18,8 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.special import erfc
 
+from repro.backend import ArrayBackend, resolve_backend
+
 
 @dataclass(frozen=True)
 class PMGrid:
@@ -112,19 +114,22 @@ def short_range_pair_force(r, rs: float, *, G: float = 1.0):
 
 def short_range_forces(x: np.ndarray, masses: np.ndarray, box_size: float, *,
                        rs: float, cutoff: float | None = None,
-                       G: float = 1.0, vectorized: bool = True) -> np.ndarray:
+                       G: float = 1.0, vectorized: bool = True,
+                       backend: "str | ArrayBackend | None" = None
+                       ) -> np.ndarray:
     """Direct short-range sum within the cutoff (minimum image).
 
-    The default path evaluates every i<j pair at once on triangular
-    indices (one erfc sweep over the surviving separations, scatter-added
-    back with ``np.add.at``) — the HACC short-range kernel recast as
-    array sweeps.  ``vectorized=False`` is the original per-pair Python
-    loop, kept as the ablation the benchmark measures against.
+    The default path dispatches to the array backend's fused pairwise
+    kernel: every i<j pair at once on memoized triangular indices (one
+    erfc sweep over the surviving separations, scatter-added back) — the
+    HACC short-range kernel recast as array sweeps.
+    ``vectorized=False`` is the original per-pair Python loop, kept as
+    the ablation the benchmark measures against.
     """
     cutoff = cutoff if cutoff is not None else 5.0 * rs
     n = len(x)
-    forces = np.zeros_like(x)
     if not vectorized:
+        forces = np.zeros_like(x)
         for i in range(n):
             for j in range(i + 1, n):
                 d = x[j] - x[i]
@@ -137,43 +142,35 @@ def short_range_forces(x: np.ndarray, masses: np.ndarray, box_size: float, *,
                 forces[i] += fvec
                 forces[j] -= fvec
         return forces
-    if n < 2:
-        return forces
-    ii, jj = np.triu_indices(n, k=1)
-    d = x[jj] - x[ii]  # (npairs, 3)
-    d -= box_size * np.round(d / box_size)
-    r = np.sqrt((d * d).sum(axis=1))
-    keep = (r < cutoff) & (r > 0.0)
-    ii, jj, d, r = ii[keep], jj[keep], d[keep], r[keep]
-    fmag = masses[ii] * masses[jj] * short_range_pair_force(r, rs, G=G)
-    fvec = (fmag / r)[:, None] * d
-    np.add.at(forces, ii, fvec)
-    np.add.at(forces, jj, -fvec)
-    return forces
+    return resolve_backend(backend).pairwise_forces(
+        x, masses, G=G, rs=rs, cutoff=cutoff, box_size=box_size)
 
 
 def p3m_forces(x: np.ndarray, masses: np.ndarray, grid: PMGrid, *,
                G: float = 1.0, r_split: float | None = None,
-               vectorized: bool = True) -> np.ndarray:
+               vectorized: bool = True,
+               backend: "str | ArrayBackend | None" = None) -> np.ndarray:
     """Total gravity: mesh long-range + direct short-range."""
     rs = r_split if r_split is not None else 1.5 * grid.cell
     return (
         long_range_forces(x, masses, grid, G=G, r_split=rs)
         + short_range_forces(x, masses, grid.box_size, rs=rs, G=G,
-                             vectorized=vectorized)
+                             vectorized=vectorized, backend=backend)
     )
 
 
 def direct_forces(x: np.ndarray, masses: np.ndarray, *, G: float = 1.0,
-                  vectorized: bool = True) -> np.ndarray:
+                  vectorized: bool = True,
+                  backend: "str | ArrayBackend | None" = None) -> np.ndarray:
     """Open-boundary direct sum (reference for isolated configurations).
 
-    Same triangular-index broadcasting as :func:`short_range_forces`;
+    Same backend-dispatched triangular broadcasting as
+    :func:`short_range_forces` (no splitting filter, no cutoff);
     ``vectorized=False`` keeps the naive pair loop for ablation.
     """
     n = len(x)
-    forces = np.zeros_like(x)
     if not vectorized:
+        forces = np.zeros_like(x)
         for i in range(n):
             for j in range(i + 1, n):
                 d = x[j] - x[i]
@@ -184,14 +181,4 @@ def direct_forces(x: np.ndarray, masses: np.ndarray, *, G: float = 1.0,
                 forces[i] += fvec
                 forces[j] -= fvec
         return forces
-    if n < 2:
-        return forces
-    ii, jj = np.triu_indices(n, k=1)
-    d = x[jj] - x[ii]
-    r = np.sqrt((d * d).sum(axis=1))
-    keep = r > 0.0
-    ii, jj, d, r = ii[keep], jj[keep], d[keep], r[keep]
-    fvec = (G * masses[ii] * masses[jj] / r**3)[:, None] * d
-    np.add.at(forces, ii, fvec)
-    np.add.at(forces, jj, -fvec)
-    return forces
+    return resolve_backend(backend).pairwise_forces(x, masses, G=G)

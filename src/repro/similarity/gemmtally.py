@@ -42,6 +42,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backend import ArrayBackend, resolve_backend
+from repro.backend.numpy_backend import popcount_words as _popcount
 from repro.gpu.kernel import KernelSpec
 from repro.hardware.gpu import Precision
 from repro.observability.tracer import NULL_TRACER, Tracer
@@ -49,14 +51,6 @@ from repro.resilience.abft import AbftReport, ChecksummedGemm, verify_gemm
 
 #: Fields packed per machine word in the popcount path.
 WORD_BITS = 64
-
-if hasattr(np, "bitwise_count"):  # numpy >= 2.0
-    _popcount = np.bitwise_count
-else:  # pragma: no cover - exercised only on numpy 1.x
-    _POP8 = np.array([bin(v).count("1") for v in range(256)], dtype=np.uint8)
-
-    def _popcount(words: np.ndarray) -> np.ndarray:
-        return _POP8[words.view(np.uint8)].reshape(*words.shape, 8).sum(axis=-1)
 
 
 @dataclass(frozen=True)
@@ -99,43 +93,31 @@ def pack_alleles(data: np.ndarray, *, n_states: int = 2) -> PackedAlleles:
     return PackedAlleles(words=np.ascontiguousarray(words), n_fields=m)
 
 
-def popcount_tallies_2way(packed: PackedAlleles) -> np.ndarray:
+def popcount_tallies_2way(packed: PackedAlleles, *,
+                          backend: "str | ArrayBackend | None" = None
+                          ) -> np.ndarray:
     """All-pairs 2-way tallies by popcount-on-AND word sweeps.
 
     Returns int64 ``counts[s, t, i, j]`` = #fields with vector i in state s
-    and vector j in state t.  One (n, n, W) AND sweep per state pair — the
-    vector-pair axes are pure broadcasting, never a Python loop.
+    and vector j in state t.  Dispatched to the array backend's fused
+    kernel: one broadcast sweep over the (n·S)-row word planes covers
+    *every* state pair at once (word-block chunked), instead of S²
+    separate AND/popcount temporaries.  Integer exact on every backend.
     """
-    w = packed.words  # (n, S, W)
-    n, S, _ = w.shape
-    counts = np.empty((S, S, n, n), dtype=np.int64)
-    for s in range(S):
-        a = w[:, s, :]
-        for t in range(S):
-            b = w[:, t, :]
-            counts[s, t] = _popcount(a[:, None, :] & b[None, :, :]).sum(
-                axis=-1, dtype=np.int64
-            )
-    return counts
+    return resolve_backend(backend).popcount_tallies_2way(packed.words)
 
 
-def popcount_tallies_3way(packed: PackedAlleles) -> np.ndarray:
+def popcount_tallies_3way(packed: PackedAlleles, *,
+                          backend: "str | ArrayBackend | None" = None
+                          ) -> np.ndarray:
     """All-triples 3-way tallies by three-operand popcount sweeps.
 
-    Returns int64 ``counts[s, t, u, i, j, k]``.  The pair plane
-    ``A_s[i] & A_t[j]`` is reused across the pivot axis, so each state
-    triple costs one (n, n, n, W) AND+popcount sweep.
+    Returns int64 ``counts[s, t, u, i, j, k]``.  Backend-dispatched; the
+    reference kernel reuses the ``A_s[i] & A_t[j]`` pair plane across the
+    pivot axis, so each state triple costs one (n, n, n, W) AND+popcount
+    sweep.
     """
-    w = packed.words
-    n, S, _ = w.shape
-    counts = np.empty((S,) * 3 + (n,) * 3, dtype=np.int64)
-    for s in range(S):
-        for t in range(S):
-            pair = w[:, s, None, :] & w[None, :, t, :]  # (n, n, W)
-            for u in range(S):
-                tri = pair[:, :, None, :] & w[None, None, :, u, :]
-                counts[s, t, u] = _popcount(tri).sum(axis=-1, dtype=np.int64)
-    return counts
+    return resolve_backend(backend).popcount_tallies_3way(packed.words)
 
 
 def _state_planes(data: np.ndarray, n_states: int, dtype) -> np.ndarray:
@@ -236,27 +218,30 @@ def verify_tallies(counts: np.ndarray, row_checksum: np.ndarray,
 
 def tally_2way(data: np.ndarray, *, n_states: int = 2,
                method: str = "popcount", abft: bool = False,
-               tracer: Tracer | None = None) -> np.ndarray:
+               tracer: Tracer | None = None,
+               backend: "str | ArrayBackend | None" = None) -> np.ndarray:
     """2-way tallies through the GEMM-recast engine.
 
     ``method='popcount'`` runs the bit-packed word sweeps (the DUO 2-bit
-    path); ``'einsum'`` the batched one-hot matmul (the FP16 tensor-core
-    path, simulated in FP64); both are integer exact.  ``abft=True``
-    additionally audits the result against independently-computed
-    marginal checksums (exact, zero tolerance) before returning it.
-    ``tracer`` records the pack/count/verify phases as ordinal spans;
-    the tallies themselves are unaffected.
+    path, dispatched to *backend*); ``'einsum'`` the batched one-hot
+    matmul (the FP16 tensor-core path, simulated in FP64); both are
+    integer exact.  ``abft=True`` additionally audits the result against
+    independently-computed marginal checksums (exact, zero tolerance)
+    before returning it.  ``tracer`` records the pack/count/verify phases
+    as ordinal spans; the tallies themselves are unaffected.
     """
     tr = tracer if tracer is not None else NULL_TRACER
+    be = resolve_backend(backend)
     with tr.span("similarity.tally_2way", cat="similarity", pid="similarity",
-                 tid="tally", method=method, n=int(np.asarray(data).shape[0])):
+                 tid="tally", method=method, n=int(np.asarray(data).shape[0]),
+                 backend=be.name):
         if method == "popcount":
             with tr.span("similarity.pack", cat="similarity",
                          pid="similarity", tid="tally"):
                 packed = pack_alleles(data, n_states=n_states)
             with tr.span("similarity.count_popcount", cat="similarity",
                          pid="similarity", tid="tally"):
-                counts = popcount_tallies_2way(packed)
+                counts = popcount_tallies_2way(packed, backend=be)
         elif method == "einsum":
             with tr.span("similarity.count_gemm", cat="similarity",
                          pid="similarity", tid="tally"):
@@ -274,18 +259,21 @@ def tally_2way(data: np.ndarray, *, n_states: int = 2,
 
 def tally_3way(data: np.ndarray, *, n_states: int = 2,
                method: str = "popcount",
-               tracer: Tracer | None = None) -> np.ndarray:
+               tracer: Tracer | None = None,
+               backend: "str | ArrayBackend | None" = None) -> np.ndarray:
     """3-way tallies through the GEMM-recast engine."""
     tr = tracer if tracer is not None else NULL_TRACER
+    be = resolve_backend(backend)
     with tr.span("similarity.tally_3way", cat="similarity", pid="similarity",
-                 tid="tally", method=method, n=int(np.asarray(data).shape[0])):
+                 tid="tally", method=method, n=int(np.asarray(data).shape[0]),
+                 backend=be.name):
         if method == "popcount":
             with tr.span("similarity.pack", cat="similarity",
                          pid="similarity", tid="tally"):
                 packed = pack_alleles(data, n_states=n_states)
             with tr.span("similarity.count_popcount", cat="similarity",
                          pid="similarity", tid="tally"):
-                counts = popcount_tallies_3way(packed)
+                counts = popcount_tallies_3way(packed, backend=be)
         elif method == "einsum":
             with tr.span("similarity.count_gemm", cat="similarity",
                          pid="similarity", tid="tally"):
