@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -25,6 +26,9 @@ from repro.particles.cosmology import hacc_gravity_kernels
 from repro.resilience.abft import SdcDetected, require_finite
 from repro.resilience.elastic import DomainSpec
 from repro.resilience.snapshot import Snapshot, require_kind
+
+if TYPE_CHECKING:  # pragma: no cover - import only for annotations
+    from repro.observability.tracer import Tracer
 
 
 @dataclass(frozen=True)
@@ -79,7 +83,8 @@ class ExaskyCampaign:
     snapshot_version = 1
 
     def __init__(self, *, nparticles: int = 2048, seed: int = 0,
-                 dt: float = 0.05, cfg: ExaskyConfig | None = None) -> None:
+                 dt: float = 0.05, cfg: ExaskyConfig | None = None,
+                 tracer: "Tracer | None" = None) -> None:
         cfg = cfg or ExaskyConfig()
         rng = np.random.default_rng(seed)
         self.pos = rng.uniform(0.0, 1.0, (nparticles, 3))
@@ -87,6 +92,11 @@ class ExaskyCampaign:
         self.dt = float(dt)
         self.steps_done = 0
         self.particles_processed = 0
+        # observation-only span/metric sink on the campaign's own
+        # simulated clock (steps x step_cost); like the Pele campaign's,
+        # it is an engine choice, not campaign state — never snapshotted,
+        # and traced runs stay bit-identical to untraced ones
+        self.tracer = tracer
         self.step_cost = step_time_per_gpu(
             FRONTIER.node.gpu, cfg, wavefront64_tuned=True
         )
@@ -96,11 +106,20 @@ class ExaskyCampaign:
         return -np.sin(2.0 * np.pi * self.pos) * 0.1
 
     def step(self) -> float:
+        t0 = self.steps_done * self.step_cost
         self.vel += 0.5 * self.dt * self._acceleration()
         self.pos = np.mod(self.pos + self.dt * self.vel, 1.0)
         self.vel += 0.5 * self.dt * self._acceleration()
         self.steps_done += 1
         self.particles_processed += self.pos.shape[0]
+        tr = self.tracer
+        if tr is not None:
+            tr.record("exasky.step", t0, self.step_cost, cat="apps",
+                      pid="apps", tid="exasky", step=int(self.steps_done),
+                      nparticles=int(self.pos.shape[0]))
+            tr.metrics.counter("exasky.steps").inc()
+            tr.metrics.counter("exasky.particles_processed").inc(
+                float(self.pos.shape[0]))
         return self.step_cost
 
     def snapshot(self) -> Snapshot:

@@ -80,6 +80,34 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate (the Prometheus
+        ``histogram_quantile`` rule: linear within the owning bucket).
+
+        Mass in the underflow bucket reports the first edge, overflow the
+        last — a histogram only knows its edges.  Exact percentiles of a
+        retained sample belong to the caller (:mod:`repro.service.slo`
+        keeps the raw waits for exactly that reason); this estimate is
+        what a scrape-time SLO dashboard would show.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise MetricsError(f"histogram {self.name!r}: quantile {q!r} "
+                               f"outside [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cum = 0
+        for i, c in enumerate(self.counts):
+            if c and cum + c >= rank:
+                if i == 0:
+                    return self.edges[0]
+                if i == len(self.edges):
+                    return self.edges[-1]
+                lo, hi = self.edges[i - 1], self.edges[i]
+                return lo + (hi - lo) * (rank - cum) / c
+            cum += c
+        return self.edges[-1]
+
     def to_dict(self) -> dict:
         return {
             "edges": list(self.edges),

@@ -61,6 +61,7 @@ from repro.resilience.runner import (
     ResilientRunner,
     RestartPolicy,
     ShrinkContinuePolicy,
+    SpareNodeSource,
     SpareSwapPolicy,
     SteppedApp,
     make_policy,
@@ -101,6 +102,7 @@ __all__ = [
     "SimulatedFault",
     "Snapshot",
     "SnapshotError",
+    "SpareNodeSource",
     "SpareSwapPolicy",
     "SteppedApp",
     "checksummed_matmul",

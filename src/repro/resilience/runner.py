@@ -274,14 +274,35 @@ class ShrinkContinuePolicy(RecoveryPolicy):
         return redist_time
 
 
+@runtime_checkable
+class SpareNodeSource(Protocol):
+    """Anything spare nodes can be drawn from — a private per-job pool or
+    a machine-wide pool shared with a scheduler (:mod:`repro.service`).
+
+    ``try_acquire`` returns whether a spare was granted; the caller keeps
+    it until the campaign ends (releasing is the owner's business, not the
+    recovery policy's)."""
+
+    def try_acquire(self, purpose: str) -> bool: ...
+
+
 class SpareSwapPolicy(RecoveryPolicy):
     """Warm spare pool: a failed node's work moves to an idle spare at
     activation cost (no scheduler, no shrink) until the pool runs dry —
-    then degrade to shrink-and-continue."""
+    then degrade to shrink-and-continue.
+
+    By default the pool is private (``spares`` nodes reserved for this
+    campaign alone).  Passing ``pool`` instead draws from a shared
+    :class:`SpareNodeSource` — the machine-wide spare pool a campaign
+    service's scheduler also borrows from, so recovery and scheduling
+    contend for the same nodes and the contention is resolved by whoever
+    asks first in deterministic event order.
+    """
 
     name = "spare-swap"
 
-    def __init__(self, spares: int = 2, activation_cost: float = 15.0) -> None:
+    def __init__(self, spares: int = 2, activation_cost: float = 15.0,
+                 pool: SpareNodeSource | None = None) -> None:
         if spares < 0:
             raise ValueError("spare pool size must be non-negative")
         if activation_cost < 0:
@@ -289,12 +310,26 @@ class SpareSwapPolicy(RecoveryPolicy):
         self.spares = spares
         self.spares_left = spares
         self.activation_cost = activation_cost
+        self.pool = pool
+        #: spares this policy actually took (from either source); a
+        #: shared pool's owner releases exactly this many at job end
+        self.acquired = 0
         self._fallback = ShrinkContinuePolicy()
+
+    def _take_spare(self) -> bool:
+        if self.pool is not None:
+            if not self.pool.try_acquire("recovery"):
+                return False
+        elif self.spares_left > 0:
+            self.spares_left -= 1
+        else:
+            return False
+        self.acquired += 1
+        return True
 
     def recover(self, runner: "ResilientRunner", event: FaultEvent | None,
                 stats: ResilienceStats) -> float:
-        if self.spares_left > 0:
-            self.spares_left -= 1
+        if self._take_spare():
             stats.spares_used += 1
             if runner.injector is not None:
                 # the spare assumes the dead rank's identity

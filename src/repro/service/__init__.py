@@ -1,0 +1,100 @@
+"""repro.service: a Balsam-style multi-tenant campaign scheduler.
+
+The HPC facilities the paper targets don't run one application at a
+time: they run *campaigns* — thousands of jobs from many teams packed
+onto one machine by a batch scheduler, with workflow services like
+Balsam (Salim et al. 2018) brokering between user job streams and the
+machine's queue.  This package reproduces that layer over the simulated
+machine pool:
+
+* :mod:`~repro.service.job` — jobs and Young/Daly-informed walltime
+  estimates over any Checkpointable campaign;
+* :mod:`~repro.service.pool` — counted machine pools built from the
+  hardware catalog, plus the shared spare pool with its audit log;
+* :mod:`~repro.service.fairshare` — decayed per-tenant usage and the
+  aging term that guarantees no starvation;
+* :mod:`~repro.service.scheduler` — FIFO-with-priority + EASY backfill
+  planning as a pure function;
+* :mod:`~repro.service.arrival` — seeded open-loop Poisson arrivals;
+* :mod:`~repro.service.engine` — the deterministic event loop running
+  every job through :class:`~repro.resilience.runner.ResilientRunner`
+  with fault injection on;
+* :mod:`~repro.service.slo` — jobs/sec, queue-wait percentiles,
+  utilization and per-tenant shares.
+
+Everything runs on simulated time from explicit seeds — the whole
+campaign history is bit-reproducible, and every job's final state is
+bit-identical to running its campaign standalone.
+"""
+
+from repro.service.arrival import OpenLoopArrivals, default_templates
+from repro.service.engine import (
+    CampaignService,
+    ServiceResult,
+    execute_campaign,
+    failure_free_checksum,
+)
+from repro.service.fairshare import FairShareError, FairShareLedger
+from repro.service.job import (
+    Job,
+    JobError,
+    JobState,
+    JobTemplate,
+    checkpoint_interval_steps,
+    combined_fatal_mtbf,
+    walltime_estimate,
+)
+from repro.service.pool import (
+    MachinePool,
+    PoolError,
+    SpareEvent,
+    SparePool,
+    build_pool,
+)
+from repro.service.scheduler import (
+    EasyBackfillScheduler,
+    Reservation,
+    RunningView,
+    ScheduledStart,
+    SchedulerPlan,
+)
+from repro.service.slo import (
+    QUEUE_WAIT_EDGES,
+    SloReport,
+    TenantShare,
+    compute_slo,
+    exact_percentile,
+)
+
+__all__ = [
+    "CampaignService",
+    "EasyBackfillScheduler",
+    "FairShareError",
+    "FairShareLedger",
+    "Job",
+    "JobError",
+    "JobState",
+    "JobTemplate",
+    "MachinePool",
+    "OpenLoopArrivals",
+    "PoolError",
+    "QUEUE_WAIT_EDGES",
+    "Reservation",
+    "RunningView",
+    "ScheduledStart",
+    "SchedulerPlan",
+    "ServiceResult",
+    "SloReport",
+    "SpareEvent",
+    "SparePool",
+    "TenantShare",
+    "build_pool",
+    "checkpoint_interval_steps",
+    "combined_fatal_mtbf",
+    "compute_slo",
+    "default_templates",
+    "exact_percentile",
+    "execute_campaign",
+    "failure_free_checksum",
+    "walltime_estimate",
+]

@@ -1,0 +1,148 @@
+"""Simulated machine pools: the nodes the scheduler packs jobs onto.
+
+A :class:`MachinePool` is a slice of a catalog machine
+(:mod:`repro.hardware.catalog`) the service owns: ``nodes`` fungible
+compute nodes plus a :class:`SparePool` of warm spares.  Nodes are
+counted, not named — the fabric cost models only care how many ranks a
+job's communicator spans, so allocation is pure arithmetic and the whole
+pool stays deterministic.
+
+The spare pool is the contention point the ISSUE calls out: elastic
+recovery (:class:`~repro.resilience.runner.SpareSwapPolicy` with
+``pool=``) and the scheduler's borrow-for-the-head-job path draw from
+the *same* :class:`SparePool`, and every acquire/deny/release is
+appended to an ordered audit log — two runs of the same seeded workload
+produce byte-identical logs, which is how the determinism tests pin the
+contention's resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.catalog import machine_by_name
+from repro.hardware.machine import MachineSpec
+
+
+class PoolError(RuntimeError):
+    """Invalid pool operation: over-allocation, over-release, bad sizes."""
+
+
+@dataclass(frozen=True)
+class SpareEvent:
+    """One entry in the spare pool's audit log."""
+
+    time: float
+    purpose: str  # "recovery" | "scheduler" | ...
+    action: str  # "acquire" | "deny" | "release"
+    available_after: int
+
+
+class SparePool:
+    """A counted pool of warm spare nodes with an ordered audit log.
+
+    Implements the :class:`~repro.resilience.runner.SpareNodeSource`
+    protocol, so a recovery policy can draw from it directly.  ``now`` is
+    the service's simulated clock, advanced by the engine before any
+    event is processed — callers inside a job execution (recovery) stamp
+    their entries with the job's start time, which is when the service
+    commits the job's resources (allocation-time reservation semantics;
+    documented, deterministic, and asserted by the contention tests).
+    """
+
+    def __init__(self, nspares: int) -> None:
+        if nspares < 0:
+            raise PoolError("spare pool size must be non-negative")
+        self.total = int(nspares)
+        self.available = int(nspares)
+        self.now = 0.0
+        self.log: list[SpareEvent] = []
+        self.denials = 0
+
+    def try_acquire(self, purpose: str) -> bool:
+        if self.available > 0:
+            self.available -= 1
+            self.log.append(SpareEvent(self.now, purpose, "acquire",
+                                       self.available))
+            return True
+        self.denials += 1
+        self.log.append(SpareEvent(self.now, purpose, "deny", self.available))
+        return False
+
+    def acquire_many(self, n: int, purpose: str) -> int:
+        """Acquire up to *n* spares; returns how many were granted."""
+        granted = 0
+        for _ in range(int(n)):
+            if not self.try_acquire(purpose):
+                break
+            granted += 1
+        return granted
+
+    def release(self, n: int = 1, purpose: str = "release") -> None:
+        if n < 0:
+            raise PoolError("cannot release a negative number of spares")
+        if self.available + n > self.total:
+            raise PoolError(
+                f"releasing {n} spares would exceed the pool "
+                f"({self.available}/{self.total} available)"
+            )
+        self.available += n
+        self.log.append(SpareEvent(self.now, purpose, "release",
+                                   self.available))
+
+    def audit(self) -> tuple[tuple[float, str, str, int], ...]:
+        """The log as plain tuples — the determinism tests' comparand."""
+        return tuple((e.time, e.purpose, e.action, e.available_after)
+                     for e in self.log)
+
+
+class MachinePool:
+    """``nodes`` fungible compute nodes of one catalog machine + spares."""
+
+    def __init__(self, machine: MachineSpec, *, nodes: int | None = None,
+                 spares: int = 0) -> None:
+        self.machine = machine
+        self.nodes = int(nodes) if nodes is not None else machine.nodes
+        if self.nodes < 1:
+            raise PoolError("pool needs at least one node")
+        if self.nodes + spares > machine.nodes:
+            raise PoolError(
+                f"{self.nodes} nodes + {spares} spares exceeds "
+                f"{machine.name}'s {machine.nodes} nodes"
+            )
+        self.free_nodes = self.nodes
+        self.spares = SparePool(spares)
+
+    def allocate(self, n: int) -> None:
+        if n < 1:
+            raise PoolError("allocation must be at least one node")
+        if n > self.free_nodes:
+            raise PoolError(
+                f"cannot allocate {n} nodes ({self.free_nodes} free)")
+        self.free_nodes -= n
+
+    def release(self, n: int) -> None:
+        if n < 0:
+            raise PoolError("cannot release a negative number of nodes")
+        if self.free_nodes + n > self.nodes:
+            raise PoolError(
+                f"releasing {n} nodes would exceed the pool "
+                f"({self.free_nodes}/{self.nodes} free)"
+            )
+        self.free_nodes += n
+
+    @property
+    def busy_nodes(self) -> int:
+        return self.nodes - self.free_nodes
+
+    def describe(self) -> str:
+        return (f"{self.machine.name} pool: {self.nodes} nodes "
+                f"({self.free_nodes} free) + "
+                f"{self.spares.available}/{self.spares.total} spares")
+
+
+def build_pool(machine: str | MachineSpec, *, nodes: int | None = None,
+               spares: int = 0) -> MachinePool:
+    """A pool from a catalog machine name or an explicit spec."""
+    spec = machine_by_name(machine) if isinstance(machine, str) else machine
+    return MachinePool(spec, nodes=nodes, spares=spares)

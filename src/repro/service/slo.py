@@ -1,0 +1,140 @@
+"""Service-level objectives: throughput, queue-wait percentiles, shares.
+
+The service's SLOs, computed from the engine's completed-job ledger on
+the *simulated* clock:
+
+* **sustained jobs/sec** — completions over the campaign makespan;
+* **queue-wait latency** — p50/p99 exact percentiles over the retained
+  per-job waits (the fixed-bucket histogram in the metrics registry is
+  the scrape-side estimate; the SLO report keeps the raw sample);
+* **machine utilization** — busy node-seconds over pool capacity
+  x makespan;
+* **per-tenant shares** — completions and node-seconds per tenant, the
+  fair-share layer's report card.
+
+Everything here is arithmetic over recorded values — no clocks, no
+randomness — and renders through the same table writer as every other
+report in the reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.report import render_table
+from repro.service.job import Job, JobState
+from repro.service.pool import MachinePool
+
+#: Fixed queue-wait histogram bucket edges (simulated seconds); module
+#: scope so every run bins identically.
+QUEUE_WAIT_EDGES = (0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0)
+
+
+@dataclass(frozen=True)
+class TenantShare:
+    """One tenant's slice of the campaign."""
+
+    tenant: str
+    submitted: int
+    completed: int
+    node_seconds: float
+    share: float  # fraction of all delivered node-seconds
+
+
+@dataclass(frozen=True)
+class SloReport:
+    """The service's measured objectives for one campaign."""
+
+    njobs: int
+    completed: int
+    failed: int
+    requeues: int
+    makespan: float
+    jobs_per_sec: float
+    p50_queue_wait: float
+    p99_queue_wait: float
+    mean_queue_wait: float
+    max_queue_wait: float
+    utilization: float
+    backfill_fraction: float
+    tenants: tuple[TenantShare, ...]
+
+    def render(self) -> str:
+        rows = [
+            ("jobs completed / submitted",
+             f"{self.completed} / {self.njobs} ({self.failed} failed, "
+             f"{self.requeues} requeues)"),
+            ("makespan (simulated)", f"{self.makespan:.1f} s"),
+            ("sustained throughput", f"{self.jobs_per_sec:.3f} jobs/s"),
+            ("queue wait p50 / p99",
+             f"{self.p50_queue_wait:.2f} s / {self.p99_queue_wait:.2f} s"),
+            ("queue wait mean / max",
+             f"{self.mean_queue_wait:.2f} s / {self.max_queue_wait:.2f} s"),
+            ("machine utilization", f"{self.utilization:.1%}"),
+            ("backfilled starts", f"{self.backfill_fraction:.1%}"),
+        ]
+        head = render_table(("SLO", "measured"), rows, title="Service SLOs")
+        tenant_rows = [
+            (t.tenant, str(t.submitted), str(t.completed),
+             f"{t.node_seconds:.1f}", f"{t.share:.1%}")
+            for t in self.tenants
+        ]
+        shares = render_table(
+            ("Tenant", "Submitted", "Completed", "Node-seconds", "Share"),
+            tenant_rows, title="Per-tenant fair-share ledger",
+        )
+        return head + "\n" + shares
+
+
+def exact_percentile(values, q: float) -> float:
+    """Exact linear-interpolated percentile of a retained sample."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return 0.0
+    return float(np.percentile(arr, q))
+
+
+def compute_slo(jobs: list[Job], pool: MachinePool, *,
+                requeues: int = 0) -> SloReport:
+    """Fold a finished campaign's job ledger into its SLO report."""
+    completed = [j for j in jobs if j.state is JobState.COMPLETED]
+    failed = [j for j in jobs if j.state is JobState.FAILED]
+    waits = [j.queue_wait for j in completed]
+    first_submit = min((j.submit_time for j in jobs), default=0.0)
+    last_end = max((j.end_time for j in completed if j.end_time is not None),
+                   default=first_submit)
+    makespan = max(last_end - first_submit, 0.0)
+    busy = sum(j.nodes * j.duration for j in completed)
+    backfilled = sum(1 for j in completed if j.start_kind == "backfill")
+
+    per_tenant: dict[str, list] = {}
+    for j in jobs:
+        agg = per_tenant.setdefault(j.tenant, [0, 0, 0.0])
+        agg[0] += 1
+        if j.state is JobState.COMPLETED:
+            agg[1] += 1
+            agg[2] += j.nodes * j.duration
+    total_ns = sum(v[2] for v in per_tenant.values()) or 1.0
+    tenants = tuple(
+        TenantShare(tenant=t, submitted=v[0], completed=v[1],
+                    node_seconds=v[2], share=v[2] / total_ns)
+        for t, v in sorted(per_tenant.items())
+    )
+    return SloReport(
+        njobs=len(jobs),
+        completed=len(completed),
+        failed=len(failed),
+        requeues=requeues,
+        makespan=makespan,
+        jobs_per_sec=len(completed) / makespan if makespan > 0 else 0.0,
+        p50_queue_wait=exact_percentile(waits, 50.0),
+        p99_queue_wait=exact_percentile(waits, 99.0),
+        mean_queue_wait=float(np.mean(waits)) if waits else 0.0,
+        max_queue_wait=float(np.max(waits)) if waits else 0.0,
+        utilization=(busy / (pool.nodes * makespan)
+                     if makespan > 0 else 0.0),
+        backfill_fraction=(backfilled / len(completed) if completed else 0.0),
+        tenants=tenants,
+    )

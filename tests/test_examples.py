@@ -82,3 +82,11 @@ class TestExamples:
         assert "checkpoint every" in out  # Young/Daly machine table
         assert "bit-identical to failure-free run: True" in out
         assert "<- W*" in out
+
+    def test_campaign_service(self):
+        out = run_example("campaign_service", njobs=40)
+        assert "Service SLOs" in out
+        assert "fair-share ledger" in out
+        assert "spare-pool contention" in out
+        # every completed campaign bit-identical to standalone replay
+        assert "bit-identity: " in out
