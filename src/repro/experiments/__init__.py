@@ -16,6 +16,19 @@ from repro.experiments.figure2 import (
 )
 from repro.experiments.intext import ALL_CLAIMS, IntextResult, run_intext
 from repro.experiments.runner import full_report, run_all
+from repro.experiments.scaling import (
+    CometWeakScaling,
+    GamessStrongScaling,
+    PeleWeakScaling,
+    ScalingCurve,
+    ScalingPoint,
+    ScalingWorkload,
+    ValidationPoint,
+    check_validation,
+    strong_scaling_curve,
+    validate_exemplar_vs_full,
+    weak_scaling_curve,
+)
 from repro.experiments.table1 import Table1Result, run_table1
 from repro.experiments.table2 import Table2Result, run_table2
 
@@ -29,14 +42,25 @@ __all__ = [
     "run_ladder",
     "spock_scaling_study",
     "ALL_CLAIMS",
+    "CometWeakScaling",
     "Figure1Result",
     "Figure2MeasuredResult",
     "Figure2Result",
+    "GamessStrongScaling",
     "IntextResult",
+    "PeleWeakScaling",
+    "ScalingCurve",
+    "ScalingPoint",
+    "ScalingWorkload",
     "Table1Result",
     "Table2Result",
+    "ValidationPoint",
+    "check_validation",
     "full_report",
     "run_all",
+    "strong_scaling_curve",
+    "validate_exemplar_vs_full",
+    "weak_scaling_curve",
     "run_figure1",
     "run_figure2",
     "run_figure2_measured",

@@ -62,6 +62,14 @@ class CommStats:
     collective_bytes: float = 0.0
     total_comm_time: float = 0.0  # sum over ranks of time spent communicating
 
+    def merge(self, other: "CommStats") -> None:
+        """Fold *other*'s accounting into this one (child-comm totals)."""
+        self.p2p_messages += other.p2p_messages
+        self.p2p_bytes += other.p2p_bytes
+        self.collectives += other.collectives
+        self.collective_bytes += other.collective_bytes
+        self.total_comm_time += other.total_comm_time
+
 
 @dataclass
 class PendingOp:
@@ -105,6 +113,28 @@ class SimComm:
         self.stats = CommStats()
         #: set by :meth:`shrink`: new-rank -> rank in the parent communicator
         self.parent_ranks: tuple[int, ...] | None = None
+
+    # -- representative-rank surface --------------------------------------------
+    #
+    # Scaling drivers are written against these two properties plus the
+    # collective API, so the same driver runs unchanged on a SimComm
+    # (every rank live) and a ScaledComm (exemplars only).
+
+    @property
+    def machine_ranks(self) -> int:
+        """Total ranks the communicator models (equals ``nranks`` here;
+        a ScaledComm reports the full machine while holding R ranks)."""
+        return self.nranks
+
+    @property
+    def representatives(self) -> tuple[int, ...]:
+        """Ranks executed concretely.  All of them, for a plain SimComm."""
+        return tuple(range(self.nranks))
+
+    @property
+    def rank_weights(self) -> np.ndarray:
+        """Ranks each live rank stands for (all ones on a plain SimComm)."""
+        return np.ones(self.nranks, dtype=np.int64)
 
     # -- rank failure (fault injection) -----------------------------------------
 
@@ -265,12 +295,17 @@ class SimComm:
 
     # -- point-to-point ---------------------------------------------------------------
 
+    def _link(self, a: int, b: int) -> cm.LinkParameters:
+        """α-β path between two rank *indices* (overridden by ScaledComm
+        to translate live indices to their global machine positions)."""
+        return self.topology.link(a, b, device_buffers=self.device_buffers)
+
     def sendrecv(self, src: int, dst: int, payload: Any, nbytes: float) -> Any:
         """Blocking matched send/recv; returns the payload at the receiver."""
         if src == dst:
             raise CommError("sendrecv with src == dst")
         self._check_alive([src, dst])
-        link = self.topology.link(src, dst, device_buffers=self.device_buffers)
+        link = self._link(src, dst)
         t = link.p2p_time(nbytes)
         done = max(self.clocks[src], self.clocks[dst]) + t
         self.clocks[src] = done
@@ -286,7 +321,7 @@ class SimComm:
         if src == dst:
             raise CommError("isendrecv with src == dst")
         self._check_alive([src, dst])
-        link = self.topology.link(src, dst, device_buffers=self.device_buffers)
+        link = self._link(src, dst)
         t = link.p2p_time(nbytes)
         done = max(self.clocks[src], self.clocks[dst]) + t
         self.stats.p2p_messages += 1
@@ -294,6 +329,47 @@ class SimComm:
         self.stats.total_comm_time += 2 * t
         self._trace_p2p("isendrecv", src, dst, done - t, t, nbytes)
         return PendingOp(complete_at={src: done, dst: done}, comm=self)
+
+    def ineighbor_exchange(self, partners_of: Callable[[int], Sequence[int]],
+                           nbytes: float, *,
+                           name: str = "neighbor_exchange") -> PendingOp:
+        """Nonblocking halo exchange: every rank swaps *nbytes* with each of
+        its ``partners_of(rank)`` concurrently (MPI_Ineighbor_alltoall).
+
+        Each rank completes at ``max(own clock, partner clocks) + sum of
+        its per-partner p2p times`` — the serialization a single NIC
+        imposes on one rank's messages, while distinct ranks overlap.
+        Self-partners are ignored (degenerate axes of periodic grids).
+        """
+        self._check_alive()
+        start_clocks = self.clocks.copy()
+        complete: dict[int, float] = {}
+        nmessages = 0
+        time_sum = 0.0
+        for r in range(self.nranks):
+            partners = [int(q) for q in partners_of(r) if int(q) != r]
+            if not partners:
+                continue
+            t_r = sum(self._link(r, q).p2p_time(nbytes) for q in partners)
+            ready = max(float(start_clocks[r]),
+                        max(float(start_clocks[q]) for q in partners))
+            complete[r] = ready + t_r
+            nmessages += len(partners)
+            time_sum += t_r
+        self.stats.p2p_messages += nmessages
+        self.stats.p2p_bytes += nmessages * nbytes
+        self.stats.total_comm_time += time_sum
+        if complete:
+            start = min(float(start_clocks[r]) for r in complete)
+            span = max(complete.values()) - start
+            self._trace_collective(name, start, span, nbytes * nmessages,
+                                   len(complete))
+        return PendingOp(complete_at=complete, comm=self)
+
+    def neighbor_exchange(self, partners_of: Callable[[int], Sequence[int]],
+                          nbytes: float) -> None:
+        """Blocking halo exchange (``ineighbor_exchange`` + ``wait``)."""
+        self.ineighbor_exchange(partners_of, nbytes).wait()
 
     # -- collectives with data semantics ----------------------------------------------
 
@@ -322,6 +398,26 @@ class SimComm:
             acc = op(acc, v)
         return [np.copy(acc) if isinstance(acc, np.ndarray) else acc
                 for _ in range(self.nranks)]
+
+    def reduce_scatter(self, blocks: Sequence[Sequence[Any]], nbytes: float,
+                       op: Callable = np.add) -> list[Any]:
+        """Reduce-scatter: ``blocks[src][dst]`` contributions; rank *dst*
+        receives the reduction over *src* of its block.
+
+        *nbytes* is the full input vector size (each rank ends holding
+        ``nbytes / p``), matching :func:`costmodel.reduce_scatter_time` —
+        the first half of Rabenseifner's allreduce decomposition.
+        """
+        if len(blocks) != self.nranks or any(len(row) != self.nranks for row in blocks):
+            raise CommError(f"reduce_scatter needs an {self.nranks}x{self.nranks} block matrix")
+        self._sync_collective(nbytes, cm.reduce_scatter_time, name="reduce_scatter")
+        out: list[Any] = []
+        for dst in range(self.nranks):
+            acc = blocks[0][dst]
+            for src in range(1, self.nranks):
+                acc = op(acc, blocks[src][dst])
+            out.append(acc)
+        return out
 
     def allgather(self, values: Sequence[Any], nbytes: float) -> list[list[Any]]:
         self._check_inputs(values)
@@ -372,12 +468,18 @@ class SimComm:
                for dst in range(self.nranks)]
         return out, PendingOp(complete_at=done, comm=self)
 
-    def split(self, color_of: Callable[[int], int]) -> dict[int, "SimComm"]:
+    def split(self, color_of: Callable[[int], int], *,
+              shared_stats: bool = False) -> dict[int, "SimComm"]:
         """MPI_Comm_split: one sub-communicator per color.
 
         Each sub-communicator starts with its members' current clocks (so
         prior work carries over); the parent keeps its own clocks.  Used
         for the row/column communicators of pencil decompositions.
+
+        With ``shared_stats=True`` the children record into the parent's
+        :class:`CommStats` object directly, so multi-comm campaigns
+        report true totals without a merge step; otherwise call
+        :meth:`merge_child_stats` when the children retire.
         """
         groups: dict[int, list[int]] = {}
         for r in range(self.nranks):
@@ -389,8 +491,23 @@ class SimComm:
                           device_buffers=self.device_buffers,
                           tracer=self.tracer)
             sub.clocks = self.clocks[members].copy()
+            sub.parent_ranks = tuple(members)
+            if shared_stats:
+                sub.stats = self.stats
             out[color] = sub
         return out
+
+    def merge_child_stats(self, children: "Sequence[SimComm] | dict[Any, SimComm]") -> None:
+        """Fold child communicators' accounting into this comm's stats.
+
+        Children created with ``shared_stats=True`` already write here and
+        are skipped, so mixing the two modes never double-counts.
+        """
+        comms = children.values() if isinstance(children, dict) else children
+        for child in comms:
+            if child.stats is self.stats:
+                continue
+            self.stats.merge(child.stats)
 
     def alltoallv(self, matrix: Sequence[Sequence[Any]],
                   nbytes: Sequence[Sequence[float]]) -> list[list[Any]]:

@@ -164,12 +164,17 @@ class BlockDecomposition:
         faces = 2 * (lx * ly + ly * lz + lx * lz)
         return faces * ghost_width * itemsize * ncomponents
 
-    def neighbors(self, rank: int) -> list[int]:
-        """Face-neighbour ranks with periodic wrap."""
+    def coords(self, rank: int) -> tuple[int, int, int]:
+        """Process-grid position ``(ix, iy, iz)`` of *rank*."""
         if not 0 <= rank < self.nranks:
             raise DecompositionError(f"rank {rank} out of range")
         iz, rem = divmod(rank, self.px * self.py)
         iy, ix = divmod(rem, self.px)
+        return ix, iy, iz
+
+    def neighbors(self, rank: int) -> list[int]:
+        """Face-neighbour ranks with periodic wrap."""
+        ix, iy, iz = self.coords(rank)
         out = []
         for dx, dy, dz in ((1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1)):
             jx = (ix + dx) % self.px
@@ -177,3 +182,82 @@ class BlockDecomposition:
             jz = (iz + dz) % self.pz
             out.append(jz * self.px * self.py + jy * self.px + jx)
         return out
+
+    def boundary_class(self, rank: int) -> str:
+        """Structural class of *rank* in the (non-periodic) process grid.
+
+        Each axis contributes ``lo`` / ``mid`` / ``hi`` (collapsing to
+        ``lo``/``hi`` when the axis has fewer than three ranks), so the
+        grid has at most 27 classes — the corner/edge/face/interior
+        taxonomy the representative-rank partitioner groups by.  Under
+        periodic wrap all ranks are symmetric; this classification keeps
+        the open-boundary distinctions, which is conservative (more
+        exemplars than strictly needed, never fewer).
+        """
+        pos = self.coords(rank)
+        parts = []
+        for i, (c, p) in enumerate(zip(pos, (self.px, self.py, self.pz))):
+            axis = "xyz"[i]
+            if p == 1:
+                parts.append(f"{axis}*")
+            elif c == 0:
+                parts.append(f"{axis}lo")
+            elif c == p - 1:
+                parts.append(f"{axis}hi")
+            else:
+                parts.append(f"{axis}mid")
+        return "/".join(parts)
+
+    def boundary_classes(self) -> np.ndarray:
+        """Vectorized :meth:`boundary_class` over every rank.
+
+        Encodes each axis category (lo / mid / hi / degenerate ``*``) in
+        two bits and decodes through a 64-entry string table, so the
+        whole map costs a few array passes — the partitioner calls this
+        at full machine scale.
+        """
+        ranks = np.arange(self.nranks, dtype=np.int64)
+        iz, rem = np.divmod(ranks, self.px * self.py)
+        iy, ix = np.divmod(rem, self.px)
+        code = np.zeros(self.nranks, dtype=np.int64)
+        for c, p in ((ix, self.px), (iy, self.py), (iz, self.pz)):
+            if p == 1:
+                cat = np.full(self.nranks, 3, dtype=np.int64)
+            else:
+                cat = np.where(c == 0, 0, np.where(c == p - 1, 2, 1))
+            code = code * 4 + cat
+        names = ("lo", "mid", "hi", "*")
+        lut = np.array(["/".join(f"{axis}{names[(k >> shift) & 3]}"
+                                 for axis, shift in
+                                 (("x", 4), ("y", 2), ("z", 0)))
+                        for k in range(64)])
+        return lut[code]
+
+
+def balanced_block_grid(nranks: int) -> tuple[int, int, int]:
+    """Most-cubic ``(px, py, pz)`` factorization of an arbitrary *nranks*.
+
+    Unlike :func:`balanced_pencil_grid` there is no divisibility
+    constraint against a grid size — this factorization shapes the
+    *process* grid only (halo-neighbour structure for the scaling
+    engine), so any rank count works, falling back to elongated grids
+    for awkward factors and ``(n, 1, 1)`` for primes.
+    """
+    if nranks < 1:
+        raise DecompositionError("need at least one rank")
+    best: tuple[int, int, int] | None = None
+    best_score = float("inf")
+    for px in range(1, int(round(nranks ** (1 / 3))) + 1):
+        if nranks % px:
+            continue
+        rest = nranks // px
+        for py in range(px, int(math.isqrt(rest)) + 1):
+            if rest % py:
+                continue
+            pz = rest // py
+            score = pz / px  # max/min extent; 1.0 is a perfect cube
+            if score < best_score:
+                best, best_score = (px, py, pz), score
+    if best is None:
+        best = (1, 1, nranks)
+    return best

@@ -1,0 +1,407 @@
+"""Representative-rank execution: full-machine costs at O(R) state.
+
+:class:`ScaledComm` is drop-in API-compatible with
+:class:`~repro.mpisim.comm.SimComm` but holds data and clocks for only the
+``R`` representative ranks a :class:`~repro.mpisim.partition.RankPartition`
+names, while the remaining ``P − R`` ranks are *modelled*: each mirrors
+its proxy representative (the round-robin assignment the partition
+records), so their clocks are exactly derivable from the live clocks and
+are reported as per-group ``(count, min, max, sum)`` aggregates
+(:meth:`ScaledComm.group_clocks`).  Every collective advances the whole
+machine in O(groups): the cost models in :mod:`repro.mpisim.costmodel`
+are evaluated at the **full** ``p`` (an allreduce over 9,074 × 8 ranks
+costs ``allreduce_time(p=72592, …)``) while compute executes on the
+exemplars only.
+
+Index conventions:
+
+* data-plane arguments (``values`` sequences, ``advance(rank, …)``,
+  ``sendrecv`` endpoints, collective roots) use **live indices**
+  ``0 … R−1``, exactly as a plain SimComm of size R would — drivers
+  written against ``comm.representatives`` / ``comm.rank_weights`` run
+  unchanged on either communicator;
+* topology-facing callables (``ineighbor_exchange``'s ``partners_of``)
+  speak **global** machine ranks, which coincide with indices on a plain
+  SimComm.
+
+With the degenerate all-live partition (``R = P``) every operation
+delegates to the parent class, so ScaledComm reproduces SimComm bit for
+bit — the identity the differential tests pin down.  With ``R < P`` the
+documented approximations are: accounting for collectives and neighbor
+exchanges is extrapolated through rank weights; index-addressed p2p is
+counted once (not weighted); ``alltoallv`` uses the conservative
+pairwise bound gated by the largest exemplar pair; and fault injection,
+``split`` and subgroup collectives require all-live mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.hardware.interconnect import InterconnectSpec
+from repro.mpisim import costmodel as cm
+from repro.mpisim.comm import (
+    COMM_BYTES_EDGES,
+    COMM_TIME_EDGES,
+    CommError,
+    PendingOp,
+    SimComm,
+)
+from repro.mpisim.partition import RankPartition, all_live_partition
+from repro.mpisim.topology import Topology
+
+
+@dataclass(frozen=True)
+class GroupClock:
+    """Clock aggregate over one group's modelled (non-representative) ranks."""
+
+    name: str
+    count: int
+    min: float
+    max: float
+    sum: float
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class ScaledComm(SimComm):
+    """Simulated communicator over ``nranks`` machine ranks, executing
+    only the partition's representatives concretely."""
+
+    def __init__(
+        self,
+        nranks: int,
+        fabric: InterconnectSpec,
+        *,
+        ranks_per_node: int = 1,
+        device_buffers: bool = False,
+        tracer: Any = None,
+        partition: RankPartition | None = None,
+    ) -> None:
+        if partition is None:
+            partition = all_live_partition(nranks)
+        if partition.nranks != nranks:
+            raise CommError(
+                f"partition covers {partition.nranks} ranks, machine has {nranks}")
+        self.partition = partition
+        super().__init__(partition.nlive, fabric, ranks_per_node=ranks_per_node,
+                         device_buffers=device_buffers, tracer=tracer)
+        # the data plane is R ranks; the cost plane sees the full machine
+        self.topology = Topology(nranks=nranks, ranks_per_node=ranks_per_node,
+                                 fabric=fabric)
+        self._live = np.asarray(partition.live_ranks, dtype=np.int64)
+        self._modeled = partition.modeled_count > 0
+        #: modelled global rank -> proxy representative's global rank,
+        #: built lazily: only the neighbor-exchange path dereferences
+        #: individual modelled ranks, so collective-only campaigns never
+        #: pay the O(P) map construction.
+        self._proxy_of: dict[int, int] | None = None
+        self._group_rep_idx: list[np.ndarray] = []
+        self._group_rep_proxy: list[np.ndarray] = []
+        for g in partition.groups:
+            counts = g.proxy_counts()
+            self._group_rep_idx.append(np.asarray(
+                [partition.live_index[r] for r in g.representatives],
+                dtype=np.int64))
+            self._group_rep_proxy.append(np.asarray(
+                [counts[r] for r in g.representatives], dtype=np.int64))
+        # per-collective hot path: the internode link and the integer
+        # weights are invariants of the communicator, not of the call
+        self._internode_link = self.topology.internode_link(
+            device_buffers=device_buffers)
+        self._weights_int = [int(w) for w in partition.weights]
+
+    # -- representative-rank surface --------------------------------------------
+
+    @property
+    def machine_ranks(self) -> int:
+        return self.partition.nranks
+
+    @property
+    def representatives(self) -> tuple[int, ...]:
+        return self.partition.live_ranks
+
+    @property
+    def rank_weights(self) -> np.ndarray:
+        return self.partition.weights
+
+    def group_clocks(self) -> tuple[GroupClock, ...]:
+        """Per-group aggregates over the modelled ranks' clocks.
+
+        Modelled ranks mirror their proxy representatives, so the
+        aggregates derive from the live clocks in O(R).
+        """
+        out = []
+        for g, idx, proxies in zip(self.partition.groups,
+                                   self._group_rep_idx, self._group_rep_proxy):
+            mask = proxies > 0
+            if not mask.any():
+                out.append(GroupClock(g.name, 0, 0.0, 0.0, 0.0))
+                continue
+            mirrored = self.clocks[idx[mask]]
+            out.append(GroupClock(
+                g.name, int(proxies.sum()),
+                float(mirrored.min()), float(mirrored.max()),
+                float(self.clocks[idx] @ proxies)))
+        return tuple(out)
+
+    def describe(self) -> str:
+        return (f"ScaledComm(P={self.machine_ranks}, R={self.nranks}, "
+                f"groups={len(self.partition.groups)})")
+
+    # -- full-machine cost plane --------------------------------------------------
+
+    def _link(self, a: int, b: int) -> cm.LinkParameters:
+        return self.topology.link(int(self._live[a]), int(self._live[b]),
+                                  device_buffers=self.device_buffers)
+
+    def _sync_collective(self, nbytes: float, time_fn: Callable[..., float],
+                         *, participants: Sequence[int] | None = None,
+                         name: str = "collective") -> None:
+        if not self._modeled:
+            super()._sync_collective(nbytes, time_fn, participants=participants,
+                                     name=name)
+            return
+        if participants is not None:
+            raise CommError("subgroup collectives need all-live mode (R = P)")
+        self._check_alive()
+        p = self.machine_ranks
+        link = self._internode_link
+        t = time_fn(p, nbytes, link) if time_fn is not cm.barrier_time else time_fn(p, link)
+        start = float(self.clocks.max())
+        self.clocks[:] = start + t
+        self.stats.collectives += 1
+        self.stats.collective_bytes += nbytes * p
+        self.stats.total_comm_time += t * p
+        self._trace_collective(name, start, t, nbytes, p)
+
+    def load_imbalance(self) -> float:
+        if not self._modeled:
+            return super().load_imbalance()
+        mean = float(self.clocks @ self.partition.weights) / self.machine_ranks
+        return float(self.clocks.max()) / mean if mean > 0 else 1.0
+
+    # -- data semantics: weighted folds -------------------------------------------
+
+    def _fold(self, values: Sequence[Any], op: Callable) -> Any:
+        """Reduce exemplar contributions to the full-machine value.
+
+        ``np.add`` (the default) weights each exemplar by the ranks it
+        stands for, since its mirrors contribute identical terms;
+        idempotent ops (max / min / logical) fold the exemplars directly.
+        """
+        if op is np.add:
+            acc = None
+            for v, w in zip(values, self._weights_int):
+                term = v * w if w != 1 else v
+                acc = term if acc is None else np.add(acc, term)
+            return acc
+        acc = values[0]
+        for v in values[1:]:
+            acc = op(acc, v)
+        return acc
+
+    def reduce(self, values: Sequence[Any], nbytes: float, op: Callable = np.add,
+               root: int = 0) -> Any:
+        if not self._modeled:
+            return super().reduce(values, nbytes, op=op, root=root)
+        self._check_inputs(values)
+        self._check_root(root)
+        self._sync_collective(nbytes, cm.reduce_time, name="reduce")
+        return self._fold(values, op)
+
+    def allreduce(self, values: Sequence[Any], nbytes: float,
+                  op: Callable = np.add) -> list[Any]:
+        if not self._modeled:
+            return super().allreduce(values, nbytes, op=op)
+        self._check_inputs(values)
+        self._sync_collective(nbytes, cm.allreduce_time, name="allreduce")
+        acc = self._fold(values, op)
+        return [np.copy(acc) if isinstance(acc, np.ndarray) else acc
+                for _ in range(self.nranks)]
+
+    def reduce_scatter(self, blocks: Sequence[Sequence[Any]], nbytes: float,
+                       op: Callable = np.add) -> list[Any]:
+        if not self._modeled:
+            return super().reduce_scatter(blocks, nbytes, op=op)
+        if len(blocks) != self.nranks or any(len(row) != self.nranks for row in blocks):
+            raise CommError(
+                f"reduce_scatter needs an {self.nranks}x{self.nranks} block matrix")
+        self._sync_collective(nbytes, cm.reduce_scatter_time, name="reduce_scatter")
+        return [self._fold([blocks[src][dst] for src in range(self.nranks)], op)
+                for dst in range(self.nranks)]
+
+    # -- alltoall family -----------------------------------------------------------
+
+    def alltoall(self, matrix: Sequence[Sequence[Any]],
+                 nbytes_per_pair: float) -> list[list[Any]]:
+        if not self._modeled:
+            return super().alltoall(matrix, nbytes_per_pair)
+        if len(matrix) != self.nranks or any(len(row) != self.nranks for row in matrix):
+            raise CommError(
+                f"alltoall needs an {self.nranks}x{self.nranks} payload matrix")
+        self._sync_collective(nbytes_per_pair * self.machine_ranks,
+                              lambda p, n, link:
+                              cm.alltoall_time(p, nbytes_per_pair, link),
+                              name="alltoall")
+        return [[matrix[src][dst] for src in range(self.nranks)]
+                for dst in range(self.nranks)]
+
+    def ialltoall(self, matrix: Sequence[Sequence[Any]],
+                  nbytes_per_pair: float) -> tuple[list[list[Any]], PendingOp]:
+        if not self._modeled:
+            return super().ialltoall(matrix, nbytes_per_pair)
+        if len(matrix) != self.nranks or any(len(row) != self.nranks for row in matrix):
+            raise CommError(
+                f"alltoall needs an {self.nranks}x{self.nranks} payload matrix")
+        self._check_alive()
+        p = self.machine_ranks
+        link = self._internode_link
+        t = cm.alltoall_time(p, nbytes_per_pair, link)
+        start = float(self.clocks.max())
+        done = {i: start + t for i in range(self.nranks)}
+        self.stats.collectives += 1
+        self.stats.collective_bytes += nbytes_per_pair * p * p
+        self.stats.total_comm_time += t * p
+        self._trace_collective("ialltoall", start, t, nbytes_per_pair * p, p)
+        out = [[matrix[src][dst] for src in range(self.nranks)]
+               for dst in range(self.nranks)]
+        return out, PendingOp(complete_at=done, comm=self)
+
+    def alltoallv(self, matrix: Sequence[Sequence[Any]],
+                  nbytes: Sequence[Sequence[float]]) -> list[list[Any]]:
+        if not self._modeled:
+            return super().alltoallv(matrix, nbytes)
+        if len(matrix) != self.nranks or any(len(r) != self.nranks for r in matrix):
+            raise CommError(
+                f"alltoallv needs an {self.nranks}x{self.nranks} payload matrix")
+        if len(nbytes) != self.nranks or any(len(r) != self.nranks for r in nbytes):
+            raise CommError("nbytes must match the payload matrix shape")
+        self._check_alive()
+        p = self.machine_ranks
+        link = self._internode_link
+        # conservative pairwise bound: the full P x P matrix is never
+        # materialized, so every round is gated by the largest exemplar pair
+        worst = max(max(float(b) for b in row) for row in nbytes)
+        t = (p - 1) * link.p2p_time(worst)
+        start = float(self.clocks.max())
+        self.clocks[:] = start + t
+        mean_pair = float(sum(sum(float(b) for b in row) for row in nbytes))
+        mean_pair /= self.nranks * self.nranks
+        total_bytes = mean_pair * p * p
+        self.stats.collectives += 1
+        self.stats.collective_bytes += total_bytes
+        self.stats.total_comm_time += t * p
+        self._trace_collective("alltoallv", start, t, total_bytes / p, p)
+        return [[matrix[src][dst] for src in range(self.nranks)]
+                for dst in range(self.nranks)]
+
+    # -- neighbor exchange (global-rank callable) ----------------------------------
+
+    def _proxy_map(self) -> dict[int, int]:
+        if self._proxy_of is None:
+            proxy_of: dict[int, int] = {}
+            for g in self.partition.groups:
+                proxy_of.update(g.proxy_assignment())
+            self._proxy_of = proxy_of
+        return self._proxy_of
+
+    def _clock_estimate(self, global_rank: int, clocks: np.ndarray) -> float:
+        """Current clock of any machine rank: live ranks read directly,
+        modelled ranks mirror their proxy representative."""
+        idx = self.partition.live_index.get(global_rank)
+        if idx is None:
+            idx = self.partition.live_index[self._proxy_map()[global_rank]]
+        return float(clocks[idx])
+
+    def ineighbor_exchange(self, partners_of: Callable[[int], Sequence[int]],
+                           nbytes: float, *,
+                           name: str = "neighbor_exchange") -> PendingOp:
+        if not self._modeled:
+            return super().ineighbor_exchange(partners_of, nbytes, name=name)
+        self._check_alive()
+        start_clocks = self.clocks.copy()
+        weights = self.partition.weights
+        complete: dict[int, float] = {}
+        nmessages = 0
+        time_sum = 0.0
+        for i in range(self.nranks):
+            r = int(self._live[i])
+            partners = [int(q) for q in partners_of(r) if int(q) != r]
+            if not partners:
+                continue
+            t_r = sum(
+                self.topology.link(r, q, device_buffers=self.device_buffers)
+                .p2p_time(nbytes) for q in partners)
+            ready = max(float(start_clocks[i]),
+                        max(self._clock_estimate(q, start_clocks)
+                            for q in partners))
+            complete[i] = ready + t_r
+            nmessages += int(weights[i]) * len(partners)
+            time_sum += int(weights[i]) * t_r
+        self.stats.p2p_messages += nmessages
+        self.stats.p2p_bytes += nmessages * nbytes
+        self.stats.total_comm_time += time_sum
+        if complete:
+            start = min(float(start_clocks[i]) for i in complete)
+            span = max(complete.values()) - start
+            self._trace_collective(name, start, span, nbytes * nmessages,
+                                   self.machine_ranks)
+        return PendingOp(complete_at=complete, comm=self)
+
+    # -- O(groups) tracing ---------------------------------------------------------
+
+    def _trace_p2p(self, name: str, src: int, dst: int, start: float,
+                   t: float, nbytes: float) -> None:
+        if not self._modeled:
+            super()._trace_p2p(name, src, dst, start, t, nbytes)
+            return
+        tr = self.tracer
+        if tr is None:
+            return
+        group_of = self.partition.group_of
+        gsrc = self.partition.groups[int(group_of[self._live[src]])].name
+        gdst = self.partition.groups[int(group_of[self._live[dst]])].name
+        tr.record(name, start, t, cat="mpisim", pid="mpisim",
+                  tid=f"group:{gdst}", src=int(self._live[src]),
+                  dst=int(self._live[dst]), nbytes=float(nbytes))
+        m = tr.metrics
+        m.counter(f"mpisim.group_edge[{gsrc}->{gdst}].messages").inc()
+        m.counter(f"mpisim.group_edge[{gsrc}->{gdst}].bytes").inc(float(nbytes))
+        m.histogram("mpisim.p2p_time", COMM_TIME_EDGES).observe(t)
+        m.histogram("mpisim.p2p_bytes", COMM_BYTES_EDGES).observe(float(nbytes))
+
+    # -- operations requiring all-live mode ----------------------------------------
+
+    def _require_all_live(self, opname: str) -> None:
+        if self._modeled:
+            raise CommError(
+                f"{opname} requires all-live mode (R = P); run fault/split "
+                "campaigns on SimComm or an all-live partition")
+
+    def fail_rank(self, rank: int) -> None:
+        self._require_all_live("fail_rank")
+        super().fail_rank(rank)
+
+    def restore_rank(self, rank: int) -> None:
+        self._require_all_live("restore_rank")
+        super().restore_rank(rank)
+
+    def agree(self, values: Sequence[Any] | None = None, nbytes: float = 8.0,
+              op: Callable = np.logical_and) -> tuple[Any, tuple[int, ...]]:
+        self._require_all_live("agree")
+        return super().agree(values, nbytes, op)
+
+    def shrink(self) -> SimComm:
+        self._require_all_live("shrink")
+        return super().shrink()
+
+    def split(self, color_of: Callable[[int], int], *,
+              shared_stats: bool = False) -> dict[int, SimComm]:
+        self._require_all_live("split")
+        return super().split(color_of, shared_stats=shared_stats)

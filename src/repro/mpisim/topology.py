@@ -29,6 +29,15 @@ class Topology:
             raise ValueError(f"rank {rank} out of range [0, {self.nranks})")
         return rank // self.ranks_per_node
 
+    def local_rank(self, rank: int) -> int:
+        """Position of *rank* among its node's ranks (0 = node leader)."""
+        self.node_of(rank)  # range check
+        return rank % self.ranks_per_node
+
+    def is_node_leader(self, rank: int) -> bool:
+        """Node leaders anchor hierarchical collectives and rank groups."""
+        return self.local_rank(rank) == 0
+
     def same_node(self, a: int, b: int) -> bool:
         return self.node_of(a) == self.node_of(b)
 

@@ -1,0 +1,92 @@
+"""Property suite for the collective cost models.
+
+Every collective time function must be non-negative and monotone
+non-decreasing in both the rank count and the message size — the axioms
+the representative-rank engine leans on when it evaluates the models at
+full machine scale — and the variable-size alltoall must collapse to the
+uniform one when every pair carries the same bytes.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware.interconnect import IB_EDR_DUAL, SLINGSHOT_11
+from repro.mpisim import (
+    allgather_time,
+    allreduce_time,
+    alltoall_time,
+    alltoallv_time,
+    barrier_time,
+    bcast_time,
+    link_parameters,
+    reduce_scatter_time,
+    reduce_time,
+)
+
+COLLECTIVES = (bcast_time, reduce_time, allreduce_time, allgather_time,
+               alltoall_time, reduce_scatter_time)
+
+links = st.sampled_from([
+    link_parameters(SLINGSHOT_11),
+    link_parameters(SLINGSHOT_11, ranks_sharing_nic=2, device_buffers=True),
+    link_parameters(IB_EDR_DUAL),
+])
+ranks = st.integers(min_value=1, max_value=100_000)
+sizes = st.floats(min_value=0.0, max_value=1e12,
+                  allow_nan=False, allow_infinity=False)
+
+
+@pytest.mark.parametrize("fn", COLLECTIVES, ids=lambda f: f.__name__)
+class TestCollectiveAxioms:
+    @given(p=ranks, n=sizes, link=links)
+    @settings(max_examples=50)
+    def test_non_negative(self, fn, p, n, link):
+        assert fn(p, n, link) >= 0.0
+
+    @given(p=ranks, dp=st.integers(min_value=0, max_value=100_000),
+           n=sizes, link=links)
+    @settings(max_examples=50)
+    def test_monotone_in_ranks(self, fn, p, dp, n, link):
+        assert fn(p, n, link) <= fn(p + dp, n, link) * (1 + 1e-12)
+
+    @given(p=ranks, n=sizes,
+           dn=st.floats(min_value=0.0, max_value=1e12,
+                        allow_nan=False, allow_infinity=False),
+           link=links)
+    @settings(max_examples=50)
+    def test_monotone_in_bytes(self, fn, p, n, dn, link):
+        assert fn(p, n, link) <= fn(p, n + dn, link) * (1 + 1e-12)
+
+    @given(n=sizes, link=links)
+    @settings(max_examples=20)
+    def test_single_rank_is_free(self, fn, n, link):
+        assert fn(1, n, link) == 0.0
+
+
+class TestBarrierAxioms:
+    @given(p=ranks, dp=st.integers(min_value=0, max_value=100_000),
+           link=links)
+    @settings(max_examples=50)
+    def test_non_negative_and_monotone(self, p, dp, link):
+        assert barrier_time(p, link) >= 0.0
+        assert barrier_time(p, link) <= barrier_time(p + dp, link)
+
+
+class TestAlltoallvUniform:
+    @given(p=st.integers(min_value=1, max_value=32),
+           n=st.floats(min_value=0.0, max_value=1e9,
+                       allow_nan=False, allow_infinity=False),
+           link=links)
+    @settings(max_examples=50)
+    def test_uniform_matches_alltoall(self, p, n, link):
+        uniform = [[n] * p for _ in range(p)]
+        assert alltoallv_time(uniform, link) == pytest.approx(
+            alltoall_time(p, n, link), rel=1e-12, abs=0.0)
+
+    @given(p=st.integers(min_value=2, max_value=16), link=links)
+    @settings(max_examples=25)
+    def test_skew_gates_on_largest_pair(self, p, link):
+        """One fat pair makes every round at least as slow as uniform."""
+        skewed = [[8.0] * p for _ in range(p)]
+        skewed[0][1] = 1e9
+        assert alltoallv_time(skewed, link) >= alltoall_time(p, 8.0, link)

@@ -125,8 +125,12 @@ class TestIntext:
         assert {"2.1", "3.1", "3.3", "3.4", "3.5", "3.6", "3.8", "3.9",
                 "3.10"} <= sections
 
-    def test_seventeen_claims(self):
-        assert len(ALL_CLAIMS) == 17
+    def test_twenty_claims(self):
+        assert len(ALL_CLAIMS) == 20
+
+    def test_scaled_claims_present(self):
+        descs = [c.description for c in ALL_CLAIMS]
+        assert sum("ScaledComm" in d for d in descs) == 3
 
     def test_render(self, result):
         text = result.render()
