@@ -24,7 +24,13 @@ resilience subsystem end to end:
    sweet spot lands where sqrt(2 delta M) says it should.
 
 ``--policy {restart,shrink,spare}`` selects the recovery policy the
-main campaign uses; all three end in the same bits.  ``--trace PATH``
+main campaign uses; all three end in the same bits.  ``--nodes N`` adds
+a machine-scale act: the same fault-injected campaign through a
+representative-rank :class:`~repro.mpisim.scaled.ScaledComm` modelling
+every rank of an N-node Frontier (N x 8 machine ranks, a handful
+executed), with failures drawn over the whole machine by
+:func:`~repro.resilience.scaled_fault_injector` — and still bit-identical
+to the failure-free run.  ``--trace PATH``
 turns on the unified observability layer and writes one merged
 Chrome-trace/Perfetto JSON of the whole demo — spans from the simulated
 communicator, the resilience runner, the batched solver and the GPU
@@ -40,24 +46,26 @@ import numpy as np
 from repro.apps.exasky import ExaskyCampaign
 from repro.gpu.device import Device
 from repro.hardware.catalog import FRONTIER, SUMMIT
-from repro.mpisim import SimComm
+from repro.mpisim import RankGroupPartitioner, ScaledComm, SimComm
 from repro.resilience import (
     CheckpointCostModel,
     FaultInjector,
     FaultKind,
     ResilientRunner,
-    SpareSwapPolicy,
     encode_snapshot,
     machine_checkpoint_cost,
+    make_policy,
     optimal_interval_for_machine,
     predicted_overhead,
+    scaled_fault_injector,
     system_mtbf,
     young_daly_interval,
 )
 
 
 def main(fast: bool = False, policy: str = "restart",
-         trace: str | None = None, backend: str = "auto") -> dict:
+         trace: str | None = None, backend: str = "auto",
+         nodes: int | None = None) -> dict:
     """Run the full demo; ``fast`` shrinks the campaign and the Daly sweep
     (fewer steps, particles and seeds) without dropping any assertion —
     the bit-identical-recovery checks run in both modes.  ``policy``
@@ -115,7 +123,7 @@ def main(fast: bool = False, policy: str = "restart",
     )
     # spares must come up fast on this compressed timescale or recoveries
     # outrun the MTBF and the event queue snowballs
-    chosen = (SpareSwapPolicy(spares=4, activation_cost=0.005)
+    chosen = (make_policy("spare", spares=4, activation_cost=0.005)
               if policy == "spare" else policy)
     runner = ResilientRunner(
         app, checkpoint_interval=interval, injector=injector,
@@ -157,6 +165,44 @@ def main(fast: bool = False, policy: str = "restart",
     print(f"  survived {shrink_stats.shrinks} failure(s) without restarting: "
           f"{shrink_stats.ranks_initial} -> {shrink_stats.ranks_final} ranks, "
           f"final state bit-identical to the failure-free run")
+
+    scaled_stats = None
+    if nodes:
+        import dataclasses
+
+        machine = dataclasses.replace(FRONTIER, nodes=int(nodes))
+        ranks = machine.nodes * machine.node.gpus_per_node
+        print(f"\n=== Machine-scale campaign: {machine.nodes} nodes, "
+              f"{ranks} machine ranks, representative-rank engine ===")
+        part = RankGroupPartitioner("endpoints").partition(ranks)
+        scaled_comm = ScaledComm(ranks, machine.node.interconnect,
+                                 ranks_per_node=machine.node.gpus_per_node,
+                                 device_buffers=True, partition=part,
+                                 tracer=tracer)
+        scaled_app = campaign()
+        # compress the failure timescale so this seconds-long campaign
+        # sees the fault rate of a weeks-long one at this node count
+        horizon = nsteps * scaled_app.step_cost
+        compression = system_mtbf(machine) / (horizon / 4.0)
+        scaled_runner = ResilientRunner(
+            scaled_app, checkpoint_interval=interval,
+            injector=scaled_fault_injector(
+                np.random.default_rng(43), machine, machine_ranks=ranks,
+                time_compression=compression),
+            cost_model=cost, comm=scaled_comm, max_retries=30,
+            backoff_base=0.0, policy="restart", tracer=tracer,
+        )
+        scaled_stats = scaled_runner.run(nsteps)
+        print(f"  executing {scaled_comm.nranks} exemplar ranks for "
+              f"{ranks}; {scaled_stats.describe()}")
+        scaled_identical = (
+            np.array_equal(scaled_app.pos, reference.pos)
+            and np.array_equal(scaled_app.vel, reference.vel)
+        )
+        print(f"  final phase space bit-identical to failure-free run: "
+              f"{scaled_identical}")
+        assert scaled_identical, (
+            f"machine-scale campaign at {machine.nodes} nodes diverged")
 
     print("\n=== The Figure 2 campaign surviving rank failures ===")
     from repro.experiments.figure2 import run_figure2_resilient
@@ -247,6 +293,9 @@ def main(fast: bool = False, policy: str = "restart",
         "shrink_recoveries": int(shrink_stats.recoveries),
         "fig2_bit_identical": bool(fig2.bit_identical),
         "fig2_bit_identical_by_backend": fig2_by_backend,
+        "scaled_nodes": int(nodes) if nodes else None,
+        "scaled_recoveries": (int(scaled_stats.recoveries)
+                              if scaled_stats is not None else None),
     }
 
 
@@ -265,6 +314,10 @@ if __name__ == "__main__":
                         default="auto",
                         help="array backend for the chemistry campaign "
                              "(auto = numba when installed, else numpy)")
+    parser.add_argument("--nodes", type=int, default=None, metavar="N",
+                        help="also run the fault-injected campaign at N "
+                             "Frontier nodes (N x 8 machine ranks) on the "
+                             "representative-rank engine, e.g. 4096 or 9074")
     cli = parser.parse_args()
     main(fast=cli.fast, policy=cli.policy, trace=cli.trace,
-         backend=cli.backend)
+         backend=cli.backend, nodes=cli.nodes)

@@ -15,6 +15,14 @@ from repro.experiments.figure2 import (
     run_figure2_measured,
 )
 from repro.experiments.intext import ALL_CLAIMS, IntextResult, run_intext
+from repro.experiments.resilience_at_scale import (
+    DalySweepResult,
+    DalyValidationPoint,
+    NodeOverheadPoint,
+    OverheadCurveResult,
+    run_daly_sweep,
+    run_overhead_curve,
+)
 from repro.experiments.runner import full_report, run_all
 from repro.experiments.scaling import (
     CometWeakScaling,
@@ -44,8 +52,12 @@ __all__ = [
     "ALL_CLAIMS",
     "CometWeakScaling",
     "Figure1Result",
+    "DalySweepResult",
+    "DalyValidationPoint",
     "Figure2MeasuredResult",
     "Figure2Result",
+    "NodeOverheadPoint",
+    "OverheadCurveResult",
     "GamessStrongScaling",
     "IntextResult",
     "PeleWeakScaling",
@@ -61,10 +73,12 @@ __all__ = [
     "strong_scaling_curve",
     "validate_exemplar_vs_full",
     "weak_scaling_curve",
+    "run_daly_sweep",
     "run_figure1",
     "run_figure2",
     "run_figure2_measured",
     "run_intext",
+    "run_overhead_curve",
     "run_table1",
     "run_table2",
 ]

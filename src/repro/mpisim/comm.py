@@ -113,6 +113,13 @@ class SimComm:
         self.stats = CommStats()
         #: set by :meth:`shrink`: new-rank -> rank in the parent communicator
         self.parent_ranks: tuple[int, ...] | None = None
+        #: set by :meth:`shrink`: new-rank -> *machine* rank in the parent
+        #: (equals ``parent_ranks`` here; a shrunk ScaledComm reports the
+        #: surviving global machine ranks, which its live indices cannot)
+        self.parent_machine_ranks: tuple[int, ...] | None = None
+        #: active :meth:`degrade_link` windows as ``(slowdown, until)``
+        #: pairs on the simulated clock; expired windows are pruned lazily
+        self._degradation_windows: list[tuple[float, float]] = []
 
     # -- representative-rank surface --------------------------------------------
     #
@@ -156,6 +163,58 @@ class SimComm:
         """Ranks that have not failed, in rank order."""
         return [int(r) for r in np.flatnonzero(~self.failed)]
 
+    def failed_ranks(self) -> list[int]:
+        """Dead ranks in *machine* numbering, sorted.
+
+        On a plain SimComm indices and machine ranks coincide; a
+        ScaledComm overrides this to report dead exemplars and dead
+        modelled ranks by their global machine rank, so fault-injection
+        drivers (``FaultInjector.clear``) work on either communicator.
+        """
+        return [int(r) for r in np.flatnonzero(self.failed)]
+
+    @property
+    def machine_alive_count(self) -> int:
+        """Machine ranks still alive (``machine_ranks`` minus the dead)."""
+        return self.nranks - int(self.failed.sum())
+
+    # -- link degradation (fault injection) --------------------------------------
+
+    def degrade_link(self, slowdown: float, duration: float) -> None:
+        """Degrade the internode fabric by *slowdown* for *duration*
+        simulated seconds, starting now (the current slowest clock).
+
+        Collectives priced while a window is active see the link's beta
+        multiplied by the product of all active slowdowns — bandwidth
+        collapses, latency stays (a flapping link, not a dead one).
+        Windows expire on the simulated clock; nothing needs clearing.
+        """
+        if slowdown < 1.0:
+            raise CommError("link slowdown must be >= 1")
+        if duration <= 0 or slowdown == 1.0:
+            return
+        start = float(self.clocks.max())
+        self._degradation_windows.append((float(slowdown), start + duration))
+
+    def _collective_link(self) -> cm.LinkParameters:
+        """The internode link every collective prices against, degraded
+        by any active :meth:`degrade_link` window."""
+        link = self.topology.internode_link(device_buffers=self.device_buffers)
+        return self._apply_degradation(link)
+
+    def _apply_degradation(self, link: cm.LinkParameters) -> cm.LinkParameters:
+        if not self._degradation_windows:
+            return link
+        now = float(self.clocks.max())
+        self._degradation_windows = [
+            w for w in self._degradation_windows if w[1] > now]
+        factor = 1.0
+        for slowdown, _until in self._degradation_windows:
+            factor *= slowdown
+        if factor == 1.0:
+            return link
+        return cm.LinkParameters(alpha=link.alpha, beta=link.beta * factor)
+
     def agree(self, values: Sequence[Any] | None = None, nbytes: float = 8.0,
               op: Callable = np.logical_and) -> tuple[Any, tuple[int, ...]]:
         """ULFM ``MPIX_Comm_agree``: fault-tolerant consensus among survivors.
@@ -177,7 +236,7 @@ class SimComm:
         if len(values) != self.nranks:
             raise CommError(f"expected {self.nranks} per-rank values, "
                             f"got {len(values)}")
-        link = self.topology.internode_link(device_buffers=self.device_buffers)
+        link = self._collective_link()
         t = cm.allreduce_time(len(alive), nbytes, link)
         start = float(np.max(self.clocks[alive]))
         self.clocks[alive] = start + t
@@ -211,6 +270,7 @@ class SimComm:
                       tracer=self.tracer)
         sub.clocks = self.clocks[alive].copy()
         sub.parent_ranks = tuple(alive)
+        sub.parent_machine_ranks = tuple(alive)
         return sub
 
     def _check_alive(self, participants: Sequence[int] | None = None) -> None:
@@ -283,7 +343,7 @@ class SimComm:
         self._check_alive(participants)
         ranks = range(self.nranks) if participants is None else participants
         p = len(list(ranks)) if participants is not None else self.nranks
-        link = self.topology.internode_link(device_buffers=self.device_buffers)
+        link = self._collective_link()
         t = time_fn(p, nbytes, link) if time_fn is not cm.barrier_time else time_fn(p, link)
         idx = list(participants) if participants is not None else slice(None)
         start = float(np.max(self.clocks[idx]))
@@ -455,7 +515,7 @@ class SimComm:
         if len(matrix) != self.nranks or any(len(row) != self.nranks for row in matrix):
             raise CommError(f"alltoall needs an {self.nranks}x{self.nranks} payload matrix")
         self._check_alive()
-        link = self.topology.internode_link(device_buffers=self.device_buffers)
+        link = self._collective_link()
         t = cm.alltoall_time(self.nranks, nbytes_per_pair, link)
         start = float(self.clocks.max())
         done = {r: start + t for r in range(self.nranks)}
@@ -492,6 +552,7 @@ class SimComm:
                           tracer=self.tracer)
             sub.clocks = self.clocks[members].copy()
             sub.parent_ranks = tuple(members)
+            sub.parent_machine_ranks = tuple(members)
             if shared_stats:
                 sub.stats = self.stats
             out[color] = sub
@@ -517,7 +578,7 @@ class SimComm:
         if len(nbytes) != self.nranks or any(len(r) != self.nranks for r in nbytes):
             raise CommError("nbytes must match the payload matrix shape")
         self._check_alive()
-        link = self.topology.internode_link(device_buffers=self.device_buffers)
+        link = self._collective_link()
         t = cm.alltoallv_time([list(map(float, row)) for row in nbytes], link)
         start = float(self.clocks.max())
         self.clocks[:] = start + t

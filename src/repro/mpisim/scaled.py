@@ -30,8 +30,25 @@ bit — the identity the differential tests pin down.  With ``R < P`` the
 documented approximations are: accounting for collectives and neighbor
 exchanges is extrapolated through rank weights; index-addressed p2p is
 counted once (not weighted); ``alltoallv`` uses the conservative
-pairwise bound gated by the largest exemplar pair; and fault injection,
-``split`` and subgroup collectives require all-live mode.
+pairwise bound gated by the largest exemplar pair; and subgroup
+collectives (``participants=``) still require all-live mode.
+
+Fault semantics run at full machine scale.  ``fail_rank`` /
+``restore_rank`` / ``failed_ranks`` speak **global machine ranks** in
+modeled mode: killing a representative marks it dead exactly as SimComm
+would, killing a modelled rank fires a *group-level* failure — the
+group's effective weight drops by one (``rank_weights``), its proxy
+bookkeeping is decremented, and the next collective raises
+:class:`~repro.mpisim.comm.RankFailedError` carrying global ranks (ULFM
+detection).  ``agree`` prices the consensus allreduce at the *machine*
+survivor count; ``shrink`` and ``split`` rebuild the survivor/color
+partition (renumbered densely, order preserved, matching SimComm), carry
+exemplar clocks over, promote the first surviving member of a group
+whose representatives all died, and record the global survivor ranks in
+``parent_machine_ranks``.  The one documented approximation: mirrors of
+a *dead* representative still count as alive machine ranks, but their
+data is unreachable for ``agree``'s folded value (their proxy died with
+their data path).
 """
 
 from __future__ import annotations
@@ -48,9 +65,10 @@ from repro.mpisim.comm import (
     COMM_TIME_EDGES,
     CommError,
     PendingOp,
+    RankFailedError,
     SimComm,
 )
-from repro.mpisim.partition import RankPartition, all_live_partition
+from repro.mpisim.partition import RankGroup, RankPartition, all_live_partition
 from repro.mpisim.topology import Topology
 
 
@@ -112,9 +130,15 @@ class ScaledComm(SimComm):
                 [counts[r] for r in g.representatives], dtype=np.int64))
         # per-collective hot path: the internode link and the integer
         # weights are invariants of the communicator, not of the call
+        # (degradation windows route through _collective_link, so the
+        # cache never serves stale bandwidth during a fault window)
         self._internode_link = self.topology.internode_link(
             device_buffers=device_buffers)
         self._weights_int = [int(w) for w in partition.weights]
+        #: dead *modelled* ranks, by global machine rank
+        self._machine_failed: set[int] = set()
+        #: per-exemplar count of its mirrors that are currently dead
+        self._dead_mirrors = np.zeros(self.nranks, dtype=np.int64)
 
     # -- representative-rank surface --------------------------------------------
 
@@ -128,7 +152,12 @@ class ScaledComm(SimComm):
 
     @property
     def rank_weights(self) -> np.ndarray:
-        return self.partition.weights
+        """Ranks each exemplar currently stands for: the partition's
+        structural weights minus its dead mirrors (group-level failures
+        decrement the group's effective weight)."""
+        if not self._machine_failed:
+            return self.partition.weights
+        return self.partition.weights - self._dead_mirrors
 
     def group_clocks(self) -> tuple[GroupClock, ...]:
         """Per-group aggregates over the modelled ranks' clocks.
@@ -156,6 +185,14 @@ class ScaledComm(SimComm):
 
     # -- full-machine cost plane --------------------------------------------------
 
+    def _collective_link(self) -> cm.LinkParameters:
+        """The cached internode link — unless a ``degrade_link`` window
+        is active, in which case the degraded parameters are rebuilt so
+        the cache never serves stale bandwidth mid-fault."""
+        if not self._degradation_windows:
+            return self._internode_link
+        return self._apply_degradation(self._internode_link)
+
     def _link(self, a: int, b: int) -> cm.LinkParameters:
         return self.topology.link(int(self._live[a]), int(self._live[b]),
                                   device_buffers=self.device_buffers)
@@ -171,7 +208,7 @@ class ScaledComm(SimComm):
             raise CommError("subgroup collectives need all-live mode (R = P)")
         self._check_alive()
         p = self.machine_ranks
-        link = self._internode_link
+        link = self._collective_link()
         t = time_fn(p, nbytes, link) if time_fn is not cm.barrier_time else time_fn(p, link)
         start = float(self.clocks.max())
         self.clocks[:] = start + t
@@ -261,7 +298,7 @@ class ScaledComm(SimComm):
                 f"alltoall needs an {self.nranks}x{self.nranks} payload matrix")
         self._check_alive()
         p = self.machine_ranks
-        link = self._internode_link
+        link = self._collective_link()
         t = cm.alltoall_time(p, nbytes_per_pair, link)
         start = float(self.clocks.max())
         done = {i: start + t for i in range(self.nranks)}
@@ -284,7 +321,7 @@ class ScaledComm(SimComm):
             raise CommError("nbytes must match the payload matrix shape")
         self._check_alive()
         p = self.machine_ranks
-        link = self._internode_link
+        link = self._collective_link()
         # conservative pairwise bound: the full P x P matrix is never
         # materialized, so every round is gated by the largest exemplar pair
         worst = max(max(float(b) for b in row) for row in nbytes)
@@ -318,6 +355,29 @@ class ScaledComm(SimComm):
         if idx is None:
             idx = self.partition.live_index[self._proxy_map()[global_rank]]
         return float(clocks[idx])
+
+    def proxy_live_indices(self) -> np.ndarray:
+        """Live index every machine rank reads its clock from —
+        representatives map to themselves, modelled ranks to their
+        round-robin proxy.  ``(machine_ranks,)`` int64, built vectorized
+        per group (the elastic layer folds machine-pair traffic onto
+        exemplar pairs through this map)."""
+        out = np.empty(self.machine_ranks, dtype=np.int64)
+        live_index = self.partition.live_index
+        for g in self.partition.groups:
+            reps = g.representatives
+            rep_idx = np.asarray([live_index[r] for r in reps],
+                                 dtype=np.int64)
+            for r, idx in zip(reps, rep_idx):
+                out[r] = idx
+            members = np.asarray(g.members, dtype=np.int64)
+            modeled = members[~np.isin(members,
+                                       np.asarray(reps, dtype=np.int64))]
+            if modeled.size:
+                # same order as RankGroup.proxy_assignment (round-robin
+                # over modelled members in member order)
+                out[modeled] = rep_idx[np.arange(modeled.size) % len(reps)]
+        return out
 
     def ineighbor_exchange(self, partners_of: Callable[[int], Sequence[int]],
                            nbytes: float, *,
@@ -376,32 +436,194 @@ class ScaledComm(SimComm):
         m.histogram("mpisim.p2p_time", COMM_TIME_EDGES).observe(t)
         m.histogram("mpisim.p2p_bytes", COMM_BYTES_EDGES).observe(float(nbytes))
 
-    # -- operations requiring all-live mode ----------------------------------------
-
-    def _require_all_live(self, opname: str) -> None:
-        if self._modeled:
-            raise CommError(
-                f"{opname} requires all-live mode (R = P); run fault/split "
-                "campaigns on SimComm or an all-live partition")
+    # -- fault semantics over the modelled machine ----------------------------------
 
     def fail_rank(self, rank: int) -> None:
-        self._require_all_live("fail_rank")
-        super().fail_rank(rank)
+        """Kill a **global machine rank**.
+
+        A representative dies exactly as on SimComm; a modelled rank
+        fires a group-level failure — the group's effective weight drops
+        by one and its proxy's dead-mirror count rises.  Detection is
+        ULFM-style either way: the next machine-wide collective raises
+        :class:`RankFailedError` with global ranks.
+        """
+        if not self._modeled:
+            super().fail_rank(rank)
+            return
+        rank = int(rank)
+        if not 0 <= rank < self.machine_ranks:
+            raise CommError(f"rank {rank} out of range")
+        idx = self.partition.live_index.get(rank)
+        if idx is not None:
+            self.failed[idx] = True
+            return
+        if rank in self._machine_failed:
+            return
+        self._machine_failed.add(rank)
+        pidx = self.partition.live_index[self._proxy_map()[rank]]
+        self._dead_mirrors[pidx] += 1
 
     def restore_rank(self, rank: int) -> None:
-        self._require_all_live("restore_rank")
-        super().restore_rank(rank)
+        """Replace a failed machine rank (global numbering); a revived
+        representative rejoins at the current global time, a revived
+        modelled rank simply mirrors its proxy again."""
+        if not self._modeled:
+            super().restore_rank(rank)
+            return
+        rank = int(rank)
+        if not 0 <= rank < self.machine_ranks:
+            raise CommError(f"rank {rank} out of range")
+        idx = self.partition.live_index.get(rank)
+        if idx is not None:
+            self.failed[idx] = False
+            self.clocks[idx] = float(self.clocks.max())
+            return
+        if rank not in self._machine_failed:
+            return
+        self._machine_failed.discard(rank)
+        pidx = self.partition.live_index[self._proxy_map()[rank]]
+        self._dead_mirrors[pidx] -= 1
+
+    def failed_ranks(self) -> list[int]:
+        if not self._modeled:
+            return super().failed_ranks()
+        dead = [int(self._live[i]) for i in np.flatnonzero(self.failed)]
+        return sorted(dead + list(self._machine_failed))
+
+    @property
+    def machine_alive_count(self) -> int:
+        if not self._modeled:
+            return super().machine_alive_count
+        return (self.machine_ranks - len(self._machine_failed)
+                - int(self.failed.sum()))
+
+    def _check_alive(self, participants: Sequence[int] | None = None) -> None:
+        if not self._modeled or participants is not None:
+            # p2p between named exemplars only needs those endpoints
+            # alive, exactly as on SimComm
+            super()._check_alive(participants)
+            return
+        if self._machine_failed or self.failed.any():
+            raise RankFailedError(self.failed_ranks())
 
     def agree(self, values: Sequence[Any] | None = None, nbytes: float = 8.0,
               op: Callable = np.logical_and) -> tuple[Any, tuple[int, ...]]:
-        self._require_all_live("agree")
-        return super().agree(values, nbytes, op)
+        """ULFM consensus priced at the *machine* survivor count.
+
+        The allreduce cost uses ``machine_alive_count`` participants
+        (the Hockney model at full machine ``p`` minus the dead), while
+        the fold runs over the surviving exemplars — weighted by their
+        effective weights for ``np.add``, direct for idempotent ops.
+        Returns the failed ranks in global machine numbering.
+        """
+        if not self._modeled:
+            return super().agree(values, nbytes, op)
+        alive_idx = [int(i) for i in np.flatnonzero(~self.failed)]
+        if not alive_idx:
+            raise CommError("agree on a communicator with no alive ranks")
+        alive_machine = self.machine_alive_count
+        if values is None:
+            values = [True] * self.nranks
+        if len(values) != self.nranks:
+            raise CommError(f"expected {self.nranks} per-rank values, "
+                            f"got {len(values)}")
+        link = self._collective_link()
+        t = cm.allreduce_time(alive_machine, nbytes, link)
+        start = float(np.max(self.clocks[alive_idx]))
+        self.clocks[alive_idx] = start + t
+        self.stats.collectives += 1
+        self.stats.collective_bytes += nbytes * alive_machine
+        self.stats.total_comm_time += t * alive_machine
+        self._trace_collective("agree", start, t, nbytes, alive_machine)
+        if op is np.add:
+            acc = None
+            for i in alive_idx:
+                w = self._weights_int[i] - int(self._dead_mirrors[i])
+                term = values[i] * w if w != 1 else values[i]
+                acc = term if acc is None else np.add(acc, term)
+        else:
+            acc = values[alive_idx[0]]
+            for i in alive_idx[1:]:
+                acc = op(acc, values[i])
+        return acc, tuple(self.failed_ranks())
 
     def shrink(self) -> SimComm:
-        self._require_all_live("shrink")
-        return super().shrink()
+        """ULFM shrink over the modelled machine: pay one ``agree``,
+        then rebuild the partition over the global survivors (dense
+        renumbering preserving order — the same contract as SimComm and
+        :func:`~repro.mpisim.decomposition.block_owners`).  Groups whose
+        representatives all died promote their first surviving member;
+        ``parent_machine_ranks`` maps new machine ranks back to this
+        communicator's global numbering."""
+        if not self._modeled:
+            return super().shrink()
+        self.agree()  # the consensus that makes the survivor set common
+        mask = np.ones(self.machine_ranks, dtype=bool)
+        mask[self.failed_ranks()] = False
+        return self._induced_subcomm(np.flatnonzero(mask))
 
     def split(self, color_of: Callable[[int], int], *,
               shared_stats: bool = False) -> dict[int, SimComm]:
-        self._require_all_live("split")
-        return super().split(color_of, shared_stats=shared_stats)
+        """MPI_Comm_split over **global machine ranks** (``color_of`` is
+        called for every rank ``0..P-1``, consistent with SimComm where
+        indices and machine ranks coincide).  Each color keeps the
+        induced partition: old groups intersected with the color's
+        members, representatives promoted where a color captured only
+        modelled ranks."""
+        if not self._modeled:
+            return super().split(color_of, shared_stats=shared_stats)
+        groups: dict[int, list[int]] = {}
+        for r in range(self.machine_ranks):
+            groups.setdefault(color_of(r), []).append(r)
+        return {color: self._induced_subcomm(
+                    np.asarray(members, dtype=np.int64),
+                    shared_stats=shared_stats)
+                for color, members in groups.items()}
+
+    def _induced_subcomm(self, members: np.ndarray, *,
+                         shared_stats: bool = False) -> "ScaledComm":
+        """A ScaledComm over a subset of machine ranks, renumbered
+        densely in rank order, with the partition induced by
+        intersecting each group with *members*.  Representative clocks
+        carry over; a group left without representatives promotes its
+        first surviving member at its proxy's clock."""
+        members = np.asarray(members, dtype=np.int64)
+        if members.size == 0:
+            raise CommError("sub-communicator needs at least one rank")
+        remap = np.full(self.machine_ranks, -1, dtype=np.int64)
+        remap[members] = np.arange(members.size, dtype=np.int64)
+        live_index = self.partition.live_index
+        new_groups: list[RankGroup] = []
+        rep_clocks: dict[int, float] = {}
+        for g in self.partition.groups:
+            mem = np.asarray(g.members, dtype=np.int64)
+            keep = mem[remap[mem] >= 0]
+            if keep.size == 0:
+                continue
+            new_members = tuple(int(r) for r in remap[keep])
+            surviving_reps = [r for r in g.representatives if remap[r] >= 0]
+            if surviving_reps:
+                new_reps = []
+                for old in surviving_reps:
+                    new = int(remap[old])
+                    new_reps.append(new)
+                    rep_clocks[new] = float(self.clocks[live_index[old]])
+            else:
+                promoted = int(keep[0])
+                new_reps = [int(remap[promoted])]
+                rep_clocks[new_reps[0]] = self._clock_estimate(
+                    promoted, self.clocks)
+            new_groups.append(RankGroup(g.name, new_members,
+                                        tuple(new_reps)))
+        partition = RankPartition(nranks=int(members.size),
+                                  groups=tuple(new_groups))
+        sub = ScaledComm(int(members.size), self.topology.fabric,
+                         ranks_per_node=self.topology.ranks_per_node,
+                         device_buffers=self.device_buffers,
+                         tracer=self.tracer, partition=partition)
+        sub.clocks = np.asarray([rep_clocks[r] for r in partition.live_ranks],
+                                dtype=float)
+        sub.parent_machine_ranks = tuple(int(r) for r in members)
+        if shared_stats:
+            sub.stats = self.stats
+        return sub

@@ -33,6 +33,7 @@ from repro.resilience.daly import (
     machine_checkpoint_cost,
     optimal_interval_for_machine,
     predicted_overhead,
+    scaled_fault_injector,
     system_mtbf,
     young_daly_interval,
 )
@@ -122,6 +123,7 @@ __all__ = [
     "redistribute",
     "require_finite",
     "require_kind",
+    "scaled_fault_injector",
     "shrink_and_redistribute",
     "snapshot_checksum",
     "snapshot_equal",

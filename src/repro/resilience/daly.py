@@ -19,9 +19,13 @@ first-order in δ/M.  This module computes
 from __future__ import annotations
 
 import math
+from typing import Iterable
+
+import numpy as np
 
 from repro.hardware.machine import MachineSpec
 from repro.mpisim.costmodel import link_parameters, ranks_per_nic
+from repro.resilience.faults import FaultInjector, FaultKind
 from repro.resilience.runner import CheckpointCostModel
 
 #: Node-level MTBF assumed for paper-era leadership machines, seconds.
@@ -106,6 +110,38 @@ def daly_expected_runtime(solve_time: float, interval: float,
         * (math.exp((interval + checkpoint_cost) / m) - 1.0)
         * solve_time
         / interval
+    )
+
+
+def scaled_fault_injector(rng: np.random.Generator, machine: MachineSpec, *,
+                          machine_ranks: int | None = None,
+                          node_mtbf: float = NODE_MTBF_SECONDS,
+                          time_compression: float = 1.0,
+                          kinds: Iterable[FaultKind] = (
+                              FaultKind.RANK_FAILURE,),
+                          ) -> FaultInjector:
+    """A :class:`FaultInjector` sized to the whole modelled machine.
+
+    Targets draw uniformly over every machine rank (``machine_ranks``,
+    defaulting to ``nodes x gpus_per_node`` — 72,592 on Frontier), not
+    just the exemplars a ScaledComm executes, and each enabled kind's
+    MTBF is the *system* MTBF from :func:`system_mtbf` — node failures
+    compose, so doubling the node count halves the time between events.
+
+    ``time_compression`` divides the MTBF for compressed-timescale
+    campaigns (a seconds-long simulated campaign standing in for a
+    weeks-long one); it scales every node count identically, so the
+    1/N shape of the resilience-overhead curve survives compression.
+    """
+    if time_compression <= 0:
+        raise ValueError("time_compression must be positive")
+    if machine_ranks is None:
+        machine_ranks = machine.nodes * max(machine.node.gpus_per_node, 1)
+    m_sys = system_mtbf(machine, node_mtbf=node_mtbf) / time_compression
+    return FaultInjector(
+        rng=rng,
+        mtbf={FaultKind(kind): m_sys for kind in kinds},
+        max_target=int(machine_ranks),
     )
 
 

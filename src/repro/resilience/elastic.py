@@ -95,7 +95,19 @@ class ShrinkPlan:
     migrated_items: int
     reloaded_items: int
     bytes_per_item: float
-    send_items: np.ndarray  # (new_nranks, new_nranks) int64
+    send_items: np.ndarray  # (pair_ranks, pair_ranks) int64
+    #: side of ``send_items``.  Equals ``new_nranks`` for a dense plan;
+    #: a *weighted-group* plan (built with ``pair_of``) folds the
+    #: machine-pair traffic onto ``R`` exemplar pairs, each cell holding
+    #: the worst per-pair count it stands for — the bound ScaledComm's
+    #: conservative ``alltoallv`` prices exactly.  ``migrated_items`` /
+    #: ``reloaded_items`` stay machine-exact either way.
+    pair_ranks: int = 0
+
+    def __post_init__(self) -> None:
+        if self.pair_ranks == 0:
+            object.__setattr__(self, "pair_ranks",
+                               int(self.send_items.shape[0]))
 
     @property
     def migrated_bytes(self) -> float:
@@ -107,12 +119,23 @@ class ShrinkPlan:
 
 
 def plan_shrink(nitems: int, survivors: Sequence[int], old_nranks: int,
-                bytes_per_item: float = 8.0) -> ShrinkPlan:
+                bytes_per_item: float = 8.0, *,
+                pair_of: Sequence[int] | np.ndarray | None = None
+                ) -> ShrinkPlan:
     """Diff the balanced partitions before and after a shrink.
 
     ``survivors`` are old-numbering ranks, in order; they become new
     ranks ``0..len(survivors)-1`` (dense renumbering preserving order —
     exactly what :meth:`~repro.mpisim.comm.SimComm.shrink` does).
+
+    ``pair_of`` (length ``len(survivors)``) maps each *new* rank to the
+    exemplar slot that stands for it on a representative-rank
+    communicator (:meth:`~repro.mpisim.scaled.ScaledComm.proxy_live_indices`
+    of the shrunk comm).  When given, the dense
+    ``new_nranks x new_nranks`` send matrix — 42 GB at 72,592 survivors
+    — is never materialized: machine pairs fold onto exemplar pairs,
+    each cell keeping the **max** per-pair item count it covers, which
+    is exactly the worst-pair bound the scaled ``alltoallv`` prices.
     """
     surv = np.asarray(sorted(int(r) for r in survivors), dtype=np.int64)
     if surv.size == 0:
@@ -131,9 +154,25 @@ def plan_shrink(nitems: int, survivors: Sequence[int], old_nranks: int,
     holder = remap[old_owner]  # -1: the item's in-memory copy is gone
     dead = holder < 0
     moving = ~dead & (holder != new_owner)
-    send = np.zeros((new_n, new_n), dtype=np.int64)
-    if moving.any():
-        np.add.at(send, (holder[moving], new_owner[moving]), 1)
+    if pair_of is not None:
+        pairs = np.asarray(pair_of, dtype=np.int64)
+        if pairs.shape != (new_n,):
+            raise DecompositionError(
+                f"pair_of must map all {new_n} survivors, "
+                f"got shape {pairs.shape}")
+        nlive = int(pairs.max()) + 1 if pairs.size else 0
+        send = np.zeros((nlive, nlive), dtype=np.int64)
+        if moving.any():
+            # count items per machine pair, then keep each exemplar
+            # cell's worst machine pair (O(nitems), never O(new_n^2))
+            codes = holder[moving] * new_n + new_owner[moving]
+            upairs, counts = np.unique(codes, return_counts=True)
+            np.maximum.at(send, (pairs[upairs // new_n],
+                                 pairs[upairs % new_n]), counts)
+    else:
+        send = np.zeros((new_n, new_n), dtype=np.int64)
+        if moving.any():
+            np.add.at(send, (holder[moving], new_owner[moving]), 1)
     return ShrinkPlan(
         nitems=int(nitems), old_nranks=int(old_nranks), new_nranks=new_n,
         migrated_items=int(moving.sum()), reloaded_items=int(dead.sum()),
@@ -148,9 +187,16 @@ def redistribute(comm: SimComm, plan: ShrinkPlan) -> float:
     lands on the communicator clocks (Hockney per-pair costs, slowest
     rank defines the step).  Returns the simulated seconds it took.
     """
-    if comm.nranks != plan.new_nranks:
+    if comm.machine_ranks != plan.new_nranks:
         raise DecompositionError(
-            f"plan targets {plan.new_nranks} ranks, comm has {comm.nranks}"
+            f"plan targets {plan.new_nranks} ranks, comm models "
+            f"{comm.machine_ranks}"
+        )
+    if comm.nranks != plan.pair_ranks:
+        raise DecompositionError(
+            f"plan's send matrix covers {plan.pair_ranks} executed ranks, "
+            f"comm executes {comm.nranks} — build the plan with the "
+            f"shrunk comm's proxy_live_indices()"
         )
     t0 = comm.elapsed
     n = comm.nranks
@@ -170,11 +216,18 @@ def shrink_and_redistribute(app: object, comm: SimComm
     swaps the shrunk communicator in and keeps stepping.
     """
     new_comm = comm.shrink()
-    survivors = new_comm.parent_ranks or tuple(range(new_comm.nranks))
     spec = domain_of(app)
     if spec is None or spec.nitems == 0:
         return new_comm, None, 0.0
-    plan = plan_shrink(spec.nitems, survivors, comm.nranks,
-                       spec.bytes_per_item)
+    survivors = (getattr(new_comm, "parent_machine_ranks", None)
+                 or new_comm.parent_ranks
+                 or tuple(range(new_comm.machine_ranks)))
+    pair_of = None
+    if new_comm.machine_ranks != new_comm.nranks:
+        # representative-rank survivor comm: fold the machine-pair
+        # traffic onto the exemplar pairs the comm actually executes
+        pair_of = new_comm.proxy_live_indices()
+    plan = plan_shrink(spec.nitems, survivors, comm.machine_ranks,
+                       spec.bytes_per_item, pair_of=pair_of)
     dt = redistribute(new_comm, plan)
     return new_comm, plan, dt

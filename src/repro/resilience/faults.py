@@ -87,6 +87,12 @@ class FaultInjector:
     explicitly seeded generator — determinism is load-bearing here, both
     for reproducible campaigns and for comparing checkpoint intervals
     against an identical failure process.
+
+    ``max_target`` bounds the uniform target draw.  For machine-scale
+    campaigns set it to ``comm.machine_ranks`` (72,592 on the modelled
+    Frontier) so failures land anywhere on the machine, not just on the
+    executed exemplars — :func:`repro.resilience.daly.scaled_fault_injector`
+    builds exactly that, with the MTBF scaled by true node count.
     """
 
     rng: np.random.Generator
@@ -223,7 +229,11 @@ class FaultInjector:
             return
         if event.kind is FaultKind.RANK_FAILURE:
             if comm is not None:
-                rank = event.target % comm.nranks
+                # modulo the *machine* rank count: on a ScaledComm the
+                # target lands anywhere on the modelled machine (72,592
+                # ranks), not just the R exemplars; on a SimComm
+                # machine_ranks == nranks and nothing changes
+                rank = event.target % comm.machine_ranks
                 comm.fail_rank(rank)
                 try:
                     comm.barrier()  # ULFM-style detection at the next collective
@@ -251,14 +261,21 @@ class FaultInjector:
             raise DeviceOomFault(
                 event, f"device {event.target} out of memory at t={event.time:.1f}s"
             )
-        # link degradation is not fatal: the caller slows affected steps down
+        # link degradation is not fatal: the caller slows affected steps
+        # down, and a provided communicator degrades its fabric for the
+        # window so collectives priced meanwhile see the real bandwidth
+        if event.kind is FaultKind.LINK_DEGRADATION and comm is not None:
+            comm.degrade_link(event.slowdown, event.duration)
 
     def clear(self, *, comm: SimComm | None = None,
               device: Device | None = None) -> None:
         """Undo fired damage: revive failed ranks, release OOM pressure."""
         if comm is not None:
-            for rank in np.flatnonzero(comm.failed):
-                comm.restore_rank(int(rank))
+            # failed_ranks speaks machine numbering on every communicator
+            # (a ScaledComm reports dead modelled ranks too, which the
+            # live-index `failed` mask cannot)
+            for rank in comm.failed_ranks():
+                comm.restore_rank(rank)
         for dev, allocs in self._oom_reservations:
             if device is not None and dev is not device:
                 continue

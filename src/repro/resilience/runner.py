@@ -255,8 +255,11 @@ class ShrinkContinuePolicy(RecoveryPolicy):
             # the OOM'd device leaves the job with its node
             runner.injector.clear(device=runner.device)
         if (event is not None and event.kind is FaultKind.DEVICE_OOM
-                and not comm.failed.any()):
-            comm.fail_rank(event.target % comm.nranks)
+                and not comm.failed_ranks()):
+            # machine numbering throughout: on a ScaledComm the OOM'd
+            # node can be any modelled rank, on a SimComm it's identical
+            # to the old index arithmetic
+            comm.fail_rank(event.target % comm.machine_ranks)
         if not comm.alive_ranks():
             raise ResilienceError("no surviving ranks to shrink onto")
         try:
@@ -266,11 +269,12 @@ class ShrinkContinuePolicy(RecoveryPolicy):
         redist_time = max(new_comm.elapsed - comm.elapsed, 0.0)
         runner.comm = new_comm
         stats.shrinks += 1
-        stats.ranks_final = new_comm.nranks
+        stats.ranks_final = new_comm.machine_ranks
         if plan is not None:
             stats.migrated_bytes += plan.migrated_bytes
         if stats.ranks_initial > 0:
-            runner.throughput_factor = stats.ranks_initial / new_comm.nranks
+            runner.throughput_factor = (stats.ranks_initial
+                                        / new_comm.machine_ranks)
         return redist_time
 
 
@@ -347,15 +351,27 @@ _POLICY_NAMES = {
 }
 
 
-def make_policy(name: str) -> RecoveryPolicy:
-    """Resolve a policy by CLI-friendly name."""
+def make_policy(name: str, **kwargs) -> RecoveryPolicy:
+    """Resolve a policy by CLI-friendly name.
+
+    Keyword arguments pass straight to the policy constructor —
+    ``make_policy("spare_swap", pool=shared_pool)`` or
+    ``make_policy("spare", spares=4, activation_cost=0.005)`` — so
+    callers never special-case policy construction.  Underscores in
+    *name* normalize to dashes.
+    """
     try:
-        return _POLICY_NAMES[name]()
+        cls = _POLICY_NAMES[name.replace("_", "-")]
     except KeyError:
         raise ValueError(
             f"unknown recovery policy {name!r}; "
             f"choose from {sorted(set(_POLICY_NAMES))}"
         ) from None
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise ValueError(
+            f"bad arguments for recovery policy {name!r}: {exc}") from None
 
 
 @dataclass
@@ -451,7 +467,7 @@ class ResilientRunner:
             raise ValueError("campaign needs at least one step")
         stats = ResilienceStats()
         if self.comm is not None:
-            stats.ranks_initial = stats.ranks_final = self.comm.nranks
+            stats.ranks_initial = stats.ranks_final = self.comm.machine_ranks
         tr = self.tracer
         run_idx = None
         if tr is not None:
@@ -572,7 +588,7 @@ class ResilientRunner:
         if self.comm is not None:
             # campaign time is visible on the simulated communicator too
             self.comm.advance_all(max(t_sim - self.comm.elapsed, 0.0))
-            stats.ranks_final = self.comm.nranks
+            stats.ranks_final = self.comm.machine_ranks
         if self.injector is not None:
             stats.sdc_injected = len(self.injector.sdc_injected)
             stats.events_drawn = self.injector.events_drawn
@@ -604,8 +620,11 @@ class ResilientRunner:
                              stats: ResilienceStats) -> float:
         if event is not None and event.kind is FaultKind.LINK_DEGRADATION:
             # non-fatal, but still *fired*: conservation accounting means
-            # no popped event ever disappears into a local variable
-            self.injector.fire(event)
+            # no popped event ever disappears into a local variable.  The
+            # communicator gets the degradation window too, so collectives
+            # priced while it is active see the degraded fabric instead of
+            # a stale cached link.
+            self.injector.fire(event, comm=self.comm)
             degradations.append(event)
             stats.degradations_seen += 1
         active = [e for e in degradations if e.time + e.duration > t_sim]

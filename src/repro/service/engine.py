@@ -43,6 +43,8 @@ import numpy as np
 
 from repro.hardware.machine import MachineSpec
 from repro.mpisim.comm import SimComm
+from repro.mpisim.partition import RankGroupPartitioner
+from repro.mpisim.scaled import ScaledComm
 from repro.observability.metrics import MetricsRegistry
 from repro.resilience.faults import FaultInjector, FaultKind
 from repro.resilience.runner import (
@@ -51,8 +53,6 @@ from repro.resilience.runner import (
     ResilienceError,
     ResilienceStats,
     ResilientRunner,
-    ShrinkContinuePolicy,
-    SpareSwapPolicy,
     make_policy,
 )
 from repro.resilience.snapshot import encode_snapshot, snapshot_checksum
@@ -79,6 +79,25 @@ if TYPE_CHECKING:  # pragma: no cover - import only for annotations
 # event-kind ordering at equal timestamps: completions free nodes before
 # requeues re-enqueue, and both before new arrivals see the machine
 _COMPLETE, _REQUEUE, _ARRIVAL = 0, 1, 2
+
+#: jobs at or above this width run their campaign communicator in
+#: representative-rank mode (a few exemplars standing for every node)
+#: instead of materializing one SimComm rank per node — what lets
+#: fault-injected campaigns execute at 4,096-9,074 nodes.  Below it the
+#: all-live SimComm is cheap and exact.
+SCALED_COMM_MIN_NODES = 256
+
+
+def _campaign_comm(nodes: int, fabric) -> SimComm:
+    """The campaign communicator for a job of *nodes* nodes: all-live
+    below :data:`SCALED_COMM_MIN_NODES`, representative-rank above.
+    Fault targets, shrink survivors and rank accounting all speak
+    machine numbering on either, so the runner code path is identical.
+    """
+    if nodes < SCALED_COMM_MIN_NODES:
+        return SimComm(nodes, fabric)
+    partition = RankGroupPartitioner("endpoints").partition(nodes)
+    return ScaledComm(nodes, fabric, partition=partition)
 
 
 def execute_campaign(job: Job, machine: MachineSpec, *, seed: int,
@@ -111,7 +130,7 @@ def execute_campaign(job: Job, machine: MachineSpec, *, seed: int,
                                  max_target=max(job.nodes, 1))
     comm = None
     if machine.node.interconnect is not None:
-        comm = SimComm(job.nodes, machine.node.interconnect)
+        comm = _campaign_comm(job.nodes, machine.node.interconnect)
     runner = ResilientRunner(
         app,
         checkpoint_interval=max(job.checkpoint_interval, 1),
@@ -406,9 +425,7 @@ class CampaignService:
     def _make_policy(self) -> RecoveryPolicy:
         if self.recovery == "spare":
             # the shared pool: recovery and scheduling contend here
-            return SpareSwapPolicy(pool=self.pool.spares)
-        if self.recovery == "shrink":
-            return ShrinkContinuePolicy()
+            return make_policy("spare", pool=self.pool.spares)
         return make_policy(self.recovery)
 
     def _execute(self, job: Job

@@ -8,6 +8,7 @@ from repro.mpisim import (
     BlockDecomposition,
     CommError,
     PartitionError,
+    RankFailedError,
     RankGroup,
     RankGroupPartitioner,
     RankPartition,
@@ -285,18 +286,72 @@ class TestScaledCommModeled:
             scaled16._sync_collective(8.0, alltoall_time,
                                       participants=[0, 1], name="x")
 
-    @pytest.mark.parametrize("opname", ["fail_rank", "restore_rank"])
-    def test_fault_injection_requires_all_live(self, scaled16, opname):
-        with pytest.raises(CommError, match="all-live"):
-            getattr(scaled16, opname)(0)
+    def test_fail_rank_speaks_global_machine_ranks(self, scaled16):
+        # rank 5 is modelled (reps are 0, 1, 15): a group-level failure
+        scaled16.fail_rank(5)
+        assert scaled16.failed_ranks() == [5]
+        assert not scaled16.failed.any()  # no exemplar died
+        assert scaled16.machine_alive_count == 15
+        # the interior group's effective weight dropped by one
+        assert scaled16.rank_weights.tolist() == [1, 13, 1]
+        scaled16.restore_rank(5)
+        assert scaled16.failed_ranks() == []
+        assert scaled16.rank_weights.tolist() == [1, 14, 1]
 
-    def test_agree_shrink_split_require_all_live(self, scaled16):
-        with pytest.raises(CommError, match="all-live"):
-            scaled16.agree()
-        with pytest.raises(CommError, match="all-live"):
-            scaled16.shrink()
-        with pytest.raises(CommError, match="all-live"):
-            scaled16.split(lambda r: r % 2)
+    def test_modelled_failure_detected_at_next_collective(self, scaled16):
+        scaled16.fail_rank(7)
+        with pytest.raises(RankFailedError) as exc:
+            scaled16.allreduce([1.0] * 3, 8.0)
+        assert exc.value.ranks == (7,)
+
+    def test_agree_priced_at_machine_survivor_count(self, scaled16):
+        full = SimComm(16, SLINGSHOT_11, ranks_per_node=8,
+                       device_buffers=True)
+        scaled16.fail_rank(5)
+        full.fail_rank(5)
+        acc, dead = scaled16.agree()
+        acc_full, dead_full = full.agree()
+        assert (acc, dead) == (acc_full, dead_full)
+        # 15 machine survivors price the consensus on both communicators
+        assert scaled16.elapsed == full.elapsed
+
+    def test_agree_weighted_fold(self, scaled16):
+        acc, _ = scaled16.agree([1.0] * 3, op=np.add)
+        assert acc == 16.0  # exemplars weighted by the machine
+        scaled16.fail_rank(5)
+        acc, dead = scaled16.agree([1.0] * 3, op=np.add)
+        assert acc == 15.0 and dead == (5,)
+
+    def test_shrink_rebuilds_survivor_partition(self, scaled16):
+        scaled16.fail_rank(5)
+        sub = scaled16.shrink()
+        assert sub.machine_ranks == 15
+        assert sub.parent_machine_ranks == tuple(
+            r for r in range(16) if r != 5)
+        # dense renumbering preserved order: old 15 became new 14
+        assert sub.representatives == (0, 1, 14)
+        assert sub.rank_weights.tolist() == [1, 13, 1]
+
+    def test_shrink_promotes_when_all_reps_die(self, scaled16):
+        # rank 1 is the interior group's only representative
+        scaled16.advance(1, 2.0)
+        scaled16.fail_rank(1)
+        sub = scaled16.shrink()
+        assert sub.machine_ranks == 15
+        # old rank 2 (new rank 1) promoted to carry the interior group
+        assert sub.representatives == (0, 1, 14)
+        assert sub.rank_weights.tolist() == [1, 13, 1]
+        # the promotee inherits the modelled-rank clock estimate, not zero
+        assert sub.clocks[1] == pytest.approx(
+            scaled16._clock_estimate(2, scaled16.clocks))
+
+    def test_split_over_machine_ranks(self, scaled16):
+        subs = scaled16.split(lambda r: r % 2)
+        assert sorted(subs) == [0, 1]
+        assert subs[0].machine_ranks == 8 and subs[1].machine_ranks == 8
+        assert subs[0].parent_machine_ranks == tuple(range(0, 16, 2))
+        total = sum(s.machine_ranks for s in subs.values())
+        assert total == scaled16.machine_ranks
 
     def test_ialltoall_costs_full_machine(self, scaled16):
         full = SimComm(16, SLINGSHOT_11, ranks_per_node=8,

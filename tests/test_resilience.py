@@ -751,6 +751,29 @@ class TestRecoveryPolicies:
         with pytest.raises(ValueError):
             make_policy("pray")
 
+    def test_make_policy_forwards_kwargs(self):
+        from repro.resilience import make_policy
+
+        policy = make_policy("spare", spares=4, activation_cost=0.005)
+        assert policy.spares == 4
+        assert policy.activation_cost == 0.005
+
+        class _Pool:
+            def try_acquire(self, purpose):
+                return True
+
+        pool = _Pool()
+        shared = make_policy("spare_swap", pool=pool)  # underscores OK
+        assert shared.pool is pool
+
+    def test_make_policy_rejects_bad_kwargs(self):
+        from repro.resilience import make_policy
+
+        with pytest.raises(ValueError, match="bad arguments"):
+            make_policy("restart", spares=4)
+        with pytest.raises(ValueError, match="bad arguments"):
+            make_policy("spare", warp_speed=9)
+
     def test_spare_pool_validation(self):
         from repro.resilience import SpareSwapPolicy
 
