@@ -21,7 +21,9 @@ directly::
     PYTHONPATH=src python benchmarks/bench_observability.py
 
 Also runs through pytest (``python -m pytest
-benchmarks/bench_observability.py``), which is how CI invokes it.
+benchmarks/bench_observability.py``).  CI invokes the ``--quick`` form,
+which is the same gate run (this bench *is* the smoke — it re-measures
+recorded stages at recorded sizes and never writes the JSON).
 """
 
 from __future__ import annotations
@@ -135,4 +137,11 @@ def test_bench_observability_gate():
 
 
 if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: identical to the default gate run "
+                             "(reads bands, never writes)")
+    parser.parse_args()
     run_gate()

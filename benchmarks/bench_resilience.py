@@ -18,6 +18,8 @@ preserved).  Run directly::
     PYTHONPATH=src python benchmarks/bench_resilience.py
 
 or through pytest (``python -m pytest benchmarks/bench_resilience.py``).
+``--quick`` is the CI smoke: the same four stages at reduced sizes with
+the same correctness contracts asserted, and no JSON write.
 """
 
 from __future__ import annotations
@@ -253,6 +255,42 @@ def test_bench_resilience():
         assert result["bit_identical"], f"{cell} diverged: {result}"
 
 
+def run_quick() -> dict:
+    """CI smoke: every stage at reduced size, contracts still asserted,
+    recorded bands untouched (no JSON write)."""
+    report = {
+        "resilience_checkpoint_latency": checkpoint_latency(ncells=8,
+                                                            repeats=3),
+        "resilience_campaign_overhead": campaign_overhead(nsteps=30),
+        "resilience_abft_overhead": abft_overhead(),
+        "resilience_fault_matrix": fault_matrix(nsteps=8),
+    }
+    lat = report["resilience_checkpoint_latency"]
+    camp = report["resilience_campaign_overhead"]
+    assert lat["round_trip_exact"]
+    assert camp["bit_identical"]
+    assert camp["recoveries"] >= 1
+    assert camp["checkpoint_overhead_fraction"] < camp["faulty_overhead_fraction"]
+    ab = report["resilience_abft_overhead"]
+    for carrier in ("batched_lu", "gemm_tally"):
+        assert 0.0 <= ab[carrier]["inflation"] < ABFT_INFLATION_GATE
+    fired = sum(c["events_fired"] for c in report["resilience_fault_matrix"].values())
+    assert fired > 0, "fault matrix fired no events at all"
+    print(f"quick: snapshot {lat['t_snapshot']*1e6:.0f} us, "
+          f"{camp['recoveries']} recoveries, "
+          f"overhead {camp['faulty_overhead_fraction']:.1%}, "
+          f"{fired} fault events")
+    return report
+
+
 if __name__ == "__main__":
-    out = run_all()
-    print(json.dumps(out, indent=2))
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke at reduced sizes; no JSON write")
+    if parser.parse_args().quick:
+        run_quick()
+    else:
+        out = run_all()
+        print(json.dumps(out, indent=2))

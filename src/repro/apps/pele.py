@@ -228,6 +228,7 @@ class PeleChemistryCampaign:
                  tracer: Tracer | None = None,
                  comm: SimComm | None = None,
                  device: Device | None = None,
+                 kernel_config: "object | None" = None,
                  backend: "str | ArrayBackend | None" = None) -> None:
         if mechanism not in _CAMPAIGN_MECHANISMS:
             raise ValueError(
@@ -248,6 +249,12 @@ class PeleChemistryCampaign:
         self.tracer = tracer
         self.comm = comm
         self.device = device
+        # a tuned launch configuration (any object with
+        # ``apply(kernels, gpu_spec)``, e.g. repro.tuning.KernelConfig)
+        # transforms the observation launch only — it can never reach
+        # (T, C, steps_done), so tuned and default campaigns stay
+        # bit-identical and only the modeled timeline moves
+        self.kernel_config = kernel_config
         # like the tracer, the backend is an engine choice, not campaign
         # state: snapshots restore onto whatever engine the host runs
         self.backend = resolve_backend(backend)
@@ -299,8 +306,11 @@ class PeleChemistryCampaign:
             comm.allreduce([float(self.steps_done)] * comm.nranks, 8.0,
                            op=np.maximum)
         if self.device is not None:
-            self.device.launch_sync(
-                campaign_chemistry_kernel_spec(stats, self.mechanism))
+            spec = campaign_chemistry_kernel_spec(stats, self.mechanism)
+            specs = ([spec] if self.kernel_config is None
+                     else self.kernel_config.apply([spec], self.device.spec))
+            for s in specs:
+                self.device.launch_sync(s)
         tr = self.tracer
         if tr is not None:
             tr.metrics.counter("pele.steps").inc()

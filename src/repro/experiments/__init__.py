@@ -39,6 +39,7 @@ from repro.experiments.scaling import (
 )
 from repro.experiments.table1 import Table1Result, run_table1
 from repro.experiments.table2 import Table2Result, run_table2
+from repro.experiments.tuning import render_tuning, run_tuning
 
 __all__ = [
     "build_dashboard",
@@ -78,6 +79,8 @@ __all__ = [
     "run_figure2",
     "run_figure2_measured",
     "run_intext",
+    "render_tuning",
+    "run_tuning",
     "run_overhead_curve",
     "run_table1",
     "run_table2",

@@ -1,7 +1,7 @@
 """Simulated GPU execution model: kernels, occupancy, timing, memory, streams."""
 
 from repro.gpu.device import Device, LaunchRecord
-from repro.gpu.kernel import KernelSpec, fission, fuse
+from repro.gpu.kernel import KernelSpec, cap_registers, fission, fuse
 from repro.gpu.memory import (
     Allocation,
     DeviceAllocator,
@@ -55,6 +55,7 @@ __all__ = [
     "TransferTiming",
     "UnifiedMemory",
     "achieved_flops",
+    "cap_registers",
     "compute_occupancy",
     "d2d_time",
     "d2h_time",

@@ -14,6 +14,10 @@ Two structural transformations from the paper are implemented here:
   register-pressure increase).
 * :func:`fission` — split one large kernel into pieces, dividing work and
   reducing per-piece register pressure (E3SM/Pele: more launches, no spills).
+* :func:`cap_registers` — a voluntary per-thread register ceiling
+  (``__launch_bounds__`` / ``amdgpu-num-vgpr``): occupancy rises because the
+  compiler allocates fewer registers, and the evicted values pay scratch
+  traffic instead — the launch-config knob autotuners search first.
 """
 
 from __future__ import annotations
@@ -84,6 +88,15 @@ class KernelSpec:
             raise ValueError(f"kernel {self.name!r}: threads/workgroup must be positive")
         if self.launch_count <= 0:
             raise ValueError(f"kernel {self.name!r}: launch_count must be positive")
+        # a kernel with zero or negative registers would silently report
+        # full occupancy (the register constraint degenerates), so reject it
+        if self.registers_per_thread < 1:
+            raise ValueError(
+                f"kernel {self.name!r}: registers_per_thread must be >= 1, "
+                f"got {self.registers_per_thread}"
+            )
+        if self.lds_per_workgroup < 0:
+            raise ValueError(f"kernel {self.name!r}: lds_per_workgroup must be >= 0")
 
     @property
     def bytes_total(self) -> float:
@@ -152,6 +165,30 @@ def fuse(kernels: list[KernelSpec], *, name: str | None = None) -> KernelSpec:
         workgroup_size=kernels[0].workgroup_size,
         active_lane_fraction=min(1.0, lanes),
         launch_count=1,
+    )
+
+
+def cap_registers(kernel: KernelSpec, cap: int) -> KernelSpec:
+    """Voluntarily cap per-thread registers at *cap* (launch-bounds style).
+
+    The compiler keeps the hottest *cap* values in registers and spills the
+    rest to scratch up front, so occupancy is computed at the cap while the
+    evicted values pay the same store+reload traffic the hardware spill
+    model charges: ``2 accesses x 4 bytes x evicted x threads``, split
+    evenly between reads and writes.  A cap at or above the kernel's demand
+    is a no-op; caps below 32 are rejected (no real compiler goes lower).
+    """
+    if cap < 32:
+        raise ValueError(f"register cap must be >= 32, got {cap}")
+    if cap >= kernel.registers_per_thread:
+        return kernel
+    evicted = kernel.registers_per_thread - cap
+    scratch = 4.0 * evicted * kernel.threads  # one store + one reload
+    return replace(
+        kernel,
+        registers_per_thread=cap,
+        bytes_read=kernel.bytes_read + scratch,
+        bytes_written=kernel.bytes_written + scratch,
     )
 
 

@@ -128,6 +128,10 @@ ALL_MACHINES: tuple[MachineSpec, ...] = (
 #: The paper's early-access progression in deployment order (Section 4).
 EARLY_ACCESS_PROGRESSION: tuple[MachineSpec, ...] = (POPLAR, TULIP, BIRCH, SPOCK, CRUSHER)
 
+#: The production GPU systems every app readied for — the machines the
+#: autotuning navigator (:mod:`repro.tuning`) searches configurations on.
+TUNING_MACHINES: tuple[MachineSpec, ...] = (SUMMIT, FRONTIER)
+
 
 def machine_by_name(name: str) -> MachineSpec:
     """Look up a catalog machine by name (case-insensitive)."""

@@ -68,10 +68,16 @@ def ranks_per_nic(total_ranks_on_node: int, fabric: InterconnectSpec) -> int:
 
 # ---------------------------------------------------------------------------
 # Collective algorithm costs (p ranks, n bytes per rank unless stated)
+#
+# Each collective exposes its named algorithm variants individually (the
+# per-algorithm α-β costs a production MPI's tuning tables choose between)
+# plus the historical entry point that applies the stock selection rule.
+# ``COLLECTIVE_ALGORITHMS`` is the registry the autotuning navigator
+# searches per machine and message size.
 # ---------------------------------------------------------------------------
 
 
-def bcast_time(p: int, nbytes: float, link: LinkParameters) -> float:
+def bcast_time_binomial(p: int, nbytes: float, link: LinkParameters) -> float:
     """Binomial-tree broadcast: ⌈log2 p⌉ rounds of the full payload."""
     if p <= 1:
         return 0.0
@@ -79,37 +85,144 @@ def bcast_time(p: int, nbytes: float, link: LinkParameters) -> float:
     return rounds * link.p2p_time(nbytes)
 
 
+def bcast_time_scatter_allgather(p: int, nbytes: float,
+                                 link: LinkParameters) -> float:
+    """Van de Geijn broadcast: binomial scatter + ring allgather.
+
+    ``(⌈log2 p⌉ + p − 1)·α + 2·(p−1)/p·n·β`` — β-optimal, so it wins for
+    large payloads despite the linear α term.
+    """
+    if p <= 1:
+        return 0.0
+    lg = math.ceil(math.log2(p))
+    return (lg + p - 1) * link.alpha + 2.0 * (p - 1) / p * nbytes * link.beta
+
+
+def bcast_time(p: int, nbytes: float, link: LinkParameters) -> float:
+    """Binomial-tree broadcast (the stock small-message default)."""
+    return bcast_time_binomial(p, nbytes, link)
+
+
 def reduce_time(p: int, nbytes: float, link: LinkParameters) -> float:
     """Binomial-tree reduction (same round structure as bcast)."""
     return bcast_time(p, nbytes, link)
 
 
-def allreduce_time(p: int, nbytes: float, link: LinkParameters) -> float:
-    """Rabenseifner for large payloads, recursive doubling for small.
+def allreduce_time_recursive_doubling(p: int, nbytes: float,
+                                      link: LinkParameters) -> float:
+    """Recursive doubling: ⌈log2 p⌉·(α + n·β) — latency-optimal."""
+    if p <= 1:
+        return 0.0
+    return math.ceil(math.log2(p)) * link.p2p_time(nbytes)
 
-    Recursive doubling: ⌈log2 p⌉·(α + nβ).
-    Rabenseifner: 2·log2(p)·α + 2·(p-1)/p·n·β.
-    """
+
+def allreduce_time_rabenseifner(p: int, nbytes: float,
+                                link: LinkParameters) -> float:
+    """Rabenseifner: reduce-scatter + allgather, ``2·⌈log2 p⌉·α +
+    2·(p−1)/p·n·β`` — bandwidth-optimal."""
     if p <= 1:
         return 0.0
     lg = math.ceil(math.log2(p))
-    rd = lg * link.p2p_time(nbytes)
-    rab = 2 * lg * link.alpha + 2.0 * (p - 1) / p * nbytes * link.beta
-    return min(rd, rab)
+    return 2 * lg * link.alpha + 2.0 * (p - 1) / p * nbytes * link.beta
 
 
-def allgather_time(p: int, nbytes: float, link: LinkParameters) -> float:
+def allreduce_time_ring(p: int, nbytes: float, link: LinkParameters) -> float:
+    """Ring allreduce: ``2·(p−1)·α + 2·(p−1)/p·n·β``.
+
+    Same β term as Rabenseifner with a linear α term — never the winner
+    under this contention-free model, but kept in the registry so the
+    tuner's selection is an honest argmin over what real MPIs offer.
+    """
+    if p <= 1:
+        return 0.0
+    return 2 * (p - 1) * link.alpha + 2.0 * (p - 1) / p * nbytes * link.beta
+
+
+def allreduce_time(p: int, nbytes: float, link: LinkParameters) -> float:
+    """Rabenseifner for large payloads, recursive doubling for small
+    (the stock message-size switch production MPIs apply)."""
+    if p <= 1:
+        return 0.0
+    return min(
+        allreduce_time_recursive_doubling(p, nbytes, link),
+        allreduce_time_rabenseifner(p, nbytes, link),
+    )
+
+
+def allgather_time_ring(p: int, nbytes: float, link: LinkParameters) -> float:
     """Ring allgather of *nbytes* contributed per rank: (p-1) steps."""
     if p <= 1:
         return 0.0
     return (p - 1) * link.p2p_time(nbytes)
 
 
-def alltoall_time(p: int, nbytes_per_pair: float, link: LinkParameters) -> float:
+def allgather_time_recursive_doubling(p: int, nbytes: float,
+                                      link: LinkParameters) -> float:
+    """Recursive-doubling allgather: ⌈log2 p⌉·α + (p−1)·n·β."""
+    if p <= 1:
+        return 0.0
+    return math.ceil(math.log2(p)) * link.alpha + (p - 1) * nbytes * link.beta
+
+
+def allgather_time(p: int, nbytes: float, link: LinkParameters) -> float:
+    """Ring allgather (the historical default path)."""
+    return allgather_time_ring(p, nbytes, link)
+
+
+def alltoall_time_pairwise(p: int, nbytes_per_pair: float,
+                           link: LinkParameters) -> float:
     """Pairwise-exchange alltoall: p-1 rounds of one pair message each."""
     if p <= 1:
         return 0.0
     return (p - 1) * link.p2p_time(nbytes_per_pair)
+
+
+def alltoall_time_bruck(p: int, nbytes_per_pair: float,
+                        link: LinkParameters) -> float:
+    """Bruck alltoall: ⌈log2 p⌉ rounds shipping half the local data each,
+    ``⌈log2 p⌉·(α + (p/2)·n·β)`` — the small-message latency winner."""
+    if p <= 1:
+        return 0.0
+    lg = math.ceil(math.log2(p))
+    return lg * link.p2p_time(0.5 * p * nbytes_per_pair)
+
+
+def alltoall_time(p: int, nbytes_per_pair: float, link: LinkParameters) -> float:
+    """Pairwise-exchange alltoall (the stock large-message default)."""
+    return alltoall_time_pairwise(p, nbytes_per_pair, link)
+
+
+#: op -> {algorithm name -> cost fn(p, nbytes, link)}; what the autotuner
+#: searches.  Every entry is a real algorithm a production MPI implements.
+COLLECTIVE_ALGORITHMS: dict[str, dict[str, object]] = {
+    "allreduce": {
+        "recursive-doubling": allreduce_time_recursive_doubling,
+        "rabenseifner": allreduce_time_rabenseifner,
+        "ring": allreduce_time_ring,
+    },
+    "bcast": {
+        "binomial": bcast_time_binomial,
+        "scatter-allgather": bcast_time_scatter_allgather,
+    },
+    "allgather": {
+        "ring": allgather_time_ring,
+        "recursive-doubling": allgather_time_recursive_doubling,
+    },
+    "alltoall": {
+        "pairwise": alltoall_time_pairwise,
+        "bruck": alltoall_time_bruck,
+    },
+}
+
+#: The fixed per-op choice an untuned MPI build ships with (no
+#: message-size switching): the baseline the navigator's margins are
+#: measured against.
+DEFAULT_COLLECTIVE_ALGORITHM: dict[str, str] = {
+    "allreduce": "recursive-doubling",
+    "bcast": "binomial",
+    "allgather": "ring",
+    "alltoall": "pairwise",
+}
 
 
 def barrier_time(p: int, link: LinkParameters) -> float:

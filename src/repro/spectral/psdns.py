@@ -157,6 +157,39 @@ class PsdnsStepTime:
         return float(n) ** 3 / self.total
 
 
+def psdns_device_kernels(n: int, nranks: int, *,
+                         fft_efficiency: float = 0.35) -> list[KernelSpec]:
+    """One rank's per-step device kernels: local 1-D FFT passes + pointwise.
+
+    The FFT kernel is LDS-resident (the batched 1-D transforms stage
+    through shared memory), which is what makes its occupancy — and hence
+    its tuning — workgroup-size-sensitive.  The pointwise kernel covers
+    the projection and cross products, ~30 flops/point, memory bound.
+    """
+    itemsize = 16
+    local_flops = 3 * fft_flops(n) * n * n / nranks
+    local_traffic = 3 * 2 * (n**3 // nranks) * itemsize
+    fft = KernelSpec(
+        name=f"fft3d_local_{n}",
+        flops=local_flops / fft_efficiency,
+        bytes_read=float(local_traffic),
+        bytes_written=float(local_traffic),
+        threads=max(n**3 // (4 * nranks), 64),
+        precision=Precision.FP64,
+        lds_per_workgroup=32 * 1024,
+        workgroup_size=256,
+    )
+    pointwise = KernelSpec(
+        name="psdns_pointwise",
+        flops=30.0 * n**3 / nranks,
+        bytes_read=float(6 * (n**3 // nranks) * itemsize),
+        bytes_written=float(3 * (n**3 // nranks) * itemsize),
+        threads=max(n**3 // nranks, 64),
+        precision=Precision.FP64,
+    )
+    return [fft, pointwise]
+
+
 def psdns_step_time(
     machine: MachineSpec,
     n: int,
@@ -188,20 +221,8 @@ def psdns_step_time(
     else:
         raise ValueError(f"unknown decomposition {decomposition!r}")
 
-    # device kernel: this rank's share of 3 passes of 1-D FFTs
-    local_flops = 3 * fft_flops(n) * n * n / nranks
     itemsize = 16
-    local_traffic = 3 * 2 * (n**3 // nranks) * itemsize
-    spec = KernelSpec(
-        name=f"fft3d_local_{n}",
-        flops=local_flops / fft_efficiency,
-        bytes_read=float(local_traffic),
-        bytes_written=float(local_traffic),
-        threads=max(n**3 // (4 * nranks), 64),
-        precision=Precision.FP64,
-        lds_per_workgroup=32 * 1024,
-        workgroup_size=256,
-    )
+    spec, pw = psdns_device_kernels(n, nranks, fft_efficiency=fft_efficiency)
     t_fft_local = time_kernel(spec, node.gpu).total_time
 
     # transpose: bytes each rank exchanges per global transpose
@@ -214,16 +235,6 @@ def psdns_step_time(
     bpp = decomp.transpose_bytes_per_pair(itemsize)
     t_transpose = decomp.transposes_per_fft * cm.alltoall_time(group, bpp, link)
 
-    # pointwise work (projection, cross products): ~30 flops/point/step,
-    # memory bound
-    pw = KernelSpec(
-        name="psdns_pointwise",
-        flops=30.0 * n**3 / nranks,
-        bytes_read=float(6 * (n**3 // nranks) * itemsize),
-        bytes_written=float(3 * (n**3 // nranks) * itemsize),
-        threads=max(n**3 // nranks, 64),
-        precision=Precision.FP64,
-    )
     t_pointwise = time_kernel(pw, node.gpu).total_time
 
     return PsdnsStepTime(

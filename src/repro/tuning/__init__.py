@@ -1,0 +1,93 @@
+"""Seeded autotuning navigator over kernel/checkpoint/collective knobs.
+
+The tuning layer closes the loop the paper's teams closed by hand: given
+the machine models (:mod:`repro.hardware`), the kernel timing stack
+(:mod:`repro.gpu`), the collective cost models (:mod:`repro.mpisim`) and
+the resilience machinery (:mod:`repro.resilience`), search the knob
+spaces those layers expose and emit a reproducible report — plus a
+ReFrame-style suite of generated regression checks that pin every tuned
+result to its measured margin.
+
+Entry points:
+
+* :func:`~repro.tuning.navigator.run_navigator` — one seeded pass over
+  all machines, apps and knob domains; returns a
+  :class:`~repro.tuning.navigator.TuningReport`.
+* :func:`~repro.tuning.checks.generate_checks` — expand a report into
+  parameterized :class:`~repro.tuning.checks.GeneratedCheck` objects for
+  pytest.
+"""
+
+from repro.tuning.checkpoint import (
+    DEFAULT_INTERVAL_STEPS,
+    INTERVAL_FACTORS,
+    TARGET_WSTAR_STEPS,
+    CheckpointFidelity,
+    CheckpointTuningResult,
+    measure_overhead,
+    tune_checkpoint_interval,
+)
+from repro.tuning.checks import DEFAULT_BAND, GeneratedCheck, generate_checks
+from repro.tuning.collectives import (
+    MESSAGE_SIZES,
+    CollectiveTuningResult,
+    machine_link,
+    machine_ranks,
+    select_algorithm,
+    tune_collectives,
+)
+from repro.tuning.kernels import TUNABLE_APPS, AppWorkload, build_workload
+from repro.tuning.navigator import (
+    KernelTuningResult,
+    TuningBudget,
+    TuningReport,
+    run_navigator,
+    tune_app_kernels,
+)
+from repro.tuning.search import (
+    SearchResult,
+    grid_search,
+    seeded_subset,
+    successive_halving,
+)
+from repro.tuning.space import (
+    KernelConfig,
+    hot_kernel_index,
+    kernel_config_grid,
+    sequence_time,
+)
+
+__all__ = [
+    "DEFAULT_BAND",
+    "DEFAULT_INTERVAL_STEPS",
+    "INTERVAL_FACTORS",
+    "MESSAGE_SIZES",
+    "TARGET_WSTAR_STEPS",
+    "TUNABLE_APPS",
+    "AppWorkload",
+    "CheckpointFidelity",
+    "CheckpointTuningResult",
+    "CollectiveTuningResult",
+    "GeneratedCheck",
+    "KernelConfig",
+    "KernelTuningResult",
+    "SearchResult",
+    "TuningBudget",
+    "TuningReport",
+    "build_workload",
+    "generate_checks",
+    "grid_search",
+    "hot_kernel_index",
+    "kernel_config_grid",
+    "machine_link",
+    "machine_ranks",
+    "measure_overhead",
+    "run_navigator",
+    "seeded_subset",
+    "select_algorithm",
+    "sequence_time",
+    "successive_halving",
+    "tune_app_kernels",
+    "tune_checkpoint_interval",
+    "tune_collectives",
+]

@@ -1,0 +1,153 @@
+"""ReFrame-style regression checks generated from a tuning report.
+
+ReFrame's model: a *check* bundles what to run, which system it is valid
+on, and a performance reference with an allowed band; a harness expands
+checks over parameter spaces and asserts each measurement lands inside
+its band.  :func:`generate_checks` does the same from a
+:class:`~repro.tuning.navigator.TuningReport` — every tuned
+(app, machine, knob-set) cell becomes one :class:`GeneratedCheck` whose
+:meth:`~GeneratedCheck.evaluate` *re-derives* the measurement from the
+descriptor alone (rebuild the workload, re-apply the knobs, re-time), and
+whose :meth:`~GeneratedCheck.assert_ok` asserts two things:
+
+1. **regression band** — the re-derived measurement matches the recorded
+   reference within ``band`` (the models are deterministic, so the band
+   is tight);
+2. **tuning margin** — wherever the navigator claimed an improvement, the
+   tuned measurement still beats the recorded default by the recorded
+   margin (scaled by the band), so a model change that silently erases a
+   tuning win fails the suite.
+
+The test harness (``tests/test_tuning_checks.py``) feeds these to
+``pytest.mark.parametrize`` — the generated suite is ordinary pytest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.catalog import TUNING_MACHINES
+from repro.hardware.machine import MachineSpec
+from repro.tuning.checkpoint import CheckpointFidelity, measure_overhead
+from repro.tuning.collectives import select_algorithm
+from repro.tuning.kernels import build_workload
+from repro.tuning.navigator import TuningReport
+from repro.tuning.space import KernelConfig, sequence_time
+
+#: relative half-width of the regression band.  The timing/fault models
+#: are deterministic given the descriptor, so the band only has to absorb
+#: float summation-order noise.
+DEFAULT_BAND = 1e-9
+
+
+def _machine_by_name(name: str) -> MachineSpec:
+    for machine in TUNING_MACHINES:
+        if machine.name == name:
+            return machine
+    raise KeyError(f"unknown tuning machine {name!r}")
+
+
+@dataclass(frozen=True)
+class GeneratedCheck:
+    """One parameterized regression check (ReFrame's check : system row).
+
+    ``descriptor`` is the complete recipe for re-deriving the
+    measurement; ``reference`` / ``default_reference`` are the values the
+    navigator recorded for the tuned and default configurations.
+    """
+
+    name: str
+    domain: str  # "kernel" | "checkpoint" | "collective"
+    system: str  # machine name (ReFrame's partition)
+    descriptor: dict = field(hash=False)
+    reference: float
+    default_reference: float
+    band: float = DEFAULT_BAND
+
+    def evaluate(self) -> float:
+        """Re-derive the tuned measurement from the descriptor alone."""
+        machine = _machine_by_name(self.system)
+        if self.domain == "kernel":
+            workload = build_workload(self.descriptor["app"], machine)
+            config = KernelConfig.from_dict(self.descriptor["config"])
+            return sequence_time(config, list(workload.kernels),
+                                 workload.device,
+                                 default_async=workload.default_async)
+        if self.domain == "checkpoint":
+            fidelity = CheckpointFidelity(
+                nsteps=self.descriptor["fidelity"]["nsteps"],
+                seeds=tuple(self.descriptor["fidelity"]["seeds"]),
+            )
+            return measure_overhead(
+                machine, self.descriptor["interval_steps"], fidelity,
+                nparticles=self.descriptor["nparticles"])
+        if self.domain == "collective":
+            cell = select_algorithm(machine, self.descriptor["op"],
+                                    self.descriptor["nbytes"])
+            if cell.algorithm != self.descriptor["algorithm"]:
+                raise AssertionError(
+                    f"{self.name}: selection drifted — expected "
+                    f"{self.descriptor['algorithm']!r}, "
+                    f"now {cell.algorithm!r}")
+            return cell.time
+        raise ValueError(f"unknown check domain {self.domain!r}")
+
+    def assert_ok(self) -> float:
+        """Run the check; returns the measurement for reporting."""
+        measured = self.evaluate()
+        lo = self.reference * (1.0 - self.band)
+        hi = self.reference * (1.0 + self.band)
+        if not lo <= measured <= hi:
+            raise AssertionError(
+                f"{self.name}: measured {measured!r} outside reference "
+                f"band [{lo!r}, {hi!r}]")
+        if self.reference < self.default_reference:
+            # the navigator claimed a win: the tuned measurement must
+            # still beat the default by the recorded margin (band-scaled)
+            margin = self.default_reference - self.reference
+            ceiling = self.default_reference - margin * (1.0 - self.band)
+            if measured > ceiling:
+                raise AssertionError(
+                    f"{self.name}: tuned measurement {measured!r} no "
+                    f"longer beats default {self.default_reference!r} by "
+                    f"the recorded margin {margin!r}")
+        return measured
+
+
+def generate_checks(report: TuningReport) -> list[GeneratedCheck]:
+    """Expand a report into its parameterized check suite."""
+    checks: list[GeneratedCheck] = []
+    for r in report.kernel:
+        checks.append(GeneratedCheck(
+            name=f"kernel_{r.app}_{r.machine.lower()}",
+            domain="kernel",
+            system=r.machine,
+            descriptor={"app": r.app, "config": r.config.describe()},
+            reference=r.tuned_time,
+            default_reference=r.default_time,
+        ))
+    for c in report.checkpoint:
+        checks.append(GeneratedCheck(
+            name=f"checkpoint_{c.machine.lower()}",
+            domain="checkpoint",
+            system=c.machine,
+            descriptor={
+                "interval_steps": c.tuned_interval_steps,
+                "fidelity": c.fidelity.describe(),
+                "nparticles": report.budget.checkpoint_particles,
+            },
+            reference=c.tuned_overhead,
+            default_reference=c.default_overhead,
+        ))
+    for col in report.collectives:
+        checks.append(GeneratedCheck(
+            name=(f"collective_{col.op}_{col.nbytes}B_"
+                  f"{col.machine.lower()}"),
+            domain="collective",
+            system=col.machine,
+            descriptor={"op": col.op, "nbytes": col.nbytes,
+                        "algorithm": col.algorithm},
+            reference=col.time,
+            default_reference=col.default_time,
+        ))
+    return checks

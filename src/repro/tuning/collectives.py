@@ -1,0 +1,104 @@
+"""Per-machine collective-algorithm selection from the Hockney models.
+
+Production MPIs pick collective algorithms from tuning tables keyed by
+communicator size and message size; the navigator rebuilds that table for
+each catalog machine from the same α-β cost models every app in the repo
+pays (:mod:`repro.mpisim.costmodel`).  The communicator is the full
+machine (one rank per GPU, all NICs busy — the GPU-aware shared-NIC link
+the halo exchanges use), the candidates are the
+:data:`~repro.mpisim.costmodel.COLLECTIVE_ALGORITHMS` registry, and the
+baseline is the fixed per-op default an untuned build ships
+(:data:`~repro.mpisim.costmodel.DEFAULT_COLLECTIVE_ALGORITHM`).
+
+Selection is a pure argmin over closed-form costs — deterministic by
+construction — and ties break toward the default algorithm so a selection
+only ever changes when it strictly wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.machine import MachineSpec
+from repro.mpisim.costmodel import (
+    COLLECTIVE_ALGORITHMS,
+    DEFAULT_COLLECTIVE_ALGORITHM,
+    LinkParameters,
+    link_parameters,
+    ranks_per_nic,
+)
+
+#: message sizes (bytes) the selection table is built at: a scalar
+#: allreduce, a halo-sized block, and two bulk payloads
+MESSAGE_SIZES: tuple[int, ...] = (8, 65536, 1 << 20, 16 << 20)
+
+
+@dataclass(frozen=True)
+class CollectiveTuningResult:
+    """The winning algorithm for one (machine, op, message size) cell."""
+
+    machine: str
+    op: str
+    nbytes: int
+    ranks: int
+    default_algorithm: str
+    default_time: float
+    algorithm: str
+    time: float
+
+    @property
+    def speedup(self) -> float:
+        return self.default_time / self.time if self.time > 0 else 1.0
+
+
+def machine_link(machine: MachineSpec) -> LinkParameters:
+    """The α-β link a full-machine collective pays on *machine*."""
+    fabric = machine.node.interconnect
+    if fabric is None:
+        raise ValueError(f"{machine.name} has no interconnect spec")
+    ranks = max(machine.node.gpus_per_node, 1)
+    return link_parameters(
+        fabric,
+        ranks_sharing_nic=ranks_per_nic(ranks, fabric),
+        device_buffers=machine.node.has_gpus,
+    )
+
+
+def machine_ranks(machine: MachineSpec) -> int:
+    return machine.nodes * max(machine.node.gpus_per_node, 1)
+
+
+def select_algorithm(machine: MachineSpec, op: str,
+                     nbytes: int) -> CollectiveTuningResult:
+    """Argmin over the registry for one cell, default-biased tie-break."""
+    try:
+        algorithms = COLLECTIVE_ALGORITHMS[op]
+    except KeyError:
+        raise KeyError(f"unknown collective {op!r}; "
+                       f"known: {sorted(COLLECTIVE_ALGORITHMS)}") from None
+    link = machine_link(machine)
+    p = machine_ranks(machine)
+    default_name = DEFAULT_COLLECTIVE_ALGORITHM[op]
+    times = {name: fn(p, float(nbytes), link)  # type: ignore[operator]
+             for name, fn in algorithms.items()}
+    default_time = times[default_name]
+    best_name, best_time = default_name, default_time
+    for name, t in times.items():
+        if t < best_time:
+            best_name, best_time = name, t
+    return CollectiveTuningResult(
+        machine=machine.name, op=op, nbytes=int(nbytes), ranks=p,
+        default_algorithm=default_name, default_time=default_time,
+        algorithm=best_name, time=best_time,
+    )
+
+
+def tune_collectives(machine: MachineSpec, *,
+                     message_sizes: tuple[int, ...] = MESSAGE_SIZES,
+                     ) -> list[CollectiveTuningResult]:
+    """The full selection table for *machine*, ops x message sizes."""
+    return [
+        select_algorithm(machine, op, nbytes)
+        for op in sorted(COLLECTIVE_ALGORITHMS)
+        for nbytes in message_sizes
+    ]

@@ -1,0 +1,208 @@
+"""Per-app kernel workloads the navigator tunes, per machine.
+
+Each builder returns the app's shipped per-step kernel list on the device
+that app actually binds on that machine — the *pre-launch-tuning* state:
+synchronous launches, no fusion beyond what the app's own numerics
+require.  That is the honest baseline for a launch-config autotuner; for
+Pele and E3SM it is exactly the paper's "ported but not yet latency-tuned"
+code state whose hand-optimization (§2.2, §3.5) the navigator has to
+rediscover.
+
+Workload construction is deterministic (LAMMPS' divergence statistics come
+from a seeded crystal; everything else is closed-form), so tuned numbers
+re-derive bit-for-bit from the (app, machine) pair.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.apps import coast as _coast
+from repro.apps import comet as _comet
+from repro.apps import exasky as _exasky
+from repro.apps import gamess as _gamess
+from repro.apps import gests as _gests
+from repro.apps import lammps as _lammps
+from repro.apps import lsms as _lsms
+from repro.apps import nuccor as _nuccor
+from repro.apps import pele as _pele
+from repro.chem.rimp2 import rimp2_kernel_spec
+from repro.cloud.crm import crm_kernel_ensemble
+from repro.gpu.kernel import KernelSpec
+from repro.graph.tuning import TileConfig, kernel_for_config
+from repro.hardware.gpu import MI250X, V100, GPUSpec
+from repro.hardware.machine import MachineSpec
+from repro.linalg.blas import gemm_kernel_spec
+from repro.linalg.solver import getrf_flops, getrs_flops, solver_kernel_spec
+from repro.similarity.gemmtally import gemmtally_kernel_specs
+from repro.spectral.psdns import psdns_device_kernels
+
+
+@dataclass(frozen=True)
+class AppWorkload:
+    """One app's tunable step on one machine."""
+
+    app: str
+    machine: str
+    device: GPUSpec
+    kernels: tuple[KernelSpec, ...]
+    default_async: bool = False  # the shipped launch mode (sync everywhere)
+
+
+def _is_summit(machine: MachineSpec) -> bool:
+    return machine.name.lower() == "summit"
+
+
+def _package_gpu(machine: MachineSpec) -> GPUSpec:
+    """The full-package device the library-bound apps time against."""
+    return V100 if _is_summit(machine) else MI250X
+
+
+def _pele_workload(machine: MachineSpec) -> AppWorkload:
+    # the cvode-batched state: chemistry is batched but hydro sweeps are
+    # still un-fused and launches synchronous — the pre-§2.2-tuning state
+    kernels = _pele._gpu_kernels(machine, "cvode-batched", _pele.PeleConfig())
+    return AppWorkload("pele", machine.name, machine.node.gpu, tuple(kernels))
+
+
+def _comet_workload(machine: MachineSpec) -> AppWorkload:
+    eff = (_comet.CUBLAS_GENERIC_EFFICIENCY if _is_summit(machine)
+           else _comet.ROCBLAS_CODESIGNED_EFFICIENCY)
+    cfg = _comet.CometConfig()
+    specs = gemmtally_kernel_specs(cfg.vectors_per_gpu, cfg.fields,
+                                   efficiency=eff)
+    return AppWorkload("comet", machine.name, _package_gpu(machine),
+                       tuple(specs))
+
+
+def _exasky_workload(machine: MachineSpec) -> AppWorkload:
+    kernels = _exasky._kernels(_exasky.ExaskyConfig(),
+                               wavefront64_tuned=not _is_summit(machine))
+    return AppWorkload("exasky", machine.name, machine.node.gpu,
+                       tuple(kernels))
+
+
+def _gamess_workload(machine: MachineSpec) -> AppWorkload:
+    device = _package_gpu(machine)
+    efficiency = 0.92 if device.vendor.value == "nvidia" else 0.80
+    cfg = _gamess.GamessConfig()
+    spec = rimp2_kernel_spec(cfg.nocc, cfg.nvirt, cfg.naux,
+                             efficiency=efficiency)
+    spec = dataclasses.replace(spec, uses_matrix_engine=False)
+    return AppWorkload("gamess", machine.name, device, (spec,))
+
+
+def _lsms_workload(machine: MachineSpec) -> AppWorkload:
+    device = _package_gpu(machine)
+    cfg = _lsms.LsmsConfig()
+    assembly = _lsms.assembly_kernel(cfg, index_math_optimized=True)
+    n, b = cfg.matrix_size, cfg.block_size
+    if _is_summit(machine):
+        from repro.linalg.solver import zblock_lu_flops
+
+        flops, eff, method = (zblock_lu_flops(n, b),
+                              _lsms.ZBLOCK_LU_EFFICIENCY, "zblock_lu")
+    else:
+        flops, eff, method = (getrf_flops(n) + getrs_flops(n, b),
+                              _lsms.GETRF_EFFICIENCY, "getrf")
+    solver = solver_kernel_spec(f"tau_{method}", flops, n, efficiency=eff)
+    return AppWorkload("lsms", machine.name, device, (assembly, solver))
+
+
+def _nuccor_workload(machine: MachineSpec) -> AppWorkload:
+    cfg = _nuccor.NuccorConfig()
+    spec = gemm_kernel_spec(cfg.block_dim, cfg.block_dim, cfg.block_dim,
+                            efficiency=cfg.library_efficiency,
+                            use_matrix_engine=False)
+    spec = dataclasses.replace(
+        spec, launch_count=cfg.contractions_per_iteration)
+    return AppWorkload("nuccor", machine.name, _package_gpu(machine), (spec,))
+
+
+def _lammps_workload(machine: MachineSpec) -> AppWorkload:
+    # optimized ReaxFF state (preprocessed tuples, spill fix, fused QEq);
+    # the QEq allreduce is communication and stays out of the kernel step
+    cfg = _lammps.LammpsConfig()
+    device = machine.node.gpu
+    pre = _lammps.preprocessor_kernel(cfg)
+    force = _lammps.torsion_kernel(cfg, preprocessed=True, spill_fixed=True)
+    force = dataclasses.replace(force, launch_count=2)  # torsion + angular
+    spmv_bytes = _lammps.ATOMS_PER_GPU * _lammps.QEQ_ROW_BYTES
+    spmv = KernelSpec(
+        name="qeq_spmv",
+        flops=2.0 * _lammps.ATOMS_PER_GPU * 40 * 2,
+        bytes_read=spmv_bytes,
+        bytes_written=_lammps.ATOMS_PER_GPU * 8.0 * 2,
+        threads=_lammps.ATOMS_PER_GPU,
+        precision=force.precision,
+        registers_per_thread=64,
+        launch_count=_lammps.QEQ_ITERATIONS,
+    )
+    return AppWorkload("lammps", machine.name, device, (pre, force, spmv))
+
+
+def _e3sm_workload(machine: MachineSpec) -> AppWorkload:
+    # the raw CRM ensemble, unfused and launched synchronously: §3.5's
+    # starting point, whose three levers the navigator must rediscover
+    kernels = crm_kernel_ensemble(columns=_e3sm_columns())
+    return AppWorkload("e3sm", machine.name, machine.node.gpu, tuple(kernels))
+
+
+def _e3sm_columns() -> int:
+    from repro.apps.e3sm import E3smConfig
+
+    return E3smConfig().columns_per_gpu
+
+
+def _gests_workload(machine: MachineSpec) -> AppWorkload:
+    cfg = _gests.GestsConfig()
+    if _is_summit(machine):
+        n, ranks = cfg.summit_n, cfg.summit_ranks
+    else:
+        n, ranks = cfg.frontier_n, cfg.frontier_ranks
+    fft, pointwise = psdns_device_kernels(n, ranks)
+    from repro.spectral.psdns import FFTS_PER_STEP
+
+    fft = dataclasses.replace(fft, launch_count=FFTS_PER_STEP)
+    return AppWorkload("gests", machine.name, machine.node.gpu,
+                       (fft, pointwise))
+
+
+#: COAST's pre-autotuning reference tiling (mid-grid, LDS-feasible
+#: everywhere): the configuration a first compile ships before the §3.9
+#: tile search runs.
+COAST_REFERENCE_TILE = TileConfig(block_tile=64, thread_tile=4, k_tile=16)
+
+
+def _coast_workload(machine: MachineSpec) -> AppWorkload:
+    cfg = _coast.CoastConfig()
+    spec = kernel_for_config(cfg.matrix_n, COAST_REFERENCE_TILE)
+    return AppWorkload("coast", machine.name, _package_gpu(machine), (spec,))
+
+
+_BUILDERS = {
+    "pele": _pele_workload,
+    "comet": _comet_workload,
+    "exasky": _exasky_workload,
+    "gamess": _gamess_workload,
+    "lsms": _lsms_workload,
+    "nuccor": _nuccor_workload,
+    "lammps": _lammps_workload,
+    "e3sm": _e3sm_workload,
+    "gests": _gests_workload,
+    "coast": _coast_workload,
+}
+
+#: The ten paper apps, in report order.
+TUNABLE_APPS: tuple[str, ...] = tuple(_BUILDERS)
+
+
+def build_workload(app: str, machine: MachineSpec) -> AppWorkload:
+    """The shipped kernel workload of *app* on *machine*."""
+    try:
+        builder = _BUILDERS[app]
+    except KeyError:
+        raise KeyError(
+            f"unknown app {app!r}; known: {sorted(_BUILDERS)}") from None
+    return builder(machine)

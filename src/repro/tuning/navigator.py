@@ -1,0 +1,284 @@
+"""The autotuning navigator: one seeded pass over every knob domain.
+
+:func:`run_navigator` searches, for each machine in
+:data:`~repro.hardware.catalog.TUNING_MACHINES`:
+
+* **kernel launch configs** per app — budgeted grid search over the
+  :func:`~repro.tuning.space.kernel_config_grid` knobs, objective
+  :func:`~repro.tuning.space.sequence_time`;
+* **checkpoint cadence** — successive halving over interval candidates
+  against fault-injected campaigns (:mod:`repro.tuning.checkpoint`);
+* **collective algorithms** — argmin over the α-β registry
+  (:mod:`repro.tuning.collectives`).
+
+All randomness flows from one ``numpy.random.SeedSequence``: children are
+spawned in a fixed order (per machine, then per app, in report order), so
+the same ``(seed, budget)`` yields a byte-identical
+:class:`TuningReport` — across processes, which the determinism test
+checks literally on the canonical JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.report import render_series
+from repro.hardware.catalog import TUNING_MACHINES
+from repro.hardware.machine import MachineSpec
+from repro.tuning.checkpoint import (
+    CheckpointFidelity,
+    CheckpointTuningResult,
+    tune_checkpoint_interval,
+)
+from repro.tuning.collectives import (
+    MESSAGE_SIZES,
+    CollectiveTuningResult,
+    tune_collectives,
+)
+from repro.tuning.kernels import TUNABLE_APPS, build_workload
+from repro.tuning.search import grid_search
+from repro.tuning.space import KernelConfig, kernel_config_grid, sequence_time
+
+
+@dataclass(frozen=True)
+class TuningBudget:
+    """How much search each domain is allowed."""
+
+    kernel_evals: int = 128  # configs per (app, machine) cell; full grid
+    # final rung spans ~3 compressed MTBFs so the fault process, not the
+    # checkpoint count alone, decides the interval
+    checkpoint_rungs: tuple[CheckpointFidelity, ...] = (
+        CheckpointFidelity(nsteps=96, seeds=(0, 1)),
+        CheckpointFidelity(nsteps=384, seeds=(0, 1, 2)),
+    )
+    checkpoint_particles: int = 96
+    message_sizes: tuple[int, ...] = MESSAGE_SIZES
+
+    @classmethod
+    def quick(cls) -> "TuningBudget":
+        """The CI smoke budget: subsampled grid, short campaigns."""
+        return cls(
+            kernel_evals=48,
+            checkpoint_rungs=(
+                CheckpointFidelity(nsteps=48, seeds=(0,)),
+                CheckpointFidelity(nsteps=192, seeds=(0, 1)),
+            ),
+            checkpoint_particles=64,
+        )
+
+    def describe(self) -> dict:
+        return {
+            "kernel_evals": self.kernel_evals,
+            "checkpoint_rungs": [r.describe() for r in self.checkpoint_rungs],
+            "checkpoint_particles": self.checkpoint_particles,
+            "message_sizes": list(self.message_sizes),
+        }
+
+
+@dataclass(frozen=True)
+class KernelTuningResult:
+    """Tuned launch config for one (app, machine) cell."""
+
+    app: str
+    machine: str
+    device: str
+    default_time: float
+    tuned_time: float
+    config: KernelConfig
+    evaluated: int
+
+    @property
+    def speedup(self) -> float:
+        return self.default_time / self.tuned_time if self.tuned_time else 1.0
+
+    @property
+    def improved(self) -> bool:
+        return self.tuned_time < self.default_time
+
+
+@dataclass(frozen=True)
+class TuningReport:
+    """Everything one navigator pass measured and chose."""
+
+    seed: int
+    budget: TuningBudget
+    machines: tuple[str, ...]
+    kernel: tuple[KernelTuningResult, ...]
+    checkpoint: tuple[CheckpointTuningResult, ...]
+    collectives: tuple[CollectiveTuningResult, ...] = field(default=())
+
+    def kernel_result(self, app: str, machine: str) -> KernelTuningResult:
+        for r in self.kernel:
+            if r.app == app and r.machine == machine:
+                return r
+        raise KeyError(f"no kernel result for ({app!r}, {machine!r})")
+
+    def improved_apps(self, machine: str | None = None) -> list[str]:
+        """Apps with a strictly-better-than-default config (any machine,
+        or one machine when given) — the acceptance metric."""
+        return sorted({
+            r.app for r in self.kernel
+            if r.improved and (machine is None or r.machine == machine)
+        })
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "budget": self.budget.describe(),
+            "machines": list(self.machines),
+            "kernel": [
+                {
+                    "app": r.app,
+                    "machine": r.machine,
+                    "device": r.device,
+                    "default_time": r.default_time,
+                    "tuned_time": r.tuned_time,
+                    "speedup": r.speedup,
+                    "config": r.config.describe(),
+                    "evaluated": r.evaluated,
+                }
+                for r in self.kernel
+            ],
+            "checkpoint": [
+                {
+                    "machine": r.machine,
+                    "nodes": r.nodes,
+                    "machine_ranks": r.machine_ranks,
+                    "default_interval_steps": r.default_interval_steps,
+                    "default_overhead": r.default_overhead,
+                    "tuned_interval_steps": r.tuned_interval_steps,
+                    "tuned_overhead": r.tuned_overhead,
+                    "speedup": r.speedup,
+                    "w_star_steps": r.w_star_steps,
+                    "campaigns": r.campaigns,
+                    "fidelity": r.fidelity.describe(),
+                }
+                for r in self.checkpoint
+            ],
+            "collectives": [
+                {
+                    "machine": r.machine,
+                    "op": r.op,
+                    "nbytes": r.nbytes,
+                    "ranks": r.ranks,
+                    "default_algorithm": r.default_algorithm,
+                    "default_time": r.default_time,
+                    "algorithm": r.algorithm,
+                    "time": r.time,
+                    "speedup": r.speedup,
+                }
+                for r in self.collectives
+            ],
+        }
+
+    def to_json(self) -> str:
+        """Canonical serialization: the byte-identity unit of the
+        determinism contract (sorted keys, fixed separators, repr
+        floats)."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def render(self) -> str:
+        lines = []
+        for machine in self.machines:
+            rows = [
+                (f"{r.app:8s} {_describe_config(r.config):34s}", r.speedup)
+                for r in self.kernel if r.machine == machine
+            ]
+            lines.append(render_series(
+                f"{machine}: tuned-vs-default kernel speedup", rows,
+                value_format="{:.3f}x"))
+        for r in self.checkpoint:
+            lines.append(
+                f"{r.machine}: checkpoint every {r.tuned_interval_steps} "
+                f"steps (default {r.default_interval_steps}): overhead "
+                f"{r.default_overhead:.3f} -> {r.tuned_overhead:.3f}, "
+                f"W*={r.w_star_steps:.0f} steps "
+                f"(agreement {r.daly_agreement_factor:.2f}x)")
+        switched = [r for r in self.collectives
+                    if r.algorithm != r.default_algorithm]
+        lines.append(
+            f"collectives: {len(switched)}/{len(self.collectives)} cells "
+            "switch algorithm; largest win "
+            + (f"{max(r.speedup for r in switched):.1f}x" if switched
+               else "n/a"))
+        return "\n".join(lines)
+
+
+def _describe_config(config: KernelConfig) -> str:
+    knobs = []
+    if config.fuse_group > 1:
+        knobs.append(f"fuse{config.fuse_group}")
+    if config.register_cap is not None:
+        knobs.append(f"cap{config.register_cap}")
+    if config.workgroup_size is not None:
+        knobs.append(f"wg{config.workgroup_size}")
+    if config.fission_parts > 1:
+        knobs.append(f"fission{config.fission_parts}")
+    if config.same_stream_async:
+        knobs.append("async")
+    return "+".join(knobs) if knobs else "default"
+
+
+def tune_app_kernels(app: str, machine: MachineSpec, *,
+                     budget: int,
+                     seed_seq: np.random.SeedSequence) -> KernelTuningResult:
+    """Budgeted grid search over launch configs for one cell."""
+    workload = build_workload(app, machine)
+    kernels = list(workload.kernels)
+    grid = kernel_config_grid()
+
+    def objective(config: KernelConfig) -> float:
+        return sequence_time(config, kernels, workload.device,
+                             default_async=workload.default_async)
+
+    default_time = objective(KernelConfig())
+    result = grid_search(grid, objective, budget=budget, seed_seq=seed_seq)
+    tuned = grid[result.best_index]
+    return KernelTuningResult(
+        app=app, machine=machine.name, device=workload.device.name,
+        default_time=default_time, tuned_time=result.best_value,
+        config=tuned, evaluated=result.evaluated,
+    )
+
+
+def run_navigator(
+    *,
+    seed: int = 0,
+    budget: TuningBudget | None = None,
+    machines: tuple[MachineSpec, ...] = TUNING_MACHINES,
+    apps: tuple[str, ...] = TUNABLE_APPS,
+    tune_checkpoints: bool = True,
+) -> TuningReport:
+    """One full tuning pass.  Same (seed, budget) => same report bytes."""
+    budget = budget or TuningBudget()
+    root = np.random.SeedSequence(seed)
+    # one child per (machine, app) cell, spawned in fixed report order
+    children = iter(root.spawn(len(machines) * len(apps)))
+    kernel_results = []
+    for machine in machines:
+        for app in apps:
+            kernel_results.append(tune_app_kernels(
+                app, machine, budget=budget.kernel_evals,
+                seed_seq=next(children)))
+    checkpoint_results = []
+    if tune_checkpoints:
+        for machine in machines:
+            checkpoint_results.append(tune_checkpoint_interval(
+                machine, rungs=budget.checkpoint_rungs,
+                nparticles=budget.checkpoint_particles))
+    collective_results = []
+    for machine in machines:
+        collective_results.extend(
+            tune_collectives(machine, message_sizes=budget.message_sizes))
+    return TuningReport(
+        seed=seed,
+        budget=budget,
+        machines=tuple(m.name for m in machines),
+        kernel=tuple(kernel_results),
+        checkpoint=tuple(checkpoint_results),
+        collectives=tuple(collective_results),
+    )

@@ -1,0 +1,112 @@
+"""Budgeted, seeded search strategies for the navigator.
+
+Two strategies cover everything the tuner needs (ISSUE 10: "grid +
+successive-halving is enough"):
+
+* :func:`grid_search` — enumerate a candidate list against a deterministic
+  objective; when the list exceeds the budget, a SeedSequence-derived
+  subsample (order-preserving, so the identity candidate at index 0
+  survives subsampling of the knob grid) keeps the cost bounded.
+* :func:`successive_halving` — for *stochastic* objectives measured at a
+  chosen fidelity (fault-injected campaigns): evaluate every candidate
+  cheaply, keep the best half, re-measure the survivors at higher
+  fidelity, repeat.  Rung fidelities and seeds are caller-supplied, so
+  the whole schedule is reproducible.
+
+No wall clock, no unseeded randomness: given the same seed and budget the
+search visits the same candidates in the same order and breaks ties by
+candidate order — the determinism audit's contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence, TypeVar
+
+import numpy as np
+
+C = TypeVar("C")
+
+
+def seeded_subset(n_candidates: int, budget: int,
+                  seed_seq: np.random.SeedSequence) -> list[int]:
+    """Sorted candidate indices: all of them, or a seeded subsample.
+
+    Index 0 is always kept (the grid puts the identity/default there);
+    the remaining budget draws without replacement from the rest.
+    """
+    if n_candidates < 0 or budget < 1:
+        raise ValueError("need a non-negative candidate count and budget >= 1")
+    if n_candidates <= budget:
+        return list(range(n_candidates))
+    rng = np.random.default_rng(seed_seq)
+    rest = rng.choice(n_candidates - 1, size=budget - 1, replace=False) + 1
+    return [0] + sorted(int(i) for i in rest)
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of one budgeted search over one candidate list."""
+
+    best_index: int  # index into the *original* candidate list
+    best_value: float
+    evaluated: int
+
+
+def grid_search(candidates: Sequence[C], objective: Callable[[C], float], *,
+                budget: int, seed_seq: np.random.SeedSequence) -> SearchResult:
+    """Minimize a deterministic objective over (a seeded subset of) a grid.
+
+    Ties break toward the earlier candidate, so the result is unique and
+    reproducible regardless of float noise patterns.
+    """
+    if not candidates:
+        raise ValueError("empty candidate list")
+    indices = seeded_subset(len(candidates), budget, seed_seq)
+    best_i, best_v = indices[0], objective(candidates[indices[0]])
+    for i in indices[1:]:
+        v = objective(candidates[i])
+        if v < best_v:
+            best_i, best_v = i, v
+    return SearchResult(best_index=best_i, best_value=best_v,
+                        evaluated=len(indices))
+
+
+def successive_halving(
+    candidates: Sequence[C],
+    objective: Callable[[C, object], float],
+    rungs: Sequence[object],
+    *,
+    keep_fraction: float = 0.5,
+) -> tuple[SearchResult, dict[int, float]]:
+    """Rising-fidelity elimination: measure, keep the best, re-measure.
+
+    ``objective(candidate, rung)`` measures one candidate at one rung's
+    fidelity (e.g. ``rung = (nsteps, seeds)``).  Each rung keeps
+    ``ceil(keep_fraction * n)`` survivors by measured value (ties to the
+    earlier candidate); the final rung's argmin wins.  Returns the result
+    plus every surviving candidate's final-rung value (index -> value),
+    which the checkpoint tuner records as the measured band.
+    """
+    if not candidates:
+        raise ValueError("empty candidate list")
+    if not rungs:
+        raise ValueError("need at least one fidelity rung")
+    if not 0.0 < keep_fraction <= 1.0:
+        raise ValueError("keep_fraction must be in (0, 1]")
+    alive = list(range(len(candidates)))
+    evaluated = 0
+    values: dict[int, float] = {}
+    for r, rung in enumerate(rungs):
+        values = {i: objective(candidates[i], rung) for i in alive}
+        evaluated += len(alive)
+        if r < len(rungs) - 1:
+            keep = max(1, int(np.ceil(len(alive) * keep_fraction)))
+            alive = sorted(alive, key=lambda i: (values[i], i))[:keep]
+            alive.sort()
+    best_i = min(values, key=lambda i: (values[i], i))
+    return (
+        SearchResult(best_index=best_i, best_value=values[best_i],
+                     evaluated=evaluated),
+        values,
+    )

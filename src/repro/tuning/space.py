@@ -1,0 +1,171 @@
+"""The kernel launch-configuration search space.
+
+A :class:`KernelConfig` is one point in the knob space the navigator
+searches: workgroup size, a voluntary register cap, fission of the hot
+kernel, fusion of small adjacent kernels, and same-stream asynchronous
+launching.  Every knob maps onto a transformation the paper's teams
+actually applied (E3SM §3.5 fusion/fission/async, LAMMPS §3.10 register
+pressure, COAST §3.9 tile/launch geometry), expressed through the
+:mod:`repro.gpu` kernel transformations so the tuned descriptor stays a
+plain :class:`~repro.gpu.kernel.KernelSpec` list the rest of the repo can
+time, trace, and launch.
+
+Applying a config is a *pure* function of the kernel list and the device:
+no randomness, no wall clock — which is what lets the generated regression
+checks re-derive every tuned number bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import asdict, dataclass, replace
+
+from repro.gpu.kernel import KernelSpec, cap_registers, fission, fuse
+from repro.gpu.perfmodel import time_kernel, time_kernel_sequence
+from repro.hardware.gpu import GPUSpec
+
+#: flops-per-thread below which a kernel counts as "small" for fusion —
+#: the same threshold :func:`repro.cloud.crm.optimize_ensemble` uses.
+SMALL_KERNEL_FLOPS_PER_THREAD = 64.0
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """One candidate launch configuration.
+
+    ``None`` means "leave the app's shipped value alone", so
+    ``KernelConfig()`` is the identity — the default every margin is
+    measured against.
+    """
+
+    workgroup_size: int | None = None
+    register_cap: int | None = None
+    fission_parts: int = 1
+    fuse_group: int = 1
+    same_stream_async: bool | None = None
+
+    def __post_init__(self) -> None:
+        if self.workgroup_size is not None and self.workgroup_size < 32:
+            raise ValueError("workgroup_size must be >= 32")
+        if self.register_cap is not None and self.register_cap < 32:
+            raise ValueError("register_cap must be >= 32")
+        if self.fission_parts < 1:
+            raise ValueError("fission_parts must be >= 1")
+        if self.fuse_group < 1:
+            raise ValueError("fuse_group must be >= 1")
+
+    @property
+    def is_default(self) -> bool:
+        return self == KernelConfig()
+
+    def describe(self) -> dict:
+        """JSON-ready knob dict (the descriptor recorded in reports)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, knobs: dict) -> "KernelConfig":
+        return cls(**knobs)
+
+    def apply(self, kernels: list[KernelSpec],
+              device: GPUSpec) -> list[KernelSpec]:
+        """Transform the app's kernel list into this configuration.
+
+        Fusion first (it can change which kernel is hot), then the
+        per-kernel knobs on the hottest remaining kernel: register cap,
+        workgroup size, fission.  The async knob does not change the
+        list — it changes how :func:`sequence_time` launches it.
+        """
+        ks = list(kernels)
+        if self.fuse_group > 1:
+            ks = _fuse_small_runs(ks, self.fuse_group)
+        if (self.register_cap is None and self.workgroup_size is None
+                and self.fission_parts == 1):
+            return ks
+        i = hot_kernel_index(ks, device)
+        k = ks[i]
+        if self.register_cap is not None:
+            k = cap_registers(k, self.register_cap)
+        if self.workgroup_size is not None:
+            k = replace(k, workgroup_size=self.workgroup_size)
+        pieces = fission(k, self.fission_parts)
+        if k.launch_count > 1:
+            # fission splits one launch; the hot kernel's repeat count
+            # applies to every piece so total work is conserved
+            pieces = [replace(p, launch_count=k.launch_count) for p in pieces]
+        ks[i:i + 1] = pieces
+        return ks
+
+
+def hot_kernel_index(kernels: list[KernelSpec], device: GPUSpec) -> int:
+    """Index of the kernel dominating the step on *device* (stable argmax)."""
+    if not kernels:
+        raise ValueError("empty kernel list")
+    costs = [
+        time_kernel(k, device).total_time * k.launch_count for k in kernels
+    ]
+    return costs.index(max(costs))
+
+
+def _fuse_small_runs(kernels: list[KernelSpec], group: int) -> list[KernelSpec]:
+    """Fuse adjacent runs of small, single-launch, same-precision kernels.
+
+    Mirrors E3SM's policy (:func:`repro.cloud.crm.optimize_ensemble`):
+    only kernels with < ``SMALL_KERNEL_FLOPS_PER_THREAD`` flops per thread
+    join a fusion group, groups never cross a precision boundary, and a
+    full group flushes eagerly.
+    """
+    out: list[KernelSpec] = []
+    pending: list[KernelSpec] = []
+
+    def flush() -> None:
+        if not pending:
+            return
+        out.append(fuse(list(pending)) if len(pending) > 1 else pending[0])
+        pending.clear()
+
+    for k in kernels:
+        small = (k.flops / max(k.threads, 1) < SMALL_KERNEL_FLOPS_PER_THREAD
+                 and k.launch_count == 1)
+        if small and (not pending or pending[0].precision == k.precision):
+            pending.append(k)
+            if len(pending) == group:
+                flush()
+        else:
+            flush()
+            out.append(k)
+    flush()
+    return out
+
+
+def sequence_time(config: KernelConfig, kernels: list[KernelSpec],
+                  device: GPUSpec, *, default_async: bool = False) -> float:
+    """The tuning objective: wall time of one step under *config*.
+
+    ``default_async`` is the app's shipped launch mode; the config's
+    ``same_stream_async`` overrides it when set.
+    """
+    launch_async = (default_async if config.same_stream_async is None
+                    else config.same_stream_async)
+    return time_kernel_sequence(
+        config.apply(kernels, device), device, same_stream_async=launch_async
+    )
+
+
+#: Knob values the navigator enumerates.  The identity sits at the head of
+#: every axis, so the full grid always contains the default config.
+WORKGROUP_SIZES: tuple[int | None, ...] = (None, 128, 256, 512)
+REGISTER_CAPS: tuple[int | None, ...] = (None, 64, 96, 128)
+FISSION_PARTS: tuple[int, ...] = (1, 2)
+FUSE_GROUPS: tuple[int, ...] = (1, 4)
+ASYNC_CHOICES: tuple[bool | None, ...] = (None, True)
+
+
+def kernel_config_grid() -> list[KernelConfig]:
+    """The full deterministic knob grid, identity first."""
+    return [
+        KernelConfig(workgroup_size=wg, register_cap=cap, fission_parts=fp,
+                     fuse_group=fg, same_stream_async=sync)
+        for wg, cap, fp, fg, sync in itertools.product(
+            WORKGROUP_SIZES, REGISTER_CAPS, FISSION_PARTS, FUSE_GROUPS,
+            ASYNC_CHOICES)
+    ]

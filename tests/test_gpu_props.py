@@ -1,0 +1,180 @@
+"""Property suite for the occupancy/roofline stack the tuner searches.
+
+The autotuner trusts gpu.occupancy/gpu.perfmodel across the whole knob
+grid, including corners no app module ever visits (extreme register
+counts, tiny workgroups, capped kernels).  These hypothesis properties
+pin the invariants the search relies on:
+
+* occupancy and timing are total functions — no NaN/inf/negative times
+  anywhere on the valid domain;
+* more registers never *increase* occupancy and never *decrease* time;
+* larger workgroups never decrease occupancy of an LDS-bound kernel;
+* latency hiding is monotone in waves in flight;
+* `cap_registers` conserves work: flops/threads untouched, traffic only
+  ever added, demand clamped to exactly the cap.
+
+The suite also locks in the validation fix this PR made: KernelSpec used
+to accept `registers_per_thread <= 0` and silently report full occupancy
+(negative regs-per-wave floored to 1 allocation unit), which would have
+let a buggy tuner candidate look infinitely good.
+"""
+
+import dataclasses
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu import KernelSpec, cap_registers, time_kernel
+from repro.gpu.occupancy import (
+    compute_occupancy,
+    latency_hiding_from_waves,
+    spill_traffic_bytes,
+)
+from repro.hardware.gpu import MI250X_GCD, V100, Precision
+
+DEVICES = [V100, MI250X_GCD]
+
+
+@st.composite
+def kernel_specs(draw):
+    return KernelSpec(
+        name="prop",
+        flops=draw(st.floats(0.0, 1e15, allow_nan=False)),
+        bytes_read=draw(st.floats(0.0, 1e13, allow_nan=False)),
+        bytes_written=draw(st.floats(0.0, 1e13, allow_nan=False)),
+        threads=draw(st.integers(1, 1 << 24)),
+        precision=draw(st.sampled_from(
+            [Precision.FP64, Precision.FP32, Precision.FP16])),
+        registers_per_thread=draw(st.integers(1, 512)),
+        lds_per_workgroup=draw(st.integers(0, 64 * 1024)),
+        workgroup_size=draw(st.sampled_from([32, 64, 128, 256, 512, 1024])),
+        active_lane_fraction=draw(st.floats(0.05, 1.0, allow_nan=False)),
+        divergence_wavefront_sensitive=draw(st.booleans()),
+        launch_count=draw(st.integers(1, 64)),
+    )
+
+
+class TestOccupancyProperties:
+    @settings(max_examples=200)
+    @given(kernel=kernel_specs(), device=st.sampled_from(DEVICES))
+    def test_occupancy_well_formed(self, kernel, device):
+        occ = compute_occupancy(kernel, device)
+        assert 1 <= occ.waves_per_cu <= occ.max_waves_per_cu
+        assert 0.0 < occ.occupancy <= 1.0
+        assert occ.spilled_registers_per_thread >= 0
+        assert occ.limited_by in {"registers", "lds", "hardware"}
+
+    @settings(max_examples=200)
+    @given(
+        kernel=kernel_specs(),
+        device=st.sampled_from(DEVICES),
+        extra=st.integers(1, 256),
+    )
+    def test_more_registers_never_raise_occupancy(self, kernel, device, extra):
+        fatter = dataclasses.replace(
+            kernel,
+            registers_per_thread=kernel.registers_per_thread + extra)
+        assert (compute_occupancy(fatter, device).waves_per_cu
+                <= compute_occupancy(kernel, device).waves_per_cu)
+
+    @settings(max_examples=200)
+    @given(
+        kernel=kernel_specs(),
+        device=st.sampled_from(DEVICES),
+        factor=st.sampled_from([2, 4]),
+    )
+    def test_larger_workgroup_never_lowers_lds_bound_occupancy(
+            self, kernel, device, factor):
+        if kernel.lds_per_workgroup == 0:
+            return  # workgroup size only enters through the LDS limit
+        wider = dataclasses.replace(
+            kernel, workgroup_size=kernel.workgroup_size * factor)
+        assert (compute_occupancy(wider, device).waves_per_cu
+                >= compute_occupancy(kernel, device).waves_per_cu)
+
+    @given(waves=st.integers(1, 256))
+    def test_latency_hiding_bounded_and_monotone(self, waves):
+        f = latency_hiding_from_waves(waves)
+        assert 0.0 < f <= 1.0
+        assert latency_hiding_from_waves(waves + 1) >= f
+
+    @settings(max_examples=200)
+    @given(kernel=kernel_specs(), device=st.sampled_from(DEVICES))
+    def test_spill_traffic_iff_over_ceiling(self, kernel, device):
+        traffic = spill_traffic_bytes(kernel, device)
+        over = kernel.registers_per_thread > device.max_registers_per_thread
+        assert (traffic > 0) == over
+        assert traffic >= 0.0
+
+
+class TestTimingProperties:
+    @settings(max_examples=200)
+    @given(kernel=kernel_specs(), device=st.sampled_from(DEVICES))
+    def test_times_finite_positive(self, kernel, device):
+        t = time_kernel(kernel, device)
+        for value in (t.compute_time, t.memory_time, t.launch_latency,
+                      t.execution_time, t.total_time, t.effective_flops):
+            assert math.isfinite(value)
+            assert value >= 0.0
+        assert t.total_time > 0.0  # launch latency is never free
+        assert t.bound in {"compute", "memory"}
+
+    @settings(max_examples=200)
+    @given(
+        kernel=kernel_specs(),
+        device=st.sampled_from(DEVICES),
+        extra=st.integers(1, 256),
+    )
+    def test_more_registers_never_speed_up(self, kernel, device, extra):
+        """Lower occupancy and (past the ceiling) spill traffic can only
+        hurt — the inequality the register-cap knob exploits."""
+        fatter = dataclasses.replace(
+            kernel,
+            registers_per_thread=kernel.registers_per_thread + extra)
+        assert (time_kernel(fatter, device).total_time
+                >= time_kernel(kernel, device).total_time)
+
+
+class TestCapRegistersProperties:
+    @settings(max_examples=200)
+    @given(
+        kernel=kernel_specs(),
+        cap=st.integers(32, 512),
+    )
+    def test_cap_conserves_work(self, kernel, cap):
+        capped = cap_registers(kernel, cap)
+        assert capped.flops == kernel.flops
+        assert capped.threads == kernel.threads
+        assert capped.launch_count == kernel.launch_count
+        assert capped.registers_per_thread == min(
+            cap, kernel.registers_per_thread)
+        assert capped.bytes_read >= kernel.bytes_read
+        assert capped.bytes_written >= kernel.bytes_written
+
+    @settings(max_examples=100)
+    @given(kernel=kernel_specs(), cap=st.integers(32, 512))
+    def test_cap_at_or_above_demand_is_identity(self, kernel, cap):
+        if cap >= kernel.registers_per_thread:
+            assert cap_registers(kernel, cap) is kernel
+
+    def test_cap_below_floor_rejected(self):
+        k = KernelSpec(name="k", flops=1e9, bytes_read=1e6)
+        with pytest.raises(ValueError, match="cap"):
+            cap_registers(k, 16)
+
+
+class TestValidationFix:
+    """KernelSpec used to accept non-positive register counts and report
+    full occupancy for them; that is now a construction-time error."""
+
+    @given(regs=st.integers(-512, 0))
+    def test_nonpositive_registers_rejected(self, regs):
+        with pytest.raises(ValueError, match="register"):
+            KernelSpec(name="bad", flops=1.0, bytes_read=1.0,
+                       registers_per_thread=regs)
+
+    def test_negative_lds_rejected(self):
+        with pytest.raises(ValueError, match="lds"):
+            KernelSpec(name="bad", flops=1.0, bytes_read=1.0,
+                       lds_per_workgroup=-1)

@@ -596,7 +596,7 @@ class TestDeterminismAudit:
     #: wall clock, so two seeded runs export byte-identical traces.)
     _SIM_TIME_MODULES = (
         "observability", "mpisim", "resilience", "ode", "similarity",
-        "gpu", "experiments", "service",
+        "gpu", "experiments", "service", "tuning",
     )
 
     def test_no_wall_clock_in_sim_time_span_modules(self):

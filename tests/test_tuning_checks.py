@@ -1,0 +1,56 @@
+"""The generated regression suite: ReFrame-style checks under pytest.
+
+One seeded quick navigator pass runs at collection time; every tuned
+(app, machine, knob-set) result it produced becomes a parameterized
+pytest case via :func:`repro.tuning.generate_checks`.  Each case
+re-derives its measurement from the check descriptor alone and asserts
+(a) it lands inside the recorded reference band and (b) wherever the
+navigator claimed a win, tuned still beats default by the recorded
+margin.
+
+The suite also asserts the ISSUE acceptance floors directly: at least 20
+instantiated cases, at least 6 of the ten apps improved, and the whole
+check list reproduced bit-identically from the same seed.
+"""
+
+import pytest
+
+from repro.tuning import TuningBudget, generate_checks, run_navigator
+
+SEED = 0
+
+REPORT = run_navigator(seed=SEED, budget=TuningBudget.quick())
+CHECKS = generate_checks(REPORT)
+
+
+@pytest.mark.parametrize("check", CHECKS, ids=[c.name for c in CHECKS])
+def test_generated_check(check):
+    measured = check.assert_ok()
+    assert measured >= 0.0
+
+
+def test_suite_instantiates_enough_cases():
+    assert len(CHECKS) >= 20
+    domains = {c.domain for c in CHECKS}
+    assert domains == {"kernel", "checkpoint", "collective"}
+    systems = {c.system for c in CHECKS}
+    assert systems == {"Summit", "Frontier"}
+
+
+def test_improved_apps_floor():
+    """ISSUE acceptance: strictly-better-than-default config on >= 6 of
+    the ten apps, on at least one machine."""
+    improved = REPORT.improved_apps()
+    assert len(improved) >= 6, f"only {improved} improved"
+
+
+def test_checks_regenerate_bit_identically():
+    """Same seed + budget => the exact same generated suite."""
+    again = generate_checks(
+        run_navigator(seed=SEED, budget=TuningBudget.quick()))
+    assert again == CHECKS
+
+
+def test_every_kernel_cell_has_a_check():
+    kernel_names = {c.name for c in CHECKS if c.domain == "kernel"}
+    assert len(kernel_names) == len(REPORT.kernel) == 20  # 10 apps x 2
